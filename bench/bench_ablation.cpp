@@ -1,0 +1,58 @@
+// Ablation study (extension beyond the paper): applies each of the three
+// optimizations — loop optimizations, loop fusion, local accumulation — in
+// isolation and models the resulting time and HBM traffic on both GPUs.
+// Quantifies DESIGN.md's claim that local accumulation carries most of the
+// data-movement win while loop fusion/loop optimizations recover the
+// instruction-stream efficiency.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const core::OptimizationStudy study(bench::study_config(argc, argv));
+
+  std::printf(
+      "ABLATION — each optimization in isolation (modeled GPUs, %zu cells)\n\n",
+      study.config().n_cells);
+
+  const physics::KernelVariant variants[] = {
+      physics::KernelVariant::kBaseline,
+      physics::KernelVariant::kLoopOptOnly,
+      physics::KernelVariant::kFusedOnly,
+      physics::KernelVariant::kLocalAccumOnly,
+      physics::KernelVariant::kOptimized,
+  };
+
+  for (const auto& arch : study.archs()) {
+    std::printf("%s:\n", arch.name.c_str());
+    perf::Table t({"Kernel", "Variant", "time (ms)", "GB moved", "e_DM",
+                   "speedup vs baseline"});
+    for (const auto kind :
+         {core::KernelKind::kJacobian, core::KernelKind::kResidual}) {
+      double base_time = 0.0;
+      for (const auto v : variants) {
+        const auto sim = study.simulate(arch, kind, v);
+        if (v == physics::KernelVariant::kBaseline) base_time = sim.time_s;
+        t.add_row({core::to_string(kind), physics::to_string(v),
+                   perf::fmt(sim.time_s * 1e3, 4),
+                   perf::fmt(sim.hbm_bytes / 1e9, 4),
+                   perf::fmt_pct(sim.e_dm()),
+                   perf::fmt_speedup(base_time / sim.time_s)});
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading: local accumulation alone removes the redundant global\n"
+      "read-modify-write traffic (e_DM jumps); fusion alone halves the\n"
+      "accumulation sweeps; loop optimizations alone mainly help the\n"
+      "instruction stream.  All three compose into the optimized kernel.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+// Shared plumbing for the paper-table benches: a default study configured
+// at the paper's workset size (~256K hexahedra), simulation-scale handling
+// via argv/environment, and the paper's published numbers for side-by-side
+// PAPER vs MODEL columns.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace mali::bench {
+
+/// Parses `--scale=<f>` / `--cells=<n>` (or MALI_SIM_SCALE / MALI_SIM_CELLS
+/// env vars).  The default 0.25 down-samples the cache simulation 4x while
+/// preserving traffic ratios; pass --scale=1 for the exact full-size replay.
+inline core::StudyConfig study_config(int argc, char** argv) {
+  core::StudyConfig cfg;
+  cfg.n_cells = 262144;  // the paper's ~256K hexahedra per GPU
+  cfg.sim.scale = 0.25;
+  if (const char* s = std::getenv("MALI_SIM_SCALE")) cfg.sim.scale = std::atof(s);
+  if (const char* s = std::getenv("MALI_SIM_CELLS")) {
+    cfg.n_cells = static_cast<std::size_t>(std::atoll(s));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      cfg.sim.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--cells=", 8) == 0) {
+      cfg.n_cells = static_cast<std::size_t>(std::atoll(argv[i] + 8));
+    }
+  }
+  return cfg;
+}
+
+// ---- paper-reported values (for PAPER columns and EXPERIMENTS.md) ----
+
+struct PaperTable3Row {
+  const char* kernel;
+  double base_a100, opt_a100, base_gcd, opt_gcd;  // seconds
+};
+inline constexpr PaperTable3Row kPaperTable3[] = {
+    {"Jacobian", 1.2e-1, 3.6e-2, 1.4e-1, 5.4e-2},
+    {"Residual", 3.7e-3, 1.7e-3, 8.3e-3, 2.4e-3},
+};
+
+struct PaperTable2Row {
+  const char* config;
+  unsigned max_threads, min_blocks;  // 0,0 = default
+  double jac_time, res_time;
+  int jac_arch, jac_accum, res_arch, res_accum;
+};
+inline constexpr PaperTable2Row kPaperTable2[] = {
+    {"Default", 0, 0, 8.3e-2, 2.8e-3, 128, 0, 84, 4},
+    {"128,2", 128, 2, 5.4e-2, 2.4e-3, 128, 128, 128, 0},
+    {"128,4", 128, 4, 8.3e-2, 2.6e-3, 128, 0, 84, 4},
+    {"256,2", 256, 2, 5.4e-2, 2.4e-3, 128, 128, 128, 0},
+    {"1024,2", 1024, 2, 8.5e-2, 3.0e-3, 128, 0, 84, 4},
+};
+
+struct PaperTable4Row {
+  const char* variant;  // Baseline / Optimized
+  const char* eff;      // e_time / e_DM
+  const char* kernel;
+  double a100, gcd, phi;
+};
+inline constexpr PaperTable4Row kPaperTable4[] = {
+    {"Baseline", "e_time", "Jacobian", 0.39, 0.38, 0.39},
+    {"Baseline", "e_time", "Residual", 0.62, 0.42, 0.50},
+    {"Baseline", "e_DM", "Jacobian", 0.53, 0.42, 0.47},
+    {"Baseline", "e_DM", "Residual", 0.65, 0.41, 0.50},
+    {"Optimized", "e_time", "Jacobian", 0.79, 0.53, 0.63},
+    {"Optimized", "e_time", "Residual", 0.88, 0.60, 0.71},
+    {"Optimized", "e_DM", "Jacobian", 0.84, 0.81, 0.83},
+    {"Optimized", "e_DM", "Residual", 1.00, 1.00, 1.00},
+};
+
+}  // namespace mali::bench

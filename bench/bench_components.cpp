@@ -1,0 +1,121 @@
+// Component benchmarks (google-benchmark): the substrate pieces the solve
+// spends its time in — sparse matrix-vector products, preconditioner
+// applications, AMG V-cycles, residual/Jacobian assembly, and the cache
+// simulator's probe throughput (which sets the cost of full-scale modeled
+// replays).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "gpusim/cache_sim.hpp"
+#include "linalg/gmres.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+using namespace mali;
+
+namespace {
+
+struct SolverFixture {
+  std::unique_ptr<physics::StokesFOProblem> problem;
+  linalg::CrsMatrix J;
+  std::vector<double> U, F, x, b;
+  std::unique_ptr<linalg::SemicoarseningAmg> amg;
+
+  SolverFixture() {
+    physics::StokesFOConfig cfg;
+    cfg.dx_m = 64.0e3;
+    cfg.n_layers = 10;
+    problem = std::make_unique<physics::StokesFOProblem>(cfg);
+    // Assemble at the first Newton iterate (U = 0): the system every solve
+    // in the paper's test starts from.
+    U.assign(problem->n_dofs(), 0.0);
+    J = problem->create_matrix();
+    problem->residual_and_jacobian(U, F, J);
+    amg = std::make_unique<linalg::SemicoarseningAmg>(
+        problem->extrusion_info());
+    amg->compute(J);
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(-1, 1);
+    b.resize(problem->n_dofs());
+    for (auto& v : b) v = dist(rng);
+    x.assign(b.size(), 0.0);
+  }
+};
+
+SolverFixture& fixture() {
+  static SolverFixture f;
+  return f;
+}
+
+}  // namespace
+
+static void BM_SpMV(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.J.apply(f.b, f.x);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.counters["nnz"] = static_cast<double>(f.J.nnz());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.J.nnz() * 16));
+}
+BENCHMARK(BM_SpMV)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+static void BM_AmgVCycle(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.amg->apply(f.b, f.x);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+}
+BENCHMARK(BM_AmgVCycle)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+static void BM_GmresSolveAmg(benchmark::State& state) {
+  auto& f = fixture();
+  linalg::GmresConfig cfg;
+  cfg.rel_tol = 1e-6;  // the paper's linear tolerance
+  cfg.max_iters = 500;
+  const linalg::Gmres gmres(cfg);
+  for (auto _ : state) {
+    f.x.assign(f.b.size(), 0.0);
+    const auto r = gmres.solve(f.J, *f.amg, f.b, f.x);
+    state.counters["iters"] = static_cast<double>(r.iterations);
+  }
+}
+BENCHMARK(BM_GmresSolveAmg)->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(3);
+
+static void BM_ResidualAssembly(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.problem->residual(f.U, f.F);
+    benchmark::DoNotOptimize(f.F.data());
+  }
+  state.counters["cells"] = static_cast<double>(f.problem->workset().n_cells);
+}
+BENCHMARK(BM_ResidualAssembly)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+static void BM_JacobianAssembly(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.problem->residual_and_jacobian(f.U, f.F, f.J);
+    benchmark::DoNotOptimize(f.F.data());
+  }
+  state.counters["cells"] = static_cast<double>(f.problem->workset().n_cells);
+}
+BENCHMARK(BM_JacobianAssembly)->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(10);
+
+static void BM_CacheSimProbe(benchmark::State& state) {
+  gpusim::CacheSim cache(8 << 20, 64, 16, gpusim::CacheSim::Replacement::kRandom);
+  const std::uint64_t span = 64 << 20;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    cache.access(addr % span, 4096, false);
+    addr += 4096 * 7;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheSimProbe);

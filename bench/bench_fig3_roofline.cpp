@@ -1,0 +1,71 @@
+// Reproduces Fig. 3: roofline placement of the baseline and optimized
+// Jacobian/Residual kernels on the modeled A100 (left) and MI250X GCD
+// (right) — arithmetic intensity, GFLOP/s, and the fraction of the memory-
+// bandwidth roof each point attains.  Also emits a CSV block for plotting.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+#include "perf/roofline.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const core::OptimizationStudy study(bench::study_config(argc, argv));
+
+  std::printf(
+      "FIG. 3 — roofline for baseline/optimized Jacobian and Residual\n"
+      "(modeled GPUs, %zu cells)\n\n",
+      study.config().n_cells);
+
+  for (const auto& arch : study.archs()) {
+    const perf::Roofline roof{arch.name, arch.fp64_flops,
+                              arch.hbm_bw_bytes_per_s};
+    std::printf("%s: peak %.1f TFLOP/s (FP64), %.2f TB/s HBM, ridge at "
+                "AI=%.1f FLOP/byte\n",
+                arch.name.c_str(), arch.fp64_flops / 1e12,
+                arch.hbm_bw_bytes_per_s / 1e12, roof.ridge_point());
+    perf::Table t({"Kernel", "Variant", "AI (FLOP/B)", "GFLOP/s",
+                   "% of roofline", "% of peak BW", "memory-bound?"});
+    for (const auto kind :
+         {core::KernelKind::kJacobian, core::KernelKind::kResidual}) {
+      for (const auto v : {physics::KernelVariant::kBaseline,
+                           physics::KernelVariant::kOptimized}) {
+        const pk::LaunchConfig launch =
+            (arch.has_accum_vgprs && v == physics::KernelVariant::kOptimized)
+                ? pk::LaunchConfig{128, 2}
+                : pk::LaunchConfig{};
+        const auto sim = study.simulate(arch, kind, v, launch);
+        perf::RooflinePoint p{std::string(core::to_string(kind)) + "/" +
+                                  physics::to_string(v),
+                              sim.arithmetic_intensity, sim.gflops_per_s};
+        t.add_row({core::to_string(kind), physics::to_string(v),
+                   perf::fmt(p.ai, 3), perf::fmt(p.gflops, 4),
+                   perf::fmt_pct(p.fraction_of_roof(roof)),
+                   perf::fmt_pct(p.fraction_of_bw(roof)),
+                   roof.memory_bound(p.ai) ? "yes" : "no"});
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // CSV for external plotting: machine,kernel,variant,ai,gflops.
+  std::printf("# CSV\nmachine,kernel,variant,ai_flop_per_byte,gflops\n");
+  for (const auto& c : study.run_standard_cases()) {
+    std::printf("%s,%s,%s,%.4f,%.2f\n", c.arch.c_str(), to_string(c.kind),
+                physics::to_string(c.variant), c.sim.arithmetic_intensity,
+                c.sim.gflops_per_s);
+  }
+
+  std::printf(
+      "\nPaper's takeaways, checked against the table above:\n"
+      "  * baseline Jacobian sits below ~40%% of peak memory bandwidth on\n"
+      "    both GPUs;\n"
+      "  * optimizations raise arithmetic intensity (less data moved) and\n"
+      "    push the A100 to ~90%% and the GCD to ~60%% of peak bandwidth;\n"
+      "  * every kernel is memory-bound (AI far left of the ridge point).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figs. 4 and 5: the time-oriented performance-portability model.
+// For each kernel/variant/architecture it prints the point (HBM GBytes
+// moved, time per invocation) together with the two bounds — the
+// architectural diagonal (bytes / peak bandwidth) and the application wall
+// (theoretical minimum data movement) — and the resulting efficiencies.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+#include "perf/time_oriented.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const core::OptimizationStudy study(bench::study_config(argc, argv));
+  const auto cases = study.run_standard_cases();
+
+  std::printf(
+      "FIG. 5 — time-oriented performance portability model\n"
+      "(modeled GPUs, %zu cells)\n\n",
+      study.config().n_cells);
+
+  // Fig. 4's illustration: bounds for each kernel (application wall and the
+  // achievable corner on each machine).
+  std::printf("Application bounds (theoretical minimum data movement):\n");
+  for (const auto kind :
+       {core::KernelKind::kJacobian, core::KernelKind::kResidual}) {
+    const auto sim =
+        study.simulate(study.a100(), kind, physics::KernelVariant::kOptimized);
+    std::printf("  %-8s  min bytes = %7.3f GB;  achievable corner: %.3f ms "
+                "(A100), %.3f ms (GCD)\n",
+                core::to_string(kind), sim.min_bytes / 1e9,
+                1e3 * sim.min_bytes / study.a100().hbm_bw_bytes_per_s,
+                1e3 * sim.min_bytes / study.mi250x_gcd().hbm_bw_bytes_per_s);
+  }
+  std::printf("\n");
+
+  perf::Table t({"Kernel", "Variant", "Machine", "GB moved", "time (ms)",
+                 "arch-bound time (ms)", "e_time", "e_DM"});
+  for (const auto& c : cases) {
+    const auto p = study.to_point(c);
+    t.add_row({p.kernel, p.variant, p.machine, perf::fmt(p.bytes_moved / 1e9, 4),
+               perf::fmt(p.time_s * 1e3, 4),
+               perf::fmt(p.arch_bound_time_s() * 1e3, 4),
+               perf::fmt_pct(p.e_time()), perf::fmt_pct(p.e_dm())});
+  }
+  t.print(std::cout);
+
+  // CSV series for re-plotting Fig. 5.
+  std::printf(
+      "\n# CSV\nmachine,kernel,variant,gbytes_moved,time_ms,min_gbytes,"
+      "min_time_ms\n");
+  for (const auto& c : cases) {
+    const auto p = study.to_point(c);
+    std::printf("%s,%s,%s,%.4f,%.4f,%.4f,%.4f\n", p.machine.c_str(),
+                p.kernel.c_str(), p.variant.c_str(), p.bytes_moved / 1e9,
+                p.time_s * 1e3, p.min_bytes / 1e9, p.min_time_s() * 1e3);
+  }
+
+  std::printf(
+      "\nPaper's takeaways, checked against the table above:\n"
+      "  * baseline implementations sit far from both bounds (poor data\n"
+      "    locality);\n"
+      "  * optimized implementations sit near the application wall —\n"
+      "    near-minimal data movement on both architectures;\n"
+      "  * the Jacobian moves an order of magnitude more data than the\n"
+      "    Residual (17x on the SFad-typed arrays; the double-typed\n"
+      "    wBF/wGradBF arrays compress the total ratio — see "
+      "EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension (the paper's stated future work): "explore portability on INTEL
+// GPUs" and "use our performance portability model to evaluate several
+// kernels".  Adds a modeled Intel PVC stack to the platform set and
+// recomputes the time-oriented efficiencies and Φ over three vendors.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "perf/portability_metric.hpp"
+#include "perf/report.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::study_config(argc, argv);
+  const core::OptimizationStudy study(cfg);
+  const auto pvc = gpusim::make_pvc_stack();
+
+  std::printf(
+      "FUTURE-WORK EXTENSION — three-vendor portability (A100, MI250X GCD, "
+      "Intel PVC stack)\n(%zu cells)\n\n",
+      cfg.n_cells);
+
+  std::vector<gpusim::GpuArch> platforms = {study.a100(), study.mi250x_gcd(),
+                                            pvc};
+
+  perf::Table t({"Kernel", "Variant", "Machine", "time (ms)", "GB moved",
+                 "e_time", "e_DM"});
+  struct PhiAcc {
+    std::vector<double> et, edm;
+  };
+
+  for (const auto kind :
+       {core::KernelKind::kJacobian, core::KernelKind::kResidual}) {
+    for (const auto v : {physics::KernelVariant::kBaseline,
+                         physics::KernelVariant::kOptimized}) {
+      PhiAcc acc;
+      for (const auto& arch : platforms) {
+        const pk::LaunchConfig launch =
+            (arch.has_accum_vgprs && v == physics::KernelVariant::kOptimized)
+                ? pk::LaunchConfig{128, 2}
+                : pk::LaunchConfig{};
+        const auto sim = study.simulate(arch, kind, v, launch);
+        acc.et.push_back(sim.e_time());
+        acc.edm.push_back(sim.e_dm());
+        t.add_row({core::to_string(kind), physics::to_string(v), arch.name,
+                   perf::fmt(sim.time_s * 1e3, 4),
+                   perf::fmt(sim.hbm_bytes / 1e9, 4),
+                   perf::fmt_pct(sim.e_time()), perf::fmt_pct(sim.e_dm())});
+      }
+      std::printf("Phi(%s, %s) over 3 vendors: e_time %s, e_DM %s\n",
+                  core::to_string(kind), physics::to_string(v),
+                  perf::fmt_pct(perf::phi(acc.et)).c_str(),
+                  perf::fmt_pct(perf::phi(acc.edm)).c_str());
+    }
+  }
+  std::printf("\n");
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: PVC's 204 MB L2 absorbs even the baseline's global\n"
+      "read-modify-write accumulators, so its e_DM stays high — the\n"
+      "optimizations there pay off mostly through the instruction stream.\n"
+      "The data-locality optimizations remain portable: optimized e_DM is\n"
+      "near the application bound on all three vendors.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension (the paper's future work): modeled weak scaling of the
+// optimized Jacobian kernel across multi-GPU Perlmutter/Frontier-like
+// systems.  Each GPU keeps the paper's per-GPU workset (~256K cells); the
+// partition grows with the GPU count and the halo exchange of velocity
+// dofs is modeled over the Slingshot fabric.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpusim/multi_gpu.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "mesh/partition.hpp"
+#include "perf/report.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::study_config(argc, argv);
+  const core::OptimizationStudy study(cfg);
+
+  std::printf(
+      "WEAK-SCALING EXTENSION — optimized Jacobian, %zu cells per GPU,\n"
+      "20-layer columns, halo = ghost velocity columns over Slingshot-11\n\n",
+      cfg.n_cells);
+
+  // Per-GPU kernel times (fixed per-GPU work by construction).
+  const gpusim::NetworkModel net;
+  const std::size_t levels = 21;
+
+  perf::Table t({"Machine", "GPUs", "mesh (km)", "halo cols/rank",
+                 "kernel (ms)", "halo (ms)", "total (ms)", "efficiency",
+                 "imbalance"});
+
+  for (const auto* arch_ptr : {&study.a100(), &study.mi250x_gcd()}) {
+    const auto& arch = *arch_ptr;
+    const pk::LaunchConfig launch = arch.has_accum_vgprs
+                                        ? pk::LaunchConfig{128, 2}
+                                        : pk::LaunchConfig{};
+    const auto sim = study.simulate(arch, core::KernelKind::kJacobian,
+                                    physics::KernelVariant::kOptimized,
+                                    launch);
+    double single = 0.0;
+    for (const int n_gpus : {1, 4, 16, 64}) {
+      // Weak scaling: total cells = n_gpus x per-GPU cells.  Refine the
+      // mesh so each GPU keeps its workset (dx ~ 1/sqrt(n_gpus)).
+      const double dx_km = 16.0 / std::sqrt(static_cast<double>(n_gpus));
+      mesh::IceGeometry geom;
+      const mesh::QuadGrid grid(geom, {dx_km * 1e3});
+      const int side = static_cast<int>(std::lround(std::sqrt(n_gpus)));
+      const auto part = side * side == n_gpus
+                            ? mesh::partition_blocks(grid, side, side)
+                            : mesh::partition_strips(grid, n_gpus);
+      const double bytes =
+          gpusim::halo_bytes(part.max_halo_columns(), levels);
+      const auto point = gpusim::scaling_point(
+          n_gpus, sim.time_s, bytes, net,
+          n_gpus == 1 ? sim.time_s : single);
+      if (n_gpus == 1) single = point.total_time_s;
+      t.add_row({arch.name, std::to_string(n_gpus), perf::fmt(dx_km, 3),
+                 std::to_string(part.max_halo_columns()),
+                 perf::fmt(point.kernel_time_s * 1e3, 4),
+                 perf::fmt(point.halo_time_s * 1e3, 4),
+                 perf::fmt(point.total_time_s * 1e3, 4),
+                 perf::fmt_pct(n_gpus == 1 ? 1.0 : point.efficiency),
+                 perf::fmt(part.imbalance(), 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: halo exchange is microseconds against milliseconds of\n"
+      "kernel work, so the kernel-level optimizations (not communication)\n"
+      "govern weak scaling at the paper's per-GPU workset — supporting the\n"
+      "paper's single-node focus.  Imbalance grows mildly with the part\n"
+      "count as blocks straddle the lobed margin.\n");
+  return 0;
+}

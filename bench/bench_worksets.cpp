@@ -1,0 +1,76 @@
+// Extension: workset-size sweep on the GPU model.  Albany assembles in
+// worksets to bound device memory; each workset is one kernel launch, so
+// shrinking the workset trades memory for launch-latency overhead and lost
+// bandwidth-saturating concurrency.  This bench models the optimized
+// Jacobian's total time per assembly as a function of workset size.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace mali;
+
+int main(int argc, char** argv) {
+  const auto base_cfg = bench::study_config(argc, argv);
+  const std::size_t total_cells = base_cfg.n_cells;
+
+  std::printf(
+      "EXTENSION — workset size vs modeled assembly time (optimized "
+      "Jacobian, %zu total cells)\n\n",
+      total_cells);
+
+  perf::Table t({"Machine", "workset", "launches", "per-launch (ms)",
+                 "total (ms)", "overhead vs single", "SFad fields (MB)"});
+
+  const std::size_t ws_sizes[] = {2048, 8192, 32768, 131072, total_cells};
+  for (const auto* arch_sel : {"a100", "gcd"}) {
+    // Reference: one launch covering everything.
+    double single_total = 0.0;
+    {
+      core::StudyConfig cfg = base_cfg;
+      const core::OptimizationStudy study(cfg);
+      const auto& arch = std::string(arch_sel) == "a100" ? study.a100()
+                                                         : study.mi250x_gcd();
+      const pk::LaunchConfig launch = arch.has_accum_vgprs
+                                          ? pk::LaunchConfig{128, 2}
+                                          : pk::LaunchConfig{};
+      single_total = study
+                         .simulate(arch, core::KernelKind::kJacobian,
+                                   physics::KernelVariant::kOptimized, launch)
+                         .time_s;
+    }
+    for (const std::size_t ws : ws_sizes) {
+      core::StudyConfig cfg = base_cfg;
+      cfg.n_cells = ws;
+      const core::OptimizationStudy study(cfg);
+      const auto& arch = std::string(arch_sel) == "a100" ? study.a100()
+                                                         : study.mi250x_gcd();
+      const pk::LaunchConfig launch = arch.has_accum_vgprs
+                                          ? pk::LaunchConfig{128, 2}
+                                          : pk::LaunchConfig{};
+      const auto sim = study.simulate(arch, core::KernelKind::kJacobian,
+                                      physics::KernelVariant::kOptimized,
+                                      launch);
+      const std::size_t launches = (total_cells + ws - 1) / ws;
+      const double total = sim.time_s * static_cast<double>(launches);
+      // SFad field memory: the five ScalarT arrays at 17 doubles each.
+      const double field_mb =
+          static_cast<double>(ws) * (16 + 48 + 8 + 16 + 16) * 17.0 * 8.0 / 1e6;
+      t.add_row({arch.name, std::to_string(ws), std::to_string(launches),
+                 perf::fmt(sim.time_s * 1e3, 4), perf::fmt(total * 1e3, 4),
+                 perf::fmt_pct(total / single_total - 1.0),
+                 perf::fmt(field_mb, 4)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: worksets of ~32K cells already keep the launch overhead\n"
+      "in the low percents while cutting the Jacobian's SFad field memory\n"
+      "by an order of magnitude — the trade Albany's workset design makes.\n"
+      "(Single-workset rows print 0%% overhead by construction; smaller\n"
+      "worksets pay kernel latency plus reduced tail concurrency.)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The paper's §III-B numerical test on the synthetic Antarctica: a
+// high-resolution mesh extruded by 20 layers, a nonlinear solve of 8 Newton
+// steps with the linear systems solved by GMRES (tol 1e-6) preconditioned
+// with the semicoarsening AMG, and the mean velocity checked against a
+// stored reference at rtol 1e-5.  Optionally writes the surface velocity
+// field as CSV plus a rendered speed map (the Fig. 1 analog).
+//
+//   ./examples/antarctica [dx_km] [layers] [output.csv] [speedmap.ppm] [out.vtk]
+//
+// The paper's resolution is 16 km / 20 layers (~256K hexahedra) — feasible
+// here but slow on one CPU core; the default below is 64 km / 10 layers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "io/field_writer.hpp"
+#include "io/vtk_writer.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "portability/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mali;
+
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = (argc > 1 ? std::atof(argv[1]) : 64.0) * 1.0e3;
+  cfg.n_layers = argc > 2 ? std::atoi(argv[2]) : 10;
+  const char* out_csv = argc > 3 ? argv[3] : nullptr;
+  const char* out_ppm = argc > 4 ? argv[4] : nullptr;
+  const char* out_vtk = argc > 5 ? argv[5] : nullptr;
+
+  std::printf("Antarctica test: dx = %.0f km, %d layers\n", cfg.dx_m / 1e3,
+              cfg.n_layers);
+
+  pk::Timer timer;
+  physics::StokesFOProblem problem(cfg);
+  std::printf("mesh: %zu hexahedra (paper: ~256K at 16 km/20 layers), "
+              "%zu dofs; setup %.2f s\n",
+              problem.mesh().n_cells(), problem.n_dofs(), timer.seconds());
+
+  linalg::SemicoarseningAmg amg(problem.extrusion_info());
+  nonlinear::NewtonConfig ncfg;
+  ncfg.max_iters = 8;          // the paper's nonlinear step count
+  ncfg.gmres.rel_tol = 1.0e-6; // the paper's linear tolerance
+  ncfg.verbose = true;
+  nonlinear::NewtonSolver newton(ncfg);
+
+  // Start from the shallow-ice analytic guess (a realistic state, as a
+  // production run restarting from a previous time step would have).
+  auto U = problem.analytic_initial_guess();
+  timer.reset();
+  const auto result = newton.solve(problem, amg, U);
+  const double mean = problem.mean_velocity(U);
+  std::printf(
+      "solve: %.2f s, %d Newton steps, %zu GMRES iterations total, "
+      "||F||: %.3e -> %.3e\n",
+      timer.seconds(), result.iterations, result.total_linear_iters,
+      result.initial_norm, result.residual_norm);
+  std::printf("mean velocity: %.6f m/yr\n", mean);
+
+  // The paper's acceptance criterion at the default configuration.
+  if (cfg.dx_m == 64.0e3 && cfg.n_layers == 10) {
+    constexpr double kReference = 251.752550;  // frozen reference (m/yr)
+    if (kReference > 0.0) {
+      const double rel = std::abs(mean / kReference - 1.0);
+      std::printf("reference check: rel err %.2e (tol 1e-5): %s\n", rel,
+                  rel < 1e-5 ? "PASS" : "FAIL");
+    }
+  }
+
+  if (out_csv != nullptr) {
+    std::ofstream os(out_csv);
+    os << "x_km,y_km,thickness_m,surface_m,u_m_per_yr,v_m_per_yr,speed\n";
+    const auto& msh = problem.mesh();
+    for (std::size_t col = 0; col < msh.base().n_nodes(); ++col) {
+      const std::size_t n = msh.node_id(col, msh.levels() - 1);  // surface
+      const double x = msh.node_x(n), y = msh.node_y(n);
+      const double u = U[2 * n], v = U[2 * n + 1];
+      os << x / 1e3 << ',' << y / 1e3 << ','
+         << problem.geometry().thickness(x, y) << ','
+         << problem.geometry().surface(x, y) << ',' << u << ',' << v << ','
+         << std::hypot(u, v) << '\n';
+    }
+    std::printf("surface velocity field written to %s (%zu columns)\n",
+                out_csv, msh.base().n_nodes());
+  }
+
+  if (out_ppm != nullptr) {
+    // Cell-centred surface speed, rendered log-scaled as in Fig. 1.
+    const auto& msh = problem.mesh();
+    const auto& base = msh.base();
+    std::vector<double> speed(base.n_cells(), 0.0);
+    for (std::size_t c = 0; c < base.n_cells(); ++c) {
+      for (int k = 0; k < 4; ++k) {
+        const std::size_t n =
+            msh.node_id(base.cell_node(c, k), msh.levels() - 1);
+        speed[c] += 0.25 * std::hypot(U[2 * n], U[2 * n + 1]);
+      }
+    }
+    io::HeatmapConfig hm;
+    hm.pixels_per_cell = 6;
+    hm.log_scale = true;  // ice-speed maps span orders of magnitude
+    io::write_heatmap_ppm(out_ppm, base, speed, hm);
+    std::printf("surface speed map written to %s\n", out_ppm);
+  }
+
+  if (out_vtk != nullptr) {
+    std::vector<double> speed(problem.mesh().n_nodes());
+    for (std::size_t n = 0; n < speed.size(); ++n) {
+      speed[n] = std::hypot(U[2 * n], U[2 * n + 1]);
+    }
+    io::write_vtk(out_vtk, problem.mesh(), {{"speed", &speed}},
+                  {{"velocity", &U}});
+    std::printf("ParaView snapshot written to %s\n", out_vtk);
+  }
+  return result.residual_norm < result.initial_norm ? 0 : 1;
+}

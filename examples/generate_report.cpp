@@ -1,0 +1,25 @@
+// Generates the full markdown optimization-study report — the automated
+// counterpart of EXPERIMENTS.md, for re-running the paper's evaluation
+// after changing a kernel or a model parameter.
+//
+//   ./examples/generate_report [out.md] [n_cells]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mali;
+
+  const char* path = argc > 1 ? argv[1] : "mali_report.md";
+  core::StudyConfig cfg;
+  if (argc > 2) cfg.n_cells = static_cast<std::size_t>(std::atoll(argv[2]));
+  cfg.sim.scale = 0.25;
+
+  const core::OptimizationStudy study(cfg);
+  const auto written = core::write_markdown_report(study, path);
+  std::printf("study report written to %s (%zu-cell workset)\n",
+              written.c_str(), cfg.n_cells);
+  return 0;
+}

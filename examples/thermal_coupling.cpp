@@ -1,0 +1,67 @@
+// Thermo-mechanical coupling: a Picard loop between the first-order Stokes
+// velocity solver and the mesh-wide thermal model.
+//
+//   1. Solve the velocity with the current flow-rate factor A(T).
+//   2. Derive per-column strain heating from the solved vertical shear.
+//   3. Solve every column's steady temperature (diffusion + heating,
+//      geothermal flux at the bed, geometry surface temperature).
+//   4. Update A(T) via Paterson–Budd and repeat.
+//
+// Warm ice deforms faster (A grows with T), so the coupled state flows
+// faster than the cold initial guess — the effect this example quantifies.
+//
+//   ./examples/thermal_coupling [dx_km] [layers] [picard_iters]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "linalg/semicoarsening_amg.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "physics/thermal_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mali;
+
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = (argc > 1 ? std::atof(argv[1]) : 150.0) * 1.0e3;
+  cfg.n_layers = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int picard_iters = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  std::printf("Thermo-mechanical coupling: dx = %.0f km, %d layers, %d "
+              "Picard iterations\n",
+              cfg.dx_m / 1e3, cfg.n_layers, picard_iters);
+
+  physics::StokesFOProblem problem(cfg);
+  physics::ThermalModel thermal(problem.mesh(), problem.geometry());
+  linalg::SemicoarseningAmg amg(problem.extrusion_info());
+  nonlinear::NewtonConfig ncfg;
+  ncfg.max_iters = 10;
+  nonlinear::NewtonSolver newton(ncfg);
+
+  std::vector<double> U(problem.n_dofs(), 0.0);
+  double prev_mean = 0.0;
+  for (int it = 0; it < picard_iters; ++it) {
+    problem.set_temperature_field([&](double x, double y, double sigma) {
+      return thermal.temperature_at(x, y, sigma);
+    });
+    const auto r = newton.solve(problem, amg, U);
+    const double mean = problem.mean_velocity(U);
+    std::printf("picard %d: velocity solved (||F|| %.2e -> %.2e), mean "
+                "%.3f m/yr (change %+.3f)\n",
+                it + 1, r.initial_norm, r.residual_norm, mean,
+                mean - prev_mean);
+    prev_mean = mean;
+
+    const auto heating =
+        thermal.strain_heating(U, problem.config().constants);
+    thermal.solve_steady(heating);
+    std::printf("          temperature solved over %zu columns; warmest bed "
+                "%.2f K\n",
+                thermal.n_columns(), thermal.max_bed_temperature());
+  }
+
+  std::printf("coupled mean velocity: %.3f m/yr\n", prev_mean);
+  return 0;
+}

@@ -1,0 +1,24 @@
+# Gnuplot script for the Fig. 3 rooflines.
+# Usage:
+#   ./build/bench/bench_fig3_roofline | awk '/# CSV/{f=1;next} f' > fig3.csv
+#   gnuplot -e "csv='fig3.csv'" scripts/plot_fig3.gp
+set datafile separator ','
+set logscale xy
+set xlabel 'Arithmetic intensity (FLOP/byte)'
+set ylabel 'GFLOP/s'
+set key left top
+set grid
+set terminal pngcairo size 1000,600
+set output 'fig3_roofline.png'
+# Roofline ceilings (peak BW diagonals and FP64 ceilings).
+a100_bw = 1555.0   # GB/s -> GFLOP/s per (FLOP/byte)
+a100_fp = 9700.0
+gcd_bw  = 1600.0
+gcd_fp  = 23900.0
+roof_a100(x) = (x*a100_bw < a100_fp) ? x*a100_bw : a100_fp
+roof_gcd(x)  = (x*gcd_bw  < gcd_fp)  ? x*gcd_bw  : gcd_fp
+plot [0.05:100] \
+  roof_a100(x) w l lw 2 lc rgb '#76b900' t 'A100 roofline', \
+  roof_gcd(x)  w l lw 2 lc rgb '#ed1c24' t 'MI250X GCD roofline', \
+  csv u 4:($1 eq 'NVIDIA A100' ? $5 : 1/0) w p pt 7 ps 1.5 lc rgb '#2a6099' t 'A100 kernels', \
+  csv u 4:($1 ne 'NVIDIA A100' ? $5 : 1/0) w p pt 5 ps 1.5 lc rgb '#c9211e' t 'GCD kernels'

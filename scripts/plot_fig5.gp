@@ -1,0 +1,18 @@
+# Gnuplot script for the Fig. 5 time-oriented model.
+# Usage:
+#   ./build/bench/bench_fig5_time_oriented | awk '/# CSV/{f=1;next} f' > fig5.csv
+#   gnuplot -e "csv='fig5.csv'" scripts/plot_fig5.gp
+set datafile separator ','
+set logscale xy
+set xlabel 'GPU HBM data movement (GBytes)'
+set ylabel 'Time per invocation (ms)'
+set key left top
+set grid
+set terminal pngcairo size 1000,600
+set output 'fig5_time_oriented.png'
+# Architectural bound: t(ms) = bytes(GB) / BW(GB/ms); both parts ~1.6 TB/s.
+bw = 1.58  # GB/ms (common lower bound, as in the paper's Fig. 5)
+plot [0.05:50] \
+  x/bw w l lw 2 lc rgb '#888888' t 'architectural bound (peak HBM)', \
+  csv u 4:5 w p pt 7 ps 1.5 lc variable t 'kernels (baseline & optimized)', \
+  csv u 6:7 w p pt 4 ps 2 lc rgb '#000000' t 'application bound (min bytes)'

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds, tests, and regenerates every paper table/figure plus the CSV
+# blocks the plot scripts consume.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build
+mkdir -p out
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" | tee "out/$name.txt"
+done
+awk '/# CSV/{f=1;next} f' out/bench_fig3_roofline.txt > out/fig3.csv || true
+awk '/# CSV/{f=1;next} f' out/bench_fig5_time_oriented.txt > out/fig5.csv || true
+echo "outputs in ./out"

@@ -1,0 +1,113 @@
+#pragma once
+// mali::ad::DFad — dynamic-size forward-mode AD, the flexible (but slower)
+// Sacado counterpart to SFad.  Used where the derivative count is not known
+// at compile time; MiniMALI uses it in tests to cross-check SFad and to
+// demonstrate the cost the paper's SFad choice avoids.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::ad {
+
+template <class T>
+class DFad {
+ public:
+  using value_type = T;
+
+  DFad() : val_(T(0)) {}
+  DFad(const T& v) : val_(v) {}  // NOLINT(runtime/explicit)
+
+  /// Independent variable among n, seeded along direction i.
+  DFad(int n, int i, const T& v) : val_(v), dx_(static_cast<std::size_t>(n), T(0)) {
+    dx_[static_cast<std::size_t>(i)] = T(1);
+  }
+
+  [[nodiscard]] const T& val() const noexcept { return val_; }
+  [[nodiscard]] T& val() noexcept { return val_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(dx_.size()); }
+  [[nodiscard]] T dx(int i) const {
+    return dx_.empty() ? T(0) : dx_[static_cast<std::size_t>(i)];
+  }
+
+  DFad& operator=(const T& v) {
+    val_ = v;
+    dx_.clear();
+    return *this;
+  }
+
+  DFad& operator+=(const DFad& o) { return *this = *this + o; }
+  DFad& operator-=(const DFad& o) { return *this = *this - o; }
+  DFad& operator*=(const DFad& o) { return *this = *this * o; }
+  DFad& operator/=(const DFad& o) { return *this = *this / o; }
+
+  friend DFad operator-(const DFad& a) {
+    DFad r(-a.val_);
+    r.dx_.resize(a.dx_.size());
+    for (std::size_t i = 0; i < a.dx_.size(); ++i) r.dx_[i] = -a.dx_[i];
+    return r;
+  }
+
+  friend DFad operator+(const DFad& a, const DFad& b) {
+    return combine(a, b, a.val_ + b.val_, T(1), T(1));
+  }
+  friend DFad operator-(const DFad& a, const DFad& b) {
+    return combine(a, b, a.val_ - b.val_, T(1), T(-1));
+  }
+  friend DFad operator*(const DFad& a, const DFad& b) {
+    return combine(a, b, a.val_ * b.val_, b.val_, a.val_);
+  }
+  friend DFad operator/(const DFad& a, const DFad& b) {
+    const T inv = T(1) / b.val_;
+    return combine(a, b, a.val_ * inv, inv, -a.val_ * inv * inv);
+  }
+
+  friend bool operator<(const DFad& a, const DFad& b) { return a.val_ < b.val_; }
+  friend bool operator>(const DFad& a, const DFad& b) { return a.val_ > b.val_; }
+  friend bool operator<=(const DFad& a, const DFad& b) { return a.val_ <= b.val_; }
+  friend bool operator>=(const DFad& a, const DFad& b) { return a.val_ >= b.val_; }
+
+  friend DFad sqrt(const DFad& a) {
+    using std::sqrt;
+    const T rv = sqrt(a.val_);
+    return unary(a, rv, T(0.5) / rv);
+  }
+  friend DFad exp(const DFad& a) {
+    using std::exp;
+    const T rv = exp(a.val_);
+    return unary(a, rv, rv);
+  }
+  friend DFad log(const DFad& a) {
+    using std::log;
+    return unary(a, log(a.val_), T(1) / a.val_);
+  }
+  friend DFad pow(const DFad& a, const T& e) {
+    using std::pow;
+    return unary(a, pow(a.val_, e), e * pow(a.val_, e - T(1)));
+  }
+  friend DFad fabs(const DFad& a) { return a.val_ < T(0) ? -a : a; }
+
+ private:
+  /// r = value, dr = ca*da + cb*db (sizes may differ; missing derivs are 0).
+  static DFad combine(const DFad& a, const DFad& b, const T& value, const T& ca,
+                      const T& cb) {
+    DFad r(value);
+    r.dx_.resize(std::max(a.dx_.size(), b.dx_.size()), T(0));
+    for (std::size_t i = 0; i < a.dx_.size(); ++i) r.dx_[i] += ca * a.dx_[i];
+    for (std::size_t i = 0; i < b.dx_.size(); ++i) r.dx_[i] += cb * b.dx_[i];
+    return r;
+  }
+  static DFad unary(const DFad& a, const T& value, const T& scale) {
+    DFad r(value);
+    r.dx_.resize(a.dx_.size());
+    for (std::size_t i = 0; i < a.dx_.size(); ++i) r.dx_[i] = scale * a.dx_[i];
+    return r;
+  }
+
+  T val_;
+  std::vector<T> dx_;
+};
+
+}  // namespace mali::ad

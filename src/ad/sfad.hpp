@@ -1,0 +1,243 @@
+#pragma once
+// mali::ad::SFad — static-size forward-mode automatic differentiation,
+// modeled on Sacado's SFad, the "most efficient but least flexible" AD data
+// structure the paper uses for the Jacobian kernel.  The derivative count N
+// is fixed at compile time: for the paper's hexahedral elements, N = 16
+// (8 nodes × 2 velocity components).
+//
+// All arithmetic operators are hidden friends (non-template functions per
+// instantiation) so that proxy types with an implicit conversion to SFad —
+// the gpusim tracing references — participate transparently.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+#include "portability/common.hpp"
+
+namespace mali::ad {
+
+template <class T, int N>
+class SFad {
+  static_assert(N >= 1, "derivative count must be positive");
+
+ public:
+  using value_type = T;
+  static constexpr int num_deriv = N;
+
+  /// Zero value, zero derivatives.
+  constexpr SFad() : val_(T(0)), dx_{} {}
+
+  /// Constant (passive) value: derivatives are zero.
+  constexpr SFad(const T& v) : val_(v), dx_{} {}  // NOLINT(runtime/explicit)
+
+  /// Independent variable: value v, seeded with d/d(x_i) = 1.
+  constexpr SFad(const T& v, int i) : val_(v), dx_{} { dx_[i] = T(1); }
+
+  [[nodiscard]] constexpr const T& val() const noexcept { return val_; }
+  [[nodiscard]] constexpr T& val() noexcept { return val_; }
+  [[nodiscard]] constexpr const T& dx(int i) const noexcept { return dx_[i]; }
+  [[nodiscard]] constexpr T& fastAccessDx(int i) noexcept { return dx_[i]; }
+  [[nodiscard]] constexpr const T& fastAccessDx(int i) const noexcept {
+    return dx_[i];
+  }
+  [[nodiscard]] static constexpr int size() noexcept { return N; }
+
+  /// Resets to an independent variable seeded along direction i.
+  constexpr void seed(const T& v, int i) noexcept {
+    val_ = v;
+    dx_.fill(T(0));
+    dx_[i] = T(1);
+  }
+
+  constexpr SFad& operator=(const T& v) noexcept {
+    val_ = v;
+    dx_.fill(T(0));
+    return *this;
+  }
+
+  constexpr SFad& operator+=(const SFad& o) noexcept {
+    val_ += o.val_;
+    for (int i = 0; i < N; ++i) dx_[i] += o.dx_[i];
+    return *this;
+  }
+  constexpr SFad& operator-=(const SFad& o) noexcept {
+    val_ -= o.val_;
+    for (int i = 0; i < N; ++i) dx_[i] -= o.dx_[i];
+    return *this;
+  }
+  constexpr SFad& operator*=(const SFad& o) noexcept {
+    for (int i = 0; i < N; ++i) dx_[i] = dx_[i] * o.val_ + val_ * o.dx_[i];
+    val_ *= o.val_;
+    return *this;
+  }
+  constexpr SFad& operator/=(const SFad& o) noexcept {
+    const T inv = T(1) / o.val_;
+    for (int i = 0; i < N; ++i) dx_[i] = (dx_[i] - val_ * inv * o.dx_[i]) * inv;
+    val_ *= inv;
+    return *this;
+  }
+  constexpr SFad& operator+=(const T& v) noexcept {
+    val_ += v;
+    return *this;
+  }
+  constexpr SFad& operator-=(const T& v) noexcept {
+    val_ -= v;
+    return *this;
+  }
+  constexpr SFad& operator*=(const T& v) noexcept {
+    val_ *= v;
+    for (int i = 0; i < N; ++i) dx_[i] *= v;
+    return *this;
+  }
+  constexpr SFad& operator/=(const T& v) noexcept {
+    const T inv = T(1) / v;
+    val_ *= inv;
+    for (int i = 0; i < N; ++i) dx_[i] *= inv;
+    return *this;
+  }
+
+  // ---- arithmetic (hidden friends) ----
+
+  friend constexpr SFad operator-(const SFad& a) {
+    SFad r;
+    r.val_ = -a.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = -a.dx_[i];
+    return r;
+  }
+  friend constexpr SFad operator+(const SFad& a) { return a; }
+
+  friend constexpr SFad operator+(const SFad& a, const SFad& b) {
+    SFad r;
+    r.val_ = a.val_ + b.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = a.dx_[i] + b.dx_[i];
+    return r;
+  }
+  friend constexpr SFad operator-(const SFad& a, const SFad& b) {
+    SFad r;
+    r.val_ = a.val_ - b.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = a.dx_[i] - b.dx_[i];
+    return r;
+  }
+  friend constexpr SFad operator*(const SFad& a, const SFad& b) {
+    SFad r;
+    r.val_ = a.val_ * b.val_;
+    for (int i = 0; i < N; ++i)
+      r.dx_[i] = a.dx_[i] * b.val_ + a.val_ * b.dx_[i];
+    return r;
+  }
+  friend constexpr SFad operator/(const SFad& a, const SFad& b) {
+    SFad r;
+    const T inv = T(1) / b.val_;
+    r.val_ = a.val_ * inv;
+    for (int i = 0; i < N; ++i)
+      r.dx_[i] = (a.dx_[i] - r.val_ * b.dx_[i]) * inv;
+    return r;
+  }
+
+  friend constexpr SFad operator+(const SFad& a, const T& b) {
+    SFad r = a;
+    r.val_ += b;
+    return r;
+  }
+  friend constexpr SFad operator+(const T& a, const SFad& b) { return b + a; }
+  friend constexpr SFad operator-(const SFad& a, const T& b) {
+    SFad r = a;
+    r.val_ -= b;
+    return r;
+  }
+  friend constexpr SFad operator-(const T& a, const SFad& b) {
+    SFad r;
+    r.val_ = a - b.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = -b.dx_[i];
+    return r;
+  }
+  friend constexpr SFad operator*(const SFad& a, const T& b) {
+    SFad r;
+    r.val_ = a.val_ * b;
+    for (int i = 0; i < N; ++i) r.dx_[i] = a.dx_[i] * b;
+    return r;
+  }
+  friend constexpr SFad operator*(const T& a, const SFad& b) { return b * a; }
+  friend constexpr SFad operator/(const SFad& a, const T& b) {
+    const T inv = T(1) / b;
+    return a * inv;
+  }
+  friend constexpr SFad operator/(const T& a, const SFad& b) {
+    SFad r;
+    const T inv = T(1) / b.val_;
+    r.val_ = a * inv;
+    for (int i = 0; i < N; ++i) r.dx_[i] = -r.val_ * inv * b.dx_[i];
+    return r;
+  }
+
+  // ---- comparisons (on values, as in Sacado) ----
+
+  friend constexpr bool operator<(const SFad& a, const SFad& b) {
+    return a.val_ < b.val_;
+  }
+  friend constexpr bool operator>(const SFad& a, const SFad& b) {
+    return a.val_ > b.val_;
+  }
+  friend constexpr bool operator<=(const SFad& a, const SFad& b) {
+    return a.val_ <= b.val_;
+  }
+  friend constexpr bool operator>=(const SFad& a, const SFad& b) {
+    return a.val_ >= b.val_;
+  }
+  friend constexpr bool operator==(const SFad& a, const SFad& b) {
+    return a.val_ == b.val_;
+  }
+  friend constexpr bool operator!=(const SFad& a, const SFad& b) {
+    return a.val_ != b.val_;
+  }
+
+  // ---- math functions (hidden friends so tracing proxies convert) ----
+
+  friend SFad sqrt(const SFad& a) {
+    SFad r;
+    using std::sqrt;
+    r.val_ = sqrt(a.val_);
+    const T scale = T(0.5) / r.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = scale * a.dx_[i];
+    return r;
+  }
+  friend SFad exp(const SFad& a) {
+    SFad r;
+    using std::exp;
+    r.val_ = exp(a.val_);
+    for (int i = 0; i < N; ++i) r.dx_[i] = r.val_ * a.dx_[i];
+    return r;
+  }
+  friend SFad log(const SFad& a) {
+    SFad r;
+    using std::log;
+    r.val_ = log(a.val_);
+    const T inv = T(1) / a.val_;
+    for (int i = 0; i < N; ++i) r.dx_[i] = inv * a.dx_[i];
+    return r;
+  }
+  friend SFad pow(const SFad& a, const T& e) {
+    SFad r;
+    using std::pow;
+    r.val_ = pow(a.val_, e);
+    const T scale = e * pow(a.val_, e - T(1));
+    for (int i = 0; i < N; ++i) r.dx_[i] = scale * a.dx_[i];
+    return r;
+  }
+  friend SFad fabs(const SFad& a) { return a.val_ < T(0) ? -a : a; }
+  friend SFad abs(const SFad& a) { return fabs(a); }
+
+  friend std::ostream& operator<<(std::ostream& os, const SFad& a) {
+    os << a.val_ << " [";
+    for (int i = 0; i < N; ++i) os << (i ? " " : "") << a.dx_[i];
+    return os << "]";
+  }
+
+ private:
+  T val_;
+  std::array<T, N> dx_;
+};
+
+}  // namespace mali::ad

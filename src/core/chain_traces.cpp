@@ -1,0 +1,170 @@
+#include "core/chain_traces.hpp"
+
+#include "ad/sfad.hpp"
+#include "gpusim/trace_view.hpp"
+#include "physics/eval_types.hpp"
+#include "physics/evaluators.hpp"
+#include "physics/fused_chain.hpp"
+
+namespace mali::core {
+
+namespace {
+
+constexpr int kN = 8;
+constexpr int kQ = 8;
+
+/// Common streaming-kernel model facts.
+gpusim::KernelModelInfo streaming_info(std::string name, double flops) {
+  gpusim::KernelModelInfo info;
+  info.name = std::move(name);
+  info.flops_per_cell = flops;
+  info.loop_nests = 1;
+  info.compile_time_bounds = false;
+  info.mem_pipeline_efficiency = 0.95;
+  info.cdna2_candidates = {{96, 0, 0}};
+  info.nvidia_candidates = {{128, 0, 0}};
+  info.default_block_size_cdna2 = 256;
+  return info;
+}
+
+template <class ScalarT>
+std::vector<ChainStage> record_stages_impl(KernelKind kind,
+                                           std::size_t MC) {
+  std::vector<ChainStage> stages;
+  const int n_deriv = ad::is_fad_v<ScalarT> ? 2 * kN : 0;
+  const double w_add = n_deriv > 0 ? 1.0 + n_deriv : 1.0;
+  const double w_muls = n_deriv > 0 ? 1.0 + n_deriv : 1.0;
+
+  // ---- stage 1: VelocityGradient ----
+  {
+    ChainStage st;
+    st.name = "VelocityGradient";
+    pk::View<ScalarT, 3> UNodal("UNodal", 2, kN, 2);
+    pk::View<double, 4> gradBF("gradBF", 2, kN, kQ, 3);
+    pk::View<ScalarT, 4> Ugrad("Ugrad", 2, kQ, 2, 3);
+    physics::VelocityGradient<ScalarT, gpusim::TraceView> k;
+    k.UNodal = {UNodal, st.trace, MC};
+    k.gradBF = {gradBF, st.trace, MC};
+    k.Ugrad = {Ugrad, st.trace, MC};
+    k.numNodes = kN;
+    k.numQPs = kQ;
+    k(0);
+    st.info = streaming_info("VelocityGradient",
+                             kQ * 2 * 3 * kN * (w_muls + w_add));
+    stages.push_back(std::move(st));
+  }
+
+  // ---- stage 2: ViscosityFO ----
+  {
+    ChainStage st;
+    st.name = "ViscosityFO";
+    pk::View<ScalarT, 4> Ugrad("Ugrad", 2, kQ, 2, 3);
+    pk::View<ScalarT, 2> mu("muLandIce", 2, kQ);
+    for (int q = 0; q < kQ; ++q) {
+      for (int c = 0; c < 2; ++c) {
+        for (int d = 0; d < 3; ++d) Ugrad(0, q, c, d) = ScalarT(1e-3);
+      }
+    }
+    physics::ViscosityFO<ScalarT, gpusim::TraceView> k;
+    k.Ugrad = {Ugrad, st.trace, MC};
+    k.muLandIce = {mu, st.trace, MC};
+    k.numQPs = kQ;
+    k(0);
+    // ~10 multiply-adds plus one pow (~25 scalar flops) per qp.
+    st.info = streaming_info("ViscosityFO",
+                             kQ * (10.0 * (w_muls + w_add) + 25.0 + 2 * n_deriv));
+    stages.push_back(std::move(st));
+  }
+
+  // ---- stage 3: BodyForce copy ----
+  {
+    ChainStage st;
+    st.name = "BodyForceFO";
+    pk::View<double, 3> fp("force_passive", 2, kQ, 2);
+    pk::View<ScalarT, 3> force("force", 2, kQ, 2);
+    physics::BodyForceFO<ScalarT, gpusim::TraceView> k;
+    k.force_passive = {fp, st.trace, MC};
+    k.force = {force, st.trace, MC};
+    k.numQPs = kQ;
+    k(0);
+    st.info = streaming_info("BodyForceFO", kQ * 2.0);
+    stages.push_back(std::move(st));
+  }
+
+  // ---- stage 4: the paper's optimized StokesFOResid ----
+  {
+    ChainStage st;
+    st.name = "StokesFOResid";
+    st.trace = record_kernel_trace(kind, physics::KernelVariant::kOptimized,
+                                   MC, kN, kQ);
+    st.info = kernel_model_info(kind, physics::KernelVariant::kOptimized,
+                                kN, kQ);
+    stages.push_back(std::move(st));
+  }
+  return stages;
+}
+
+template <class ScalarT>
+ChainStage record_fused_impl(KernelKind kind, std::size_t MC) {
+  ChainStage st;
+  st.name = "FusedStokesChain";
+
+  pk::View<ScalarT, 3> UNodal("UNodal", 2, kN, 2);
+  pk::View<double, 4> gradBF("gradBF", 2, kN, kQ, 3);
+  pk::View<double, 4> wGradBF("wGradBF", 2, kN, kQ, 3);
+  pk::View<double, 3> wBF("wBF", 2, kN, kQ);
+  pk::View<double, 3> fp("force_passive", 2, kQ, 2);
+  pk::View<ScalarT, 3> Residual("Residual", 2, kN, 2);
+  for (int n = 0; n < kN; ++n) {
+    UNodal(0, n, 0) = ScalarT(1.0);
+    UNodal(0, n, 1) = ScalarT(-0.5);
+  }
+
+  physics::FusedStokesChain<ScalarT, gpusim::TraceView> k;
+  k.UNodal = {UNodal, st.trace, MC};
+  k.gradBF = {gradBF, st.trace, MC};
+  k.wGradBF = {wGradBF, st.trace, MC};
+  k.wBF = {wBF, st.trace, MC};
+  k.force_passive = {fp, st.trace, MC};
+  k.Residual = {Residual, st.trace, MC};
+  k.numNodes = kN;
+  k.numQPs = kQ;
+  k(0);
+
+  // Model facts: flops of all stages combined; locals = res0/res1 + the
+  // gradient/viscosity temporaries, with correspondingly deeper spill floors.
+  const bool jac = kind == KernelKind::kJacobian;
+  const int n_deriv = jac ? 2 * kN : 0;
+  st.info = kernel_model_info(kind, physics::KernelVariant::kOptimized, kN, kQ);
+  st.info.name = std::string("Fused/") + to_string(kind);
+  st.info.flops_per_cell += kQ * 2 * 3 * kN * 2.0 * (1 + n_deriv) +
+                            kQ * (35.0 + 4.0 * n_deriv);
+  st.info.local_accum_bytes += (2 * kN + 6) * scalar_bytes(kind, kN);
+  if (jac) {
+    st.info.cdna2_candidates = {{128, 128, 320}, {128, 0, 960}};
+    st.info.nvidia_candidates = {{255, 0, 280}};
+  } else {
+    st.info.cdna2_candidates = {{128, 0, 16}, {96, 4, 48}};
+    st.info.nvidia_candidates = {{128, 0, 0}};
+  }
+  return st;
+}
+
+}  // namespace
+
+std::vector<ChainStage> record_chain_stages(KernelKind kind,
+                                            std::size_t modeled_cells) {
+  if (kind == KernelKind::kResidual) {
+    return record_stages_impl<double>(kind, modeled_cells);
+  }
+  return record_stages_impl<ad::SFad<double, 16>>(kind, modeled_cells);
+}
+
+ChainStage record_fused_chain(KernelKind kind, std::size_t modeled_cells) {
+  if (kind == KernelKind::kResidual) {
+    return record_fused_impl<double>(kind, modeled_cells);
+  }
+  return record_fused_impl<ad::SFad<double, 16>>(kind, modeled_cells);
+}
+
+}  // namespace mali::core

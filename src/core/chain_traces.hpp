@@ -1,0 +1,32 @@
+#pragma once
+// Evaluator-chain tracing: the data-movement view of the *whole* velocity
+// assembly pipeline (VelocityGradient → ViscosityFO → BodyForce →
+// StokesFOResid), plus a hypothetical fused mega-kernel in which the
+// intermediate fields (Ugrad, mu, force) never touch HBM — the natural
+// next optimization after the paper's in-kernel restructuring ("future
+// work will continue our efforts to optimize the velocity solver").
+
+#include <string>
+#include <vector>
+
+#include "core/kernel_traces.hpp"
+
+namespace mali::core {
+
+struct ChainStage {
+  std::string name;
+  gpusim::TraceRecorder trace;
+  gpusim::KernelModelInfo info;
+};
+
+/// The four unfused stages, traced on the actual evaluator sources.
+[[nodiscard]] std::vector<ChainStage> record_chain_stages(
+    KernelKind kind, std::size_t modeled_cells);
+
+/// The fused chain: one kernel reading {UNodal, gradBF, wGradBF, wBF,
+/// force_passive} and writing only Residual; Ugrad/mu/force live in
+/// registers.  Numerically identical to the staged pipeline (tested).
+[[nodiscard]] ChainStage record_fused_chain(KernelKind kind,
+                                            std::size_t modeled_cells);
+
+}  // namespace mali::core

@@ -1,0 +1,218 @@
+#include "core/kernel_traces.hpp"
+
+#include "ad/sfad.hpp"
+#include "portability/common.hpp"
+
+#include "gpusim/trace_view.hpp"
+#include "physics/eval_types.hpp"
+#include "physics/stokes_fo_resid.hpp"
+
+namespace mali::core {
+
+const char* to_string(KernelKind k) {
+  return k == KernelKind::kResidual ? "Residual" : "Jacobian";
+}
+
+std::size_t scalar_bytes(KernelKind k, int num_nodes) {
+  if (k == KernelKind::kResidual) return sizeof(double);
+  return sizeof(double) * (1 + 2 * static_cast<std::size_t>(num_nodes));
+}
+
+namespace {
+
+template <class ScalarT, int NumNodes>
+gpusim::TraceRecorder record_trace_impl(physics::KernelVariant variant,
+                                        std::size_t modeled_cells, int N,
+                                        int Q) {
+  // Tiny recording arrays; virtual sizes span the modeled workset so the
+  // replay addresses match full-size allocations.
+  constexpr std::size_t kRecCells = 2;
+  const auto C = kRecCells;
+  const auto MC = modeled_cells;
+
+  pk::View<ScalarT, 4> Ugrad("Ugrad", C, Q, 2, 3);
+  pk::View<ScalarT, 2> mu("muLandIce", C, Q);
+  pk::View<ScalarT, 3> force("force", C, Q, 2);
+  pk::View<double, 4> wGradBF("wGradBF", C, N, Q, 3);
+  pk::View<double, 3> wBF("wBF", C, N, Q);
+  pk::View<ScalarT, 3> Residual("Residual", C, N, 2);
+
+  // Representative values (the trace only depends on the access pattern,
+  // but keep the arithmetic well-defined).
+  for (int q = 0; q < Q; ++q) {
+    mu(0, q) = ScalarT(1.0);
+    for (int c2 = 0; c2 < 2; ++c2) {
+      force(0, q, c2) = ScalarT(0.5);
+      for (int d = 0; d < 3; ++d) Ugrad(0, q, c2, d) = ScalarT(0.25);
+    }
+    for (int k = 0; k < N; ++k) {
+      wBF(0, k, q) = 1.0;
+      for (int d = 0; d < 3; ++d) wGradBF(0, k, q, d) = 0.5;
+    }
+  }
+
+  gpusim::TraceRecorder rec;
+
+  physics::StokesFOResid<ScalarT, double, gpusim::TraceView> kernel;
+  kernel.Ugrad = {Ugrad, rec, MC};
+  kernel.muLandIce = {mu, rec, MC};
+  kernel.force = {force, rec, MC};
+  kernel.wGradBF = {wGradBF, rec, MC};
+  kernel.wBF = {wBF, rec, MC};
+  kernel.Residual = {Residual, rec, MC};
+  kernel.numNodes = static_cast<unsigned>(N);
+  kernel.numQPs = static_cast<unsigned>(Q);
+  kernel.cond = false;
+
+  using physics::KernelVariant;
+  switch (variant) {
+    case KernelVariant::kBaseline:
+      kernel(physics::LandIce_3D_Tag{}, 0);
+      break;
+    case KernelVariant::kOptimized:
+      kernel(physics::LandIce_3D_Opt_Tag<NumNodes>{}, 0);
+      break;
+    case KernelVariant::kLoopOptOnly:
+      kernel(physics::LandIce_3D_LoopOptOnly_Tag<NumNodes>{}, 0);
+      break;
+    case KernelVariant::kFusedOnly:
+      kernel(physics::LandIce_3D_FusedOnly_Tag{}, 0);
+      break;
+    case KernelVariant::kLocalAccumOnly:
+      kernel(physics::LandIce_3D_LocalAccumOnly_Tag{}, 0);
+      break;
+  }
+  return rec;
+}
+
+}  // namespace
+
+gpusim::TraceRecorder record_kernel_trace(KernelKind kind,
+                                          physics::KernelVariant variant,
+                                          std::size_t modeled_cells,
+                                          int num_nodes, int num_qps) {
+  MALI_CHECK_MSG(num_nodes == 8 || num_nodes == 6,
+                 "supported topologies: HEX8 (8 nodes) and WEDGE6 (6 nodes)");
+  if (kind == KernelKind::kResidual) {
+    return num_nodes == 8
+               ? record_trace_impl<double, 8>(variant, modeled_cells,
+                                              num_nodes, num_qps)
+               : record_trace_impl<double, 6>(variant, modeled_cells,
+                                              num_nodes, num_qps);
+  }
+  if (num_nodes == 8) {
+    return record_trace_impl<ad::SFad<double, 16>, 8>(variant, modeled_cells,
+                                                      num_nodes, num_qps);
+  }
+  return record_trace_impl<ad::SFad<double, 12>, 6>(variant, modeled_cells,
+                                                    num_nodes, num_qps);
+}
+
+double resid_flops_per_cell(int num_nodes, int num_qps, int n_deriv) {
+  // Scalar-operation costs of the AD arithmetic.
+  const double add = n_deriv > 0 ? 1.0 + n_deriv : 1.0;             // SFad+SFad
+  const double mul = n_deriv > 0 ? 1.0 + 2.0 * n_deriv : 1.0;       // SFad*SFad
+  const double muls = n_deriv > 0 ? 1.0 + n_deriv : 1.0;            // SFad*double
+
+  // Per qp: strs00/strs11 = 2.0*mu*(2.0*a + b): muls + muls + add + mul each;
+  // strs01 = mu*(a+b): add + mul; strs02/strs12 = mu*a: mul.
+  const double stress = 2.0 * (2.0 * muls + add + mul) + (add + mul) + 2.0 * mul;
+  // Per node per component: 4 products with mesh scalars, 3 sums, 1 +=.
+  const double node_comp = 4.0 * muls + 4.0 * add;
+  const double per_qp =
+      stress + static_cast<double>(num_nodes) * 2.0 * node_comp;
+  return static_cast<double>(num_qps) * per_qp;
+}
+
+gpusim::KernelModelInfo kernel_model_info(KernelKind kind,
+                                          physics::KernelVariant variant,
+                                          int num_nodes, int num_qps) {
+  using physics::KernelVariant;
+  gpusim::KernelModelInfo info;
+  const bool jac = kind == KernelKind::kJacobian;
+  const int n_deriv = jac ? 2 * num_nodes : 0;
+  const std::size_t sbytes = scalar_bytes(kind, num_nodes);
+
+  info.name = std::string(to_string(kind)) + "/" +
+              physics::to_string(variant);
+  info.flops_per_cell = resid_flops_per_cell(num_nodes, num_qps, n_deriv);
+  info.default_block_size_cdna2 = jac ? 256 : 1024;  // paper Table II defaults
+  info.default_block_size_nvidia = 128;
+
+  const std::size_t accum_bytes =
+      static_cast<std::size_t>(2 * num_nodes) * sbytes;  // res0 + res1
+  const bool has_locals = variant == KernelVariant::kOptimized ||
+                          variant == KernelVariant::kLocalAccumOnly;
+
+  switch (variant) {
+    case KernelVariant::kBaseline:
+      info.has_branch = true;
+      info.loop_nests = 3;  // init, stress, force
+      info.compile_time_bounds = false;
+      info.mem_pipeline_efficiency = 0.58;
+      break;
+    case KernelVariant::kOptimized:
+      info.has_branch = false;
+      info.loop_nests = 1;
+      info.compile_time_bounds = true;
+      info.mem_pipeline_efficiency = 1.0;
+      break;
+    case KernelVariant::kLoopOptOnly:
+      info.has_branch = false;
+      info.loop_nests = 3;
+      info.compile_time_bounds = true;
+      info.mem_pipeline_efficiency = 0.60;
+      break;
+    case KernelVariant::kFusedOnly:
+      info.has_branch = true;
+      info.loop_nests = 2;  // init + fused body
+      info.compile_time_bounds = false;
+      info.mem_pipeline_efficiency = 0.62;
+      break;
+    case KernelVariant::kLocalAccumOnly:
+      info.has_branch = true;
+      info.loop_nests = 3;  // stress, force, write-back
+      info.compile_time_bounds = false;
+      info.mem_pipeline_efficiency = 0.80;
+      break;
+  }
+
+  if (has_locals) {
+    info.local_accum_bytes = accum_bytes;
+    info.accum_sweeps = num_qps + 1;  // each qp sweep plus the write-back
+  }
+
+  // Register-allocation candidates.  These mirror the paper's rocprof
+  // measurements (Table II): the Jacobian wants 128 architectural VGPRs and
+  // spills accumulators; when the launch bounds leave budget for the
+  // accumulation file (128,2 / 256,2), most of the SFad accumulators move to
+  // AGPRs and scratch traffic collapses.  The Residual's accumulators are
+  // doubles and fit: its preferred allocation is {128, 0}, with a floor of
+  // {84, 4} under tight budgets.
+  if (jac) {
+    if (has_locals) {
+      info.cdna2_candidates = {
+          {128, 128, 192},  // accumulators largely register-resident
+          {128, 0, 700},    // no AGPR budget: heavy accumulator spill
+      };
+      info.nvidia_candidates = {{255, 0, 144}};
+    } else {
+      info.cdna2_candidates = {{128, 0, 0}};
+      info.nvidia_candidates = {{255, 0, 0}};
+    }
+  } else {
+    if (has_locals) {
+      info.cdna2_candidates = {
+          {128, 0, 0},  // fits: 16 doubles = 32 VGPRs of accumulators
+          {84, 4, 28},
+      };
+      info.nvidia_candidates = {{96, 0, 0}};
+    } else {
+      info.cdna2_candidates = {{64, 0, 0}};
+      info.nvidia_candidates = {{64, 0, 0}};
+    }
+  }
+  return info;
+}
+
+}  // namespace mali::core

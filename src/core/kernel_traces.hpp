@@ -1,0 +1,46 @@
+#pragma once
+// Bridges the physics kernels and the GPU performance model: records each
+// variant's per-cell memory-access template by executing the *actual* kernel
+// through tracing views, and supplies the per-variant model metadata
+// (FLOP counts, local-accumulator footprints, register candidates,
+// structural facts) the execution model consumes.
+
+#include <cstddef>
+
+#include "gpusim/kernel_model.hpp"
+#include "gpusim/trace.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+namespace mali::core {
+
+/// Which evaluation the kernel performs (the paper's two kernels).
+enum class KernelKind { kResidual, kJacobian };
+
+[[nodiscard]] const char* to_string(KernelKind k);
+
+/// Scalar width in bytes: 8 for the Residual; for the Jacobian the SFad
+/// width follows the element's local dof count (17 doubles for HEX8's 16
+/// derivatives, 13 for WEDGE6's 12).
+[[nodiscard]] std::size_t scalar_bytes(KernelKind k, int num_nodes = 8);
+
+/// Executes the given StokesFOResid variant for one representative cell
+/// with instrumented views and returns the recorded access template.
+/// `modeled_cells` sizes the virtual arrays (base-address spacing) the
+/// execution model replays over.
+/// `num_nodes`/`num_qps` select the element topology: 8/8 for the paper's
+/// hexahedra, 6/6 for MALI's native prisms (WEDGE6).
+[[nodiscard]] gpusim::TraceRecorder record_kernel_trace(
+    KernelKind kind, physics::KernelVariant variant, std::size_t modeled_cells,
+    int num_nodes = 8, int num_qps = 8);
+
+/// Closed-form FP64 operation count per cell for a variant (AD arithmetic
+/// expanded to scalar operations; all variants share the same math).
+[[nodiscard]] double resid_flops_per_cell(int num_nodes, int num_qps,
+                                          int n_deriv);
+
+/// Model metadata for (kind, variant): registers, structure, defaults.
+[[nodiscard]] gpusim::KernelModelInfo kernel_model_info(
+    KernelKind kind, physics::KernelVariant variant, int num_nodes = 8,
+    int num_qps = 8);
+
+}  // namespace mali::core

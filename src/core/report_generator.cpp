@@ -1,0 +1,184 @@
+#include "core/report_generator.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "perf/portability_metric.hpp"
+#include "perf/report.hpp"
+#include "perf/roofline.hpp"
+#include "portability/common.hpp"
+
+namespace mali::core {
+
+namespace {
+
+using physics::KernelVariant;
+
+void md_row(std::ostringstream& os, std::initializer_list<std::string> cells) {
+  os << '|';
+  for (const auto& c : cells) os << ' ' << c << " |";
+  os << '\n';
+}
+
+void md_rule(std::ostringstream& os, std::size_t n) {
+  os << '|';
+  for (std::size_t i = 0; i < n; ++i) os << "---|";
+  os << '\n';
+}
+
+}  // namespace
+
+std::string generate_markdown_report(const OptimizationStudy& study,
+                                     ReportOptions options) {
+  std::ostringstream os;
+  os << "# MiniMALI optimization study\n\n";
+  os << "Workset: " << study.config().n_cells
+     << " hexahedral cells; modeled platforms: " << study.a100().name << ", "
+     << study.mi250x_gcd().name << ".\n\n";
+
+  const auto cases = study.run_standard_cases();
+  auto find = [&](KernelKind k, KernelVariant v,
+                  const std::string& arch) -> const CaseResult& {
+    for (const auto& c : cases) {
+      if (c.kind == k && c.variant == v && c.arch == arch) return c;
+    }
+    throw Error("case not found in study results");
+  };
+
+  // ---- Table III: speedups ----
+  os << "## Time per call and speedup (paper Table III)\n\n";
+  md_row(os, {"Kernel", "Machine", "Baseline (s)", "Optimized (s)", "Speedup"});
+  md_rule(os, 5);
+  for (const auto kind : {KernelKind::kJacobian, KernelKind::kResidual}) {
+    for (const auto& arch : study.archs()) {
+      const auto& b = find(kind, KernelVariant::kBaseline, arch.name);
+      const auto& o = find(kind, KernelVariant::kOptimized, arch.name);
+      md_row(os, {to_string(kind), arch.name, perf::fmt_sci(b.sim.time_s),
+                  perf::fmt_sci(o.sim.time_s),
+                  perf::fmt_speedup(b.sim.time_s / o.sim.time_s)});
+    }
+  }
+  os << '\n';
+
+  // ---- Fig. 3: roofline ----
+  if (options.include_roofline) {
+    os << "## Roofline placement (paper Fig. 3)\n\n";
+    md_row(os, {"Machine", "Kernel", "Variant", "AI (FLOP/B)", "GFLOP/s",
+                "% peak BW"});
+    md_rule(os, 6);
+    for (const auto& c : cases) {
+      const auto& arch =
+          c.arch == study.a100().name ? study.a100() : study.mi250x_gcd();
+      const perf::Roofline roof{arch.name, arch.fp64_flops,
+                                arch.hbm_bw_bytes_per_s};
+      const perf::RooflinePoint p{"", c.sim.arithmetic_intensity,
+                                  c.sim.gflops_per_s};
+      md_row(os, {c.arch, to_string(c.kind), physics::to_string(c.variant),
+                  perf::fmt(p.ai, 3), perf::fmt(p.gflops, 4),
+                  perf::fmt_pct(p.fraction_of_bw(roof))});
+    }
+    os << '\n';
+  }
+
+  // ---- Fig. 5: time-oriented model ----
+  if (options.include_time_oriented) {
+    os << "## Time-oriented model (paper Fig. 5)\n\n";
+    md_row(os, {"Machine", "Kernel", "Variant", "GB moved", "time (ms)",
+                "min GB", "e_time", "e_DM"});
+    md_rule(os, 8);
+    for (const auto& c : cases) {
+      const auto p = study.to_point(c);
+      md_row(os, {p.machine, p.kernel, p.variant,
+                  perf::fmt(p.bytes_moved / 1e9, 4),
+                  perf::fmt(p.time_s * 1e3, 4), perf::fmt(p.min_bytes / 1e9, 4),
+                  perf::fmt_pct(p.e_time()), perf::fmt_pct(p.e_dm())});
+    }
+    os << '\n';
+  }
+
+  // ---- Table IV: portability metric ----
+  if (options.include_portability) {
+    os << "## Performance portability Phi (paper Table IV)\n\n";
+    md_row(os, {"Variant", "Efficiency", "Kernel", "A100", "MI250X GCD",
+                "Phi"});
+    md_rule(os, 6);
+    for (const auto v : {KernelVariant::kBaseline, KernelVariant::kOptimized}) {
+      for (const bool time_eff : {true, false}) {
+        for (const auto kind :
+             {KernelKind::kJacobian, KernelKind::kResidual}) {
+          const auto& a = find(kind, v, study.a100().name);
+          const auto& g = find(kind, v, study.mi250x_gcd().name);
+          const double ea = time_eff ? a.sim.e_time() : a.sim.e_dm();
+          const double eg = time_eff ? g.sim.e_time() : g.sim.e_dm();
+          md_row(os, {physics::to_string(v), time_eff ? "e_time" : "e_DM",
+                      to_string(kind), perf::fmt_pct(ea), perf::fmt_pct(eg),
+                      perf::fmt_pct(perf::phi(std::vector<double>{ea, eg}))});
+        }
+      }
+    }
+    os << '\n';
+  }
+
+  // ---- Table II: launch bounds on the GCD ----
+  if (options.include_launch_bounds) {
+    os << "## LaunchBounds sweep on the MI250X GCD (paper Table II)\n\n";
+    md_row(os, {"Kernel", "Config", "time (s)", "Arch VGPRs", "Accum VGPRs",
+                "speedup vs default"});
+    md_rule(os, 6);
+    const pk::LaunchConfig configs[] = {{}, {128, 2}, {128, 4}, {256, 2},
+                                        {1024, 2}};
+    const char* names[] = {"default", "128,2", "128,4", "256,2", "1024,2"};
+    for (const auto kind : {KernelKind::kJacobian, KernelKind::kResidual}) {
+      double dflt = 0.0;
+      for (int i = 0; i < 5; ++i) {
+        const auto sim = study.simulate(study.mi250x_gcd(), kind,
+                                        KernelVariant::kOptimized, configs[i]);
+        if (i == 0) dflt = sim.time_s;
+        md_row(os, {to_string(kind), names[i], perf::fmt_sci(sim.time_s),
+                    std::to_string(sim.launch.alloc.arch_vgprs),
+                    std::to_string(sim.launch.alloc.accum_vgprs),
+                    perf::fmt_speedup(dflt / sim.time_s)});
+      }
+    }
+    os << '\n';
+  }
+
+  // ---- ablation extension ----
+  if (options.include_ablation) {
+    os << "## Ablation (extension)\n\n";
+    md_row(os, {"Machine", "Kernel", "Variant", "time (ms)", "e_DM",
+                "speedup vs baseline"});
+    md_rule(os, 6);
+    for (const auto& arch : study.archs()) {
+      for (const auto kind : {KernelKind::kJacobian, KernelKind::kResidual}) {
+        double base = 0.0;
+        for (const auto v :
+             {KernelVariant::kBaseline, KernelVariant::kLoopOptOnly,
+              KernelVariant::kFusedOnly, KernelVariant::kLocalAccumOnly,
+              KernelVariant::kOptimized}) {
+          const auto sim = study.simulate(arch, kind, v);
+          if (v == KernelVariant::kBaseline) base = sim.time_s;
+          md_row(os, {arch.name, to_string(kind), physics::to_string(v),
+                      perf::fmt(sim.time_s * 1e3, 4),
+                      perf::fmt_pct(sim.e_dm()),
+                      perf::fmt_speedup(base / sim.time_s)});
+        }
+      }
+    }
+    os << '\n';
+  }
+
+  return os.str();
+}
+
+std::string write_markdown_report(const OptimizationStudy& study,
+                                  const std::string& path,
+                                  ReportOptions options) {
+  std::ofstream os(path);
+  MALI_CHECK_MSG(os.good(), "cannot open report file: " + path);
+  os << generate_markdown_report(study, options);
+  MALI_CHECK_MSG(os.good(), "report write failed: " + path);
+  return path;
+}
+
+}  // namespace mali::core

@@ -1,0 +1,30 @@
+#pragma once
+// Markdown report generation: runs the full optimization study (Tables
+// II–IV, Figs. 3 and 5, the ablation and the launch-bounds sweep) and
+// renders the results as a single markdown document — the automated
+// counterpart of EXPERIMENTS.md.
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace mali::core {
+
+struct ReportOptions {
+  bool include_launch_bounds = true;  ///< Table II section
+  bool include_roofline = true;       ///< Fig. 3 section
+  bool include_time_oriented = true;  ///< Fig. 5 section
+  bool include_portability = true;    ///< Table IV section
+  bool include_ablation = true;       ///< extension section
+};
+
+/// Renders the study results as markdown.
+[[nodiscard]] std::string generate_markdown_report(
+    const OptimizationStudy& study, ReportOptions options = {});
+
+/// Convenience: render and write to a file; returns the path.
+std::string write_markdown_report(const OptimizationStudy& study,
+                                  const std::string& path,
+                                  ReportOptions options = {});
+
+}  // namespace mali::core

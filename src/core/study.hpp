@@ -1,0 +1,64 @@
+#pragma once
+// OptimizationStudy — the top-level driver of the paper's evaluation:
+// simulates every (kernel, variant, architecture, launch-bounds) case of
+// the Antarctica workset on the modeled A100 and MI250X GCD, producing the
+// data behind Fig. 3, Fig. 5 and Tables II–IV.
+
+#include <string>
+#include <vector>
+
+#include "core/kernel_traces.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/exec_model.hpp"
+#include "perf/time_oriented.hpp"
+
+namespace mali::core {
+
+struct StudyConfig {
+  /// Cell count of the modeled workset.  The paper's single-node test has
+  /// ~256K hexahedra per GPU.
+  std::size_t n_cells = 262144;
+  gpusim::SimOptions sim{};
+};
+
+struct CaseResult {
+  KernelKind kind;
+  physics::KernelVariant variant;
+  std::string arch;
+  gpusim::SimResult sim;
+};
+
+class OptimizationStudy {
+ public:
+  explicit OptimizationStudy(StudyConfig cfg = {});
+
+  [[nodiscard]] const StudyConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const gpusim::GpuArch& a100() const noexcept { return a100_; }
+  [[nodiscard]] const gpusim::GpuArch& mi250x_gcd() const noexcept {
+    return gcd_;
+  }
+  [[nodiscard]] const std::vector<gpusim::GpuArch>& archs() const noexcept {
+    return archs_;
+  }
+
+  /// Models one kernel invocation (records the variant's trace, runs the
+  /// cache/occupancy/timing models).
+  [[nodiscard]] gpusim::SimResult simulate(
+      const gpusim::GpuArch& arch, KernelKind kind,
+      physics::KernelVariant variant, pk::LaunchConfig launch = {}) const;
+
+  /// The paper's 8 standard cases: {Jacobian, Residual} x {baseline,
+  /// optimized} x {A100, MI250X GCD}, with default launch bounds.
+  [[nodiscard]] std::vector<CaseResult> run_standard_cases() const;
+
+  /// Converts a case into a point of the time-oriented model (Fig. 5).
+  [[nodiscard]] perf::TimeOrientedPoint to_point(const CaseResult& c) const;
+
+ private:
+  StudyConfig cfg_;
+  gpusim::GpuArch a100_;
+  gpusim::GpuArch gcd_;
+  std::vector<gpusim::GpuArch> archs_;
+};
+
+}  // namespace mali::core

@@ -1,0 +1,17 @@
+#pragma once
+// Builds the GeometryWorkset from an extruded mesh: isoparametric Jacobians,
+// weighted basis values/gradients at quadrature points, and the basal side
+// set with its friction coefficients.
+
+#include "fem/workset.hpp"
+#include "mesh/extruded_mesh.hpp"
+#include "mesh/ice_geometry.hpp"
+
+namespace mali::fem {
+
+/// Assembles all geometric FE arrays for every cell of the mesh.
+/// Throws mali::Error if any element has a non-positive Jacobian.
+[[nodiscard]] GeometryWorkset build_geometry(const mesh::ExtrudedMesh& mesh,
+                                             const mesh::IceGeometry& geom);
+
+}  // namespace mali::fem

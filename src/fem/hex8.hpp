@@ -1,0 +1,63 @@
+#pragma once
+// Trilinear (HEX8) nodal basis on the reference cube [-1,1]^3.
+//
+// Node ordering matches mesh::ExtrudedMesh::cell_node: bottom face CCW
+// (0..3) then top face CCW (4..7).
+
+#include <array>
+#include <cstddef>
+
+namespace mali::fem {
+
+struct Hex8Basis {
+  static constexpr int num_nodes = 8;
+
+  /// Reference coordinates of node k.
+  static constexpr std::array<double, 3> node_coord(int k) noexcept {
+    constexpr double X[8] = {-1, 1, 1, -1, -1, 1, 1, -1};
+    constexpr double Y[8] = {-1, -1, 1, 1, -1, -1, 1, 1};
+    constexpr double Z[8] = {-1, -1, -1, -1, 1, 1, 1, 1};
+    return {X[k], Y[k], Z[k]};
+  }
+
+  /// N_k(xi, eta, zeta).
+  static constexpr double value(int k, double xi, double eta,
+                                double zeta) noexcept {
+    const auto c = node_coord(k);
+    return 0.125 * (1.0 + c[0] * xi) * (1.0 + c[1] * eta) *
+           (1.0 + c[2] * zeta);
+  }
+
+  /// dN_k/d(xi, eta, zeta).
+  static constexpr std::array<double, 3> gradient(int k, double xi, double eta,
+                                                  double zeta) noexcept {
+    const auto c = node_coord(k);
+    return {0.125 * c[0] * (1.0 + c[1] * eta) * (1.0 + c[2] * zeta),
+            0.125 * c[1] * (1.0 + c[0] * xi) * (1.0 + c[2] * zeta),
+            0.125 * c[2] * (1.0 + c[0] * xi) * (1.0 + c[1] * eta)};
+  }
+};
+
+/// Bilinear (QUAD4) basis on [-1,1]^2 for the basal side set.
+struct Quad4Basis {
+  static constexpr int num_nodes = 4;
+
+  static constexpr std::array<double, 2> node_coord(int k) noexcept {
+    constexpr double X[4] = {-1, 1, 1, -1};
+    constexpr double Y[4] = {-1, -1, 1, 1};
+    return {X[k], Y[k]};
+  }
+
+  static constexpr double value(int k, double xi, double eta) noexcept {
+    const auto c = node_coord(k);
+    return 0.25 * (1.0 + c[0] * xi) * (1.0 + c[1] * eta);
+  }
+
+  static constexpr std::array<double, 2> gradient(int k, double xi,
+                                                  double eta) noexcept {
+    const auto c = node_coord(k);
+    return {0.25 * c[0] * (1.0 + c[1] * eta), 0.25 * c[1] * (1.0 + c[0] * xi)};
+  }
+};
+
+}  // namespace mali::fem

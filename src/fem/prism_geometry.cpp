@@ -1,0 +1,167 @@
+#include "fem/prism_geometry.hpp"
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "fem/wedge6.hpp"
+#include "portability/common.hpp"
+#include "portability/parallel.hpp"
+
+namespace mali::fem {
+
+namespace {
+
+double invert3(const std::array<std::array<double, 3>, 3>& m,
+               std::array<std::array<double, 3>, 3>& inv) {
+  const double det =
+      m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+      m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+      m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  const double inv_det = 1.0 / det;
+  inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+  inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+  inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+  inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+  inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+  inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+  inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+  inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+  inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+  return det;
+}
+
+}  // namespace
+
+GeometryWorkset build_prism_geometry(const mesh::TriGrid& tris,
+                                     const mesh::IceGeometry& geom,
+                                     int n_layers) {
+  MALI_CHECK(n_layers >= 1);
+  GeometryWorkset ws;
+  constexpr int N = Wedge6Basis::num_nodes;
+  const auto qps = gauss_wedge();
+  const int Q = static_cast<int>(qps.size());
+  const std::size_t n_tris = tris.n_cells();
+  const std::size_t C = n_tris * static_cast<std::size_t>(n_layers);
+  const std::size_t levels = static_cast<std::size_t>(n_layers) + 1;
+
+  ws.n_cells = C;
+  ws.num_nodes = N;
+  ws.num_qps = Q;
+  ws.cell_nodes = pk::View<std::size_t, 2>("cell_nodes", C, N);
+  ws.coords = pk::View<double, 3>("coords", C, N, 3);
+  ws.wBF = pk::View<double, 3>("wBF", C, N, Q);
+  ws.wGradBF = pk::View<double, 4>("wGradBF", C, N, Q, 3);
+  ws.gradBF = pk::View<double, 4>("gradBF", C, N, Q, 3);
+  ws.detJ = pk::View<double, 2>("detJ", C, Q);
+
+  std::vector<std::array<double, N>> ref_val(static_cast<std::size_t>(Q));
+  std::vector<std::array<std::array<double, 3>, N>> ref_grad(
+      static_cast<std::size_t>(Q));
+  for (int q = 0; q < Q; ++q) {
+    const auto& p = qps[static_cast<std::size_t>(q)];
+    for (int k = 0; k < N; ++k) {
+      ref_val[q][k] = Wedge6Basis::value(k, p.xi, p.eta, p.zeta);
+      ref_grad[q][k] = Wedge6Basis::gradient(k, p.xi, p.eta, p.zeta);
+    }
+  }
+
+  // Column z profile, as in ExtrudedMesh.
+  auto node_z = [&](std::size_t col, std::size_t level) {
+    const double x = tris.node_x(col);
+    const double y = tris.node_y(col);
+    const double h =
+        std::max(geom.thickness(x, y), geom.config().min_thickness_m);
+    const double sigma =
+        static_cast<double>(level) / static_cast<double>(n_layers);
+    return geom.bed(x, y) + sigma * h;
+  };
+
+  std::atomic<bool> bad_jacobian{false};
+  pk::parallel_for("build_prism_geometry", C, [&](int ci) {
+    const auto c = static_cast<std::size_t>(ci);
+    const std::size_t tri = c / static_cast<std::size_t>(n_layers);
+    const std::size_t layer = c % static_cast<std::size_t>(n_layers);
+    std::array<std::array<double, 3>, N> xn{};
+    for (int k = 0; k < N; ++k) {
+      const std::size_t col = tris.cell_node(tri, k % 3);
+      const std::size_t level = layer + (k >= 3 ? 1 : 0);
+      ws.cell_nodes(c, k) = col * levels + level;
+      xn[k] = {tris.node_x(col), tris.node_y(col), node_z(col, level)};
+      for (int d = 0; d < 3; ++d) ws.coords(c, k, d) = xn[k][d];
+    }
+    for (int q = 0; q < Q; ++q) {
+      std::array<std::array<double, 3>, 3> J{};
+      for (int k = 0; k < N; ++k) {
+        for (int i = 0; i < 3; ++i) {
+          for (int j = 0; j < 3; ++j) {
+            J[i][j] += xn[k][i] * ref_grad[q][k][j];
+          }
+        }
+      }
+      std::array<std::array<double, 3>, 3> Jinv{};
+      const double det = invert3(J, Jinv);
+      if (!(det > 0.0)) bad_jacobian = true;
+      ws.detJ(c, q) = det;
+      const double w = qps[static_cast<std::size_t>(q)].weight * det;
+      for (int k = 0; k < N; ++k) {
+        ws.wBF(c, k, q) = ref_val[q][k] * w;
+        for (int d = 0; d < 3; ++d) {
+          double g = 0.0;
+          for (int j = 0; j < 3; ++j) g += Jinv[j][d] * ref_grad[q][k][j];
+          ws.gradBF(c, k, q, d) = g;
+          ws.wGradBF(c, k, q, d) = g * w;
+        }
+      }
+    }
+  });
+  MALI_CHECK_MSG(!bad_jacobian.load(),
+                 "degenerate prism: non-positive Jacobian determinant");
+
+  // Basal side set: bottom triangles of layer-0 prisms, midside quadrature.
+  const std::size_t F = n_tris;
+  ws.n_basal_faces = F;
+  ws.face_nodes = 3;
+  ws.face_qps = 3;
+  ws.basal_face_cell = pk::View<std::size_t, 1>("basal_face_cell", F);
+  ws.basal_face_node = pk::View<std::size_t, 2>("basal_face_node", F, 3);
+  ws.basal_wBF = pk::View<double, 3>("basal_wBF", F, 3, 3);
+  ws.basal_beta = pk::View<double, 1>("basal_beta", F);
+
+  pk::parallel_for("build_prism_basal", F, [&](int fi) {
+    const auto f = static_cast<std::size_t>(fi);
+    ws.basal_face_cell(f) = f * static_cast<std::size_t>(n_layers);
+    double cx = 0.0, cy = 0.0;
+    std::array<std::array<double, 3>, 3> xn{};
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t col = tris.cell_node(f, k);
+      ws.basal_face_node(f, k) = col * levels + 0;
+      xn[k] = {tris.node_x(col), tris.node_y(col), node_z(col, 0)};
+      cx += xn[k][0] / 3.0;
+      cy += xn[k][1] / 3.0;
+    }
+    ws.basal_beta(f) = geom.basal_friction(cx, cy);
+    // Surface measure of the (possibly sloped) bottom triangle.
+    const double ux = xn[1][0] - xn[0][0], uy = xn[1][1] - xn[0][1],
+                 uz = xn[1][2] - xn[0][2];
+    const double vx = xn[2][0] - xn[0][0], vy = xn[2][1] - xn[0][1],
+                 vz = xn[2][2] - xn[0][2];
+    const double nx = uy * vz - uz * vy;
+    const double ny = uz * vx - ux * vz;
+    const double nz = ux * vy - uy * vx;
+    const double area = 0.5 * std::sqrt(nx * nx + ny * ny + nz * nz);
+    // Midside rule: each point weighted area/3; basis values at midsides.
+    const double mids[3][2] = {{0.5, 0.0}, {0.5, 0.5}, {0.0, 0.5}};
+    for (int k = 0; k < 3; ++k) {
+      for (int q = 0; q < 3; ++q) {
+        ws.basal_wBF(f, k, q) =
+            Wedge6Basis::lambda(k, mids[q][0], mids[q][1]) * area / 3.0;
+      }
+    }
+  });
+
+  return ws;
+}
+
+}  // namespace mali::fem

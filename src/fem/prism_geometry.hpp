@@ -1,0 +1,19 @@
+#pragma once
+// Geometry workset for MALI's native prismatic (WEDGE6) discretization:
+// triangles of a TriGrid extruded through the ice thickness.  Produces the
+// same GeometryWorkset structure as the hexahedral path with num_nodes = 6
+// and num_qps = 6, so the StokesFOResid kernels run on it unchanged.
+
+#include "fem/workset.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "mesh/tri_grid.hpp"
+
+namespace mali::fem {
+
+/// Assembles the FE arrays for every prism of the extruded triangulation.
+/// Node ids use the column-major layout (column * (n_layers+1) + level),
+/// matching the hexahedral mesh convention.
+[[nodiscard]] GeometryWorkset build_prism_geometry(
+    const mesh::TriGrid& tris, const mesh::IceGeometry& geom, int n_layers);
+
+}  // namespace mali::fem

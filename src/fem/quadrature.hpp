@@ -1,0 +1,66 @@
+#pragma once
+// Tensor-product Gauss quadrature on the reference cube/square.  The paper's
+// hexahedral elements use 2x2x2 Gauss points (numQPs = 8).
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mali::fem {
+
+struct QuadraturePoint3 {
+  double xi, eta, zeta, weight;
+};
+struct QuadraturePoint2 {
+  double xi, eta, weight;
+};
+
+/// 1D Gauss–Legendre nodes/weights for orders 1..3 (enough for trilinear
+/// elements and verification sweeps).
+inline std::vector<std::pair<double, double>> gauss_1d(int n_points) {
+  switch (n_points) {
+    case 1:
+      return {{0.0, 2.0}};
+    case 2: {
+      const double a = 1.0 / std::sqrt(3.0);
+      return {{-a, 1.0}, {a, 1.0}};
+    }
+    case 3: {
+      const double a = std::sqrt(3.0 / 5.0);
+      return {{-a, 5.0 / 9.0}, {0.0, 8.0 / 9.0}, {a, 5.0 / 9.0}};
+    }
+    default:
+      return {};
+  }
+}
+
+/// 3D tensor rule; 2 points per direction gives the paper's 8 QPs.
+inline std::vector<QuadraturePoint3> gauss_hex(int n_per_dim = 2) {
+  const auto g = gauss_1d(n_per_dim);
+  std::vector<QuadraturePoint3> qps;
+  qps.reserve(g.size() * g.size() * g.size());
+  for (const auto& [z, wz] : g) {
+    for (const auto& [y, wy] : g) {
+      for (const auto& [x, wx] : g) {
+        qps.push_back({x, y, z, wx * wy * wz});
+      }
+    }
+  }
+  return qps;
+}
+
+/// 2D tensor rule for the basal side set.
+inline std::vector<QuadraturePoint2> gauss_quad(int n_per_dim = 2) {
+  const auto g = gauss_1d(n_per_dim);
+  std::vector<QuadraturePoint2> qps;
+  qps.reserve(g.size() * g.size());
+  for (const auto& [y, wy] : g) {
+    for (const auto& [x, wx] : g) {
+      qps.push_back({x, y, wx * wy});
+    }
+  }
+  return qps;
+}
+
+}  // namespace mali::fem

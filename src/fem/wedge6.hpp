@@ -1,0 +1,63 @@
+#pragma once
+// Linear wedge (WEDGE6 / prism) basis: triangle barycentric functions in
+// the horizontal crossed with a linear interval in the vertical.  This is
+// MALI's native element — "low-order nodal prismatic finite elements on a
+// 3D mesh extruded from a triangulation dual to the MPAS Voronoi mesh" —
+// while the paper's specific Antarctica test uses the hexahedral variant.
+//
+// Reference domain: (xi, eta) in the unit triangle (xi, eta >= 0,
+// xi + eta <= 1), zeta in [-1, 1].  Nodes 0..2 bottom CCW, 3..5 top.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace mali::fem {
+
+struct Wedge6Basis {
+  static constexpr int num_nodes = 6;
+
+  /// Barycentric horizontal part lambda_{k mod 3}.
+  static constexpr double lambda(int k3, double xi, double eta) noexcept {
+    return k3 == 0 ? 1.0 - xi - eta : (k3 == 1 ? xi : eta);
+  }
+
+  static constexpr double value(int k, double xi, double eta,
+                                double zeta) noexcept {
+    const double vert = k < 3 ? 0.5 * (1.0 - zeta) : 0.5 * (1.0 + zeta);
+    return lambda(k % 3, xi, eta) * vert;
+  }
+
+  static constexpr std::array<double, 3> gradient(int k, double xi, double eta,
+                                                  double zeta) noexcept {
+    const int k3 = k % 3;
+    const double vert = k < 3 ? 0.5 * (1.0 - zeta) : 0.5 * (1.0 + zeta);
+    const double dvert = k < 3 ? -0.5 : 0.5;
+    const double dl_dxi = k3 == 0 ? -1.0 : (k3 == 1 ? 1.0 : 0.0);
+    const double dl_deta = k3 == 0 ? -1.0 : (k3 == 2 ? 1.0 : 0.0);
+    return {dl_dxi * vert, dl_deta * vert, lambda(k3, xi, eta) * dvert};
+  }
+};
+
+struct WedgeQuadraturePoint {
+  double xi, eta, zeta, weight;
+};
+
+/// Degree-2 exact rule: 3-point triangle midside rule x 2-point Gauss in
+/// zeta = 6 quadrature points (numQPs = 6 for prisms, vs 8 for hexes).
+inline std::vector<WedgeQuadraturePoint> gauss_wedge() {
+  // Midside triangle rule, weights sum to the triangle area 1/2.
+  constexpr double w_tri = 1.0 / 6.0;
+  const double tri[3][2] = {{0.5, 0.0}, {0.5, 0.5}, {0.0, 0.5}};
+  const double gz = 1.0 / 1.7320508075688772;  // 1/sqrt(3)
+  std::vector<WedgeQuadraturePoint> qps;
+  qps.reserve(6);
+  for (const double z : {-gz, gz}) {
+    for (const auto& t : tri) {
+      qps.push_back({t[0], t[1], z, w_tri * 1.0});
+    }
+  }
+  return qps;
+}
+
+}  // namespace mali::fem

@@ -1,0 +1,43 @@
+#pragma once
+// Workset: the bundle of per-cell finite-element arrays the physics kernels
+// operate on.  Shapes follow Albany's field layout — leftmost index is the
+// cell, so LayoutLeft makes the cell index stride-1 (GPU-coalesced):
+//
+//   coords  (C, N, 3)   nodal coordinates
+//   wBF     (C, N, Q)   basis value * detJ * quadrature weight
+//   wGradBF (C, N, Q, 3) physical basis gradient * detJ * weight
+//   gradBF  (C, N, Q, 3) physical basis gradient (unweighted)
+//   detJ    (C, Q)
+//
+// plus the basal side-set arrays used by the friction evaluator.
+
+#include <cstddef>
+#include <vector>
+
+#include "portability/view.hpp"
+
+namespace mali::fem {
+
+struct GeometryWorkset {
+  std::size_t n_cells = 0;
+  int num_nodes = 8;
+  int num_qps = 8;
+
+  pk::View<std::size_t, 2> cell_nodes;  ///< (C, N) global node ids
+  pk::View<double, 3> coords;
+  pk::View<double, 3> wBF;
+  pk::View<double, 4> wGradBF;
+  pk::View<double, 4> gradBF;
+  pk::View<double, 2> detJ;
+
+  // ---- basal side set (bottom faces of layer-0 cells) ----
+  std::size_t n_basal_faces = 0;
+  int face_nodes = 4;
+  int face_qps = 4;
+  pk::View<std::size_t, 1> basal_face_cell;   ///< (F) owning cell id
+  pk::View<std::size_t, 2> basal_face_node;   ///< (F, 4) global node ids
+  pk::View<double, 3> basal_wBF;              ///< (F, 4, Qf)
+  pk::View<double, 1> basal_beta;             ///< (F) friction coefficient
+};
+
+}  // namespace mali::fem

@@ -1,0 +1,77 @@
+#include "gpusim/arch.hpp"
+
+namespace mali::gpusim {
+
+GpuArch make_a100() {
+  GpuArch a;
+  a.name = "NVIDIA A100";
+  a.hbm_bw_bytes_per_s = 1.555e12;
+  a.fp64_flops = 9.7e12;
+  a.l2_bytes = 40ull << 20;
+  a.l2_line_bytes = 64;  // 128B lines with 32B sectors; 64B splits the difference
+  a.n_sm = 108;
+  a.warp_size = 32;
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.reg_file_words_per_sm = 65536;
+  a.max_regs_per_thread = 255;
+  a.has_accum_vgprs = false;
+  a.default_block_size = 128;  // paper: A100 default block size was 128 for both kernels
+  a.achievable_bw_frac = 0.92;
+  a.kernel_latency_s = 4.0e-6;
+  a.warps_for_peak_bw_per_sm = 24;
+  a.sched_slack = 0.70;
+  return a;
+}
+
+GpuArch make_mi250x_gcd() {
+  GpuArch a;
+  a.name = "AMD MI250X (1 GCD)";
+  a.hbm_bw_bytes_per_s = 1.6e12;
+  a.fp64_flops = 23.9e12;
+  a.l2_bytes = 8ull << 20;
+  a.l2_line_bytes = 64;  // CDNA2 L2 is 128B-line; 64B granularity keeps parity with A100
+  a.n_sm = 110;
+  a.warp_size = 64;
+  a.max_threads_per_sm = 2048;  // 32 waves64 per CU
+  a.max_blocks_per_sm = 16;
+  // CDNA2: 4 SIMDs/CU x 256 arch VGPRs x 64 lanes = 65536 32-bit words of
+  // architectural registers per CU (the accumulation file doubles this).
+  a.reg_file_words_per_sm = 65536;
+  a.max_regs_per_thread = 256;
+  a.has_accum_vgprs = true;
+  a.default_block_size = 256;  // Kokkos/HIP default w/o LaunchBounds (Jacobian);
+                               // the Residual defaulted to 1024 (see Table II)
+  a.achievable_bw_frac = 0.62;
+  a.kernel_latency_s = 8.0e-6;
+  a.warps_for_peak_bw_per_sm = 16;  // wave64: fewer, wider waves needed
+  a.sched_slack = 0.025;
+  return a;
+}
+
+GpuArch make_pvc_stack() {
+  GpuArch a;
+  a.name = "Intel PVC (1 stack)";
+  // One stack of a Data Center GPU Max 1550: 64 Xe cores, ~26 TF64 vector,
+  // 64 GB HBM2e at ~1.6 TB/s per stack, 204 MB L2 (Rambo cache) per stack,
+  // SIMD16 sub-groups (modeled as the scheduling "warp").
+  a.hbm_bw_bytes_per_s = 1.64e12;
+  a.fp64_flops = 26.0e12;
+  a.l2_bytes = 204ull << 20;
+  a.l2_line_bytes = 64;
+  a.n_sm = 64;                 // Xe cores
+  a.warp_size = 16;            // SIMD16 sub-group
+  a.max_threads_per_sm = 1024; // 8 threads x 8 EUs x SIMD16
+  a.max_blocks_per_sm = 32;
+  a.reg_file_words_per_sm = 64 * 1024;  // 4 KB GRF per hw thread x 64
+  a.max_regs_per_thread = 256;          // large-GRF mode
+  a.has_accum_vgprs = false;
+  a.default_block_size = 256;
+  a.achievable_bw_frac = 0.65;  // measured STREAM fractions on PVC are low
+  a.kernel_latency_s = 10.0e-6; // higher launch overhead (Level Zero)
+  a.warps_for_peak_bw_per_sm = 32;
+  a.sched_slack = 0.30;         // huge L2 -> reuse survives a wide window
+  return a;
+}
+
+}  // namespace mali::gpusim

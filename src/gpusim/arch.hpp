@@ -1,0 +1,61 @@
+#pragma once
+// GPU architecture descriptors for the performance-model substrate.
+//
+// The paper evaluates on an NVIDIA A100 (Perlmutter) and one GCD of an AMD
+// MI250X (Frontier).  No GPU is available in this environment, so MiniMALI
+// models each part from its published specifications plus a small number of
+// calibrated parameters (documented in DESIGN.md §6).  Everything downstream
+// (cache simulation, occupancy, roofline timing) keys off this struct.
+
+#include <cstddef>
+#include <string>
+
+namespace mali::gpusim {
+
+struct GpuArch {
+  std::string name;
+
+  // ---- published hardware specifications ----
+  double hbm_bw_bytes_per_s;   ///< peak HBM bandwidth (A100: 1.555e12, GCD: 1.6e12)
+  double fp64_flops;           ///< peak FP64 vector rate (A100: 9.7e12, GCD: 23.9e12)
+  std::size_t l2_bytes;        ///< last-level cache (A100: 40 MiB, GCD: 8 MiB)
+  std::size_t l2_line_bytes;   ///< cache line granularity used by the simulator
+  int n_sm;                    ///< SMs (108) or CUs (110)
+  int warp_size;               ///< 32 (NVIDIA) or 64 (CDNA2 wave64)
+  int max_threads_per_sm;      ///< resident-thread limit per SM/CU (2048)
+  int max_blocks_per_sm;       ///< resident-block limit (32)
+  int reg_file_words_per_sm;   ///< 32-bit registers per SM (A100: 65536)
+  int max_regs_per_thread;     ///< ISA cap (A100: 255; CDNA2: 256 arch VGPRs)
+  bool has_accum_vgprs;        ///< CDNA2 only: a second 256-VGPR file (AGPRs)
+  int default_block_size;      ///< vendor-default workgroup size w/o LaunchBounds
+
+  // ---- calibrated model parameters (see DESIGN.md §6) ----
+  double achievable_bw_frac;   ///< STREAM-like ceiling as fraction of peak
+  double kernel_latency_s;     ///< fixed launch/drain latency floor per call
+  int warps_for_peak_bw_per_sm;///< concurrency (warps/SM) needed to saturate HBM
+  /// Scheduling slack: fraction of resident threads effectively advancing in
+  /// lockstep.  Smaller = more warp drift = shorter reuse distances through
+  /// the L2.  Calibrated per part (the A100's larger L2 and L1 make its
+  /// effective window larger).
+  double sched_slack;
+
+  [[nodiscard]] double peak_bw() const noexcept { return hbm_bw_bytes_per_s; }
+  [[nodiscard]] double achievable_bw() const noexcept {
+    return hbm_bw_bytes_per_s * achievable_bw_frac;
+  }
+};
+
+/// NVIDIA A100-40GB (SXM4) as deployed in Perlmutter GPU nodes.
+[[nodiscard]] GpuArch make_a100();
+
+/// One Graphics Compute Die of an AMD MI250X as deployed in Frontier.
+/// The paper treats each GCD as an independent GPU; so do we.
+[[nodiscard]] GpuArch make_mi250x_gcd();
+
+/// One stack of an Intel Data Center GPU Max 1550 ("Ponte Vecchio") as
+/// deployed in Aurora — the paper's stated future-work target ("explore
+/// portability on INTEL GPUs"), included here as an extension.  Like the
+/// MI250X's GCDs, each PVC stack is programmed as an independent device.
+[[nodiscard]] GpuArch make_pvc_stack();
+
+}  // namespace mali::gpusim

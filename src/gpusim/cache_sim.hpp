@@ -1,0 +1,145 @@
+#pragma once
+// Set-associative LRU cache simulator with write-allocate/write-back policy,
+// used to model a GPU's L2 and derive HBM traffic from a kernel's access
+// stream.  Full-line writes skip the allocate-read (GPUs avoid read-for-
+// ownership on fully-written lines), which matters for streaming stores of
+// wide SFad elements.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::gpusim {
+
+class CacheSim {
+ public:
+  /// Replacement policy.  kLru gives sharp capacity cliffs; kRandom evicts a
+  /// pseudo-random way, giving the graceful hit-rate degradation adaptive
+  /// GPU L2 policies exhibit (hit rate ~ exp(-reuse distance / capacity)).
+  enum class Replacement { kLru, kRandom };
+
+  struct Stats {
+    std::uint64_t line_probes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t hbm_read_bytes = 0;   ///< fills from HBM
+    std::uint64_t hbm_write_bytes = 0;  ///< dirty write-backs to HBM
+    [[nodiscard]] std::uint64_t hbm_bytes() const noexcept {
+      return hbm_read_bytes + hbm_write_bytes;
+    }
+    [[nodiscard]] double hit_rate() const noexcept {
+      return line_probes == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(line_probes);
+    }
+  };
+
+  /// capacity and line size in bytes; associativity in ways.
+  CacheSim(std::size_t capacity_bytes, std::size_t line_bytes, int ways = 16,
+           Replacement repl = Replacement::kLru)
+      : line_bytes_(line_bytes), ways_(ways), repl_(repl) {
+    MALI_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+    MALI_CHECK(ways >= 1);
+    n_sets_ = capacity_bytes / (line_bytes * static_cast<std::size_t>(ways));
+    if (n_sets_ == 0) n_sets_ = 1;
+    entries_.assign(n_sets_ * static_cast<std::size_t>(ways), Entry{});
+  }
+
+  [[nodiscard]] std::size_t line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return n_sets_ * static_cast<std::size_t>(ways_) * line_bytes_;
+  }
+
+  /// Touches the contiguous byte range [addr, addr + size).
+  void access(std::uint64_t addr, std::uint64_t size, bool is_write) {
+    if (size == 0) return;
+    const std::uint64_t first = addr / line_bytes_;
+    const std::uint64_t last = (addr + size - 1) / line_bytes_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      // A write covering the whole line never needs the fill from HBM.
+      const std::uint64_t lo = line == first ? addr : line * line_bytes_;
+      const std::uint64_t hi =
+          line == last ? addr + size : (line + 1) * line_bytes_;
+      const bool full_line = (hi - lo) == line_bytes_;
+      probe(line, is_write, is_write && full_line);
+    }
+  }
+
+  /// Writes back all dirty lines (end-of-kernel accounting).
+  void flush() {
+    for (auto& e : entries_) {
+      if (e.valid && e.dirty) {
+        stats_.hbm_write_bytes += line_bytes_;
+        e.dirty = false;
+      }
+      e.valid = false;
+    }
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  void probe(std::uint64_t line, bool is_write, bool full_line_write) {
+    ++stats_.line_probes;
+    const std::size_t set = static_cast<std::size_t>(line % n_sets_);
+    Entry* base = entries_.data() + set * static_cast<std::size_t>(ways_);
+    ++clock_;
+
+    Entry* victim = base;
+    for (int w = 0; w < ways_; ++w) {
+      Entry& e = base[w];
+      if (e.valid && e.tag == line) {
+        ++stats_.hits;
+        e.lru = clock_;
+        e.dirty = e.dirty || is_write;
+        return;
+      }
+      if (!e.valid) {
+        victim = &e;
+      } else if (victim->valid && e.lru < victim->lru) {
+        victim = &e;
+      }
+    }
+    if (repl_ == Replacement::kRandom && victim->valid) {
+      // xorshift-based deterministic pseudo-random way selection.
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      victim = base + static_cast<std::size_t>(rng_ % static_cast<std::uint64_t>(ways_));
+    }
+
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) {
+      stats_.hbm_write_bytes += line_bytes_;
+    }
+    if (!full_line_write) {
+      stats_.hbm_read_bytes += line_bytes_;  // fill (write-allocate on partial)
+    }
+    victim->tag = line;
+    victim->lru = clock_;
+    victim->valid = true;
+    victim->dirty = is_write;
+  }
+
+  std::size_t line_bytes_;
+  int ways_;
+  Replacement repl_ = Replacement::kLru;
+  std::size_t n_sets_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+  Stats stats_;
+};
+
+}  // namespace mali::gpusim

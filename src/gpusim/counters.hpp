@@ -1,0 +1,48 @@
+#pragma once
+// Profiler-style counter presentation.
+//
+// The paper's appendix documents how GPU data movement was measured:
+//  - NVIDIA Nsight Compute: the `dram_bytes.sum` metric;
+//  - AMD rocprof: the TCC_EA read/write request counters combined as
+//      bytes = 64*WRREQ_64B + 32*(WRREQ - WRREQ_64B)
+//            + 32*RDREQ_32B + 64*(RDREQ - RDREQ_32B).
+// This header exposes the modeled traffic through the same interfaces so
+// the benches can print exactly the quantities the appendix derives.
+
+#include <cstdint>
+
+#include "gpusim/exec_model.hpp"
+
+namespace mali::gpusim {
+
+struct ProfilerCounters {
+  // Nsight Compute style.
+  std::uint64_t dram_bytes_sum = 0;
+
+  // rocprof style (modeled as full-width 64B transactions).
+  std::uint64_t tcc_ea_rdreq_sum = 0;
+  std::uint64_t tcc_ea_rdreq_32b = 0;
+  std::uint64_t tcc_ea_wrreq_sum = 0;
+  std::uint64_t tcc_ea_wrreq_64b = 0;
+
+  /// The appendix's GPU-bytes-moved formula.
+  [[nodiscard]] std::uint64_t rocprof_bytes() const noexcept {
+    return 64 * tcc_ea_wrreq_64b +
+           32 * (tcc_ea_wrreq_sum - tcc_ea_wrreq_64b) +
+           32 * tcc_ea_rdreq_32b + 64 * (tcc_ea_rdreq_sum - tcc_ea_rdreq_32b);
+  }
+
+  [[nodiscard]] static ProfilerCounters from_sim(const SimResult& sim) {
+    ProfilerCounters c;
+    const std::uint64_t rd = sim.hbm_read_bytes;
+    const std::uint64_t wr = sim.hbm_write_bytes;
+    c.dram_bytes_sum = rd + wr;
+    c.tcc_ea_rdreq_sum = rd / 64;
+    c.tcc_ea_rdreq_32b = 0;
+    c.tcc_ea_wrreq_sum = wr / 64;
+    c.tcc_ea_wrreq_64b = wr / 64;
+    return c;
+  }
+};
+
+}  // namespace mali::gpusim

@@ -1,0 +1,157 @@
+#include "gpusim/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "portability/common.hpp"
+
+namespace mali::gpusim {
+
+namespace {
+
+/// Memory-pipeline efficiency from the variant's structural facts plus the
+/// occupancy the launch achieved.
+double pipeline_efficiency(const GpuArch& arch, const KernelModelInfo& info,
+                           const LaunchModelResult& launch) {
+  double eff = info.mem_pipeline_efficiency;
+  if (info.has_branch) eff *= 0.88;           // warp divergence on if(cond)
+  if (!info.compile_time_bounds) eff *= 0.95; // runtime loop-condition reloads
+  if (info.loop_nests > 1) {
+    eff *= 1.0 / (1.0 + 0.04 * (info.loop_nests - 1));  // re-ramped short loops
+  }
+  // CDNA2's wide waves and scalar branch unit blunt the instruction-stream
+  // penalties relative to the A100 (calibrated against the paper's
+  // Table III baseline/optimized ratios).
+  if (arch.has_accum_vgprs) eff = std::sqrt(eff);
+  // Little's-law saturation: enough independent bytes must be in flight per
+  // SM to cover the HBM latency.  Wide elements (SFad) help; so does
+  // occupancy.  ~2 independent element loads in flight per thread.
+  const double bw_per_sm = arch.hbm_bw_bytes_per_s / arch.n_sm;
+  constexpr double kHbmLatency = 450e-9;
+  const double needed_bytes = bw_per_sm * kHbmLatency;
+  const double inflight =
+      static_cast<double>(launch.threads_per_sm) * 2.0 * 32.0;
+  eff *= std::min(1.0, inflight / needed_bytes);
+  return eff;
+}
+
+}  // namespace
+
+std::uint64_t ExecModel::theoretical_min_bytes(const TraceRecorder& trace,
+                                               std::size_t n_cells) {
+  // Classify arrays: any written array is an output (its reads are
+  // avoidable by an ideal implementation that accumulates locally);
+  // read-only arrays are inputs.  Count unique elements per class.
+  const auto& arrays = trace.arrays();
+  std::vector<bool> written(arrays.size(), false);
+  for (const auto& r : trace.records()) {
+    if (r.kind == AccessKind::kWrite) written[static_cast<size_t>(r.array_id)] = true;
+  }
+  std::unordered_set<std::uint64_t> unique;  // (array, offset) keys
+  std::uint64_t per_cell = 0;
+  for (const auto& r : trace.records()) {
+    const auto aid = static_cast<std::size_t>(r.array_id);
+    const bool is_output = written[aid];
+    // Inputs: count unique reads.  Outputs: count unique writes.
+    if (is_output && r.kind != AccessKind::kWrite) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(r.array_id) << 48) | r.offset;
+    if (unique.insert(key).second) per_cell += r.size;
+  }
+  return per_cell * n_cells;
+}
+
+SimResult ExecModel::simulate(const GpuArch& arch, const TraceRecorder& trace,
+                              const KernelModelInfo& info, std::size_t n_cells,
+                              const pk::LaunchConfig& cfg) const {
+  MALI_CHECK_MSG(!trace.empty(), "kernel trace is empty — record it first");
+  SimResult res;
+
+  res.launch = model_launch(arch, cfg, info.default_block_size(arch),
+                            info.candidates(arch));
+
+  // ---- scaled simulation set-up ----
+  const double scale = std::clamp(opt_.scale, 1.0 / 64.0, 1.0);
+  const std::size_t sim_cells =
+      std::max<std::size_t>(1024, static_cast<std::size_t>(
+                                      static_cast<double>(n_cells) * scale));
+  const double eff_scale =
+      static_cast<double>(sim_cells) / static_cast<double>(n_cells);
+  const auto l2 = static_cast<std::size_t>(
+      std::max(64.0 * 1024.0, static_cast<double>(arch.l2_bytes) * eff_scale));
+  CacheSim cache(l2, arch.l2_line_bytes, 16, CacheSim::Replacement::kRandom);
+
+  // Lockstep window: resident threads, shrunk by scheduling slack and the
+  // simulation scale (fewer SMs in the scaled model).  Larger blocks launch
+  // and retire more waves together, growing the effectively-synchronous
+  // window superlinearly — this is why the Residual's 1024-thread default
+  // block on the MI250X hurt it so much more than the Jacobian's 256
+  // (Table II of the paper).
+  const double base_slack =
+      opt_.sched_slack > 0.0 ? opt_.sched_slack : arch.sched_slack;
+  const double block_factor =
+      std::pow(static_cast<double>(res.launch.block_size) / 256.0, 1.5);
+  const double slack = base_slack * block_factor;
+  const double resident =
+      static_cast<double>(res.launch.concurrent_threads) * eff_scale;
+  std::size_t window = static_cast<std::size_t>(std::max(
+      static_cast<double>(arch.warp_size), resident * slack));
+  window = std::min(window, sim_cells);
+
+  // ---- replay the per-cell template, window by window ----
+  const auto& arrays = trace.arrays();
+  const auto& records = trace.records();
+  for (std::size_t w0 = 0; w0 < sim_cells; w0 += window) {
+    const std::size_t w = std::min(window, sim_cells - w0);
+    for (const auto& r : records) {
+      const auto& a = arrays[static_cast<std::size_t>(r.array_id)];
+      // Cell c's access lands at template offset + c * elem_bytes
+      // (LayoutLeft, cell leftmost).  A window of consecutive cells is one
+      // contiguous coalesced range of w * elem_bytes.
+      const std::uint64_t addr = a.base_addr + r.offset + w0 * a.elem_bytes;
+      cache.access(addr, static_cast<std::uint64_t>(w) * a.elem_bytes,
+                   r.kind == AccessKind::kWrite);
+    }
+  }
+  cache.flush();
+  res.cache = cache.stats();
+
+  const double upscale = 1.0 / eff_scale;
+  std::uint64_t rd = static_cast<std::uint64_t>(
+      static_cast<double>(res.cache.hbm_read_bytes) * upscale);
+  std::uint64_t wr = static_cast<std::uint64_t>(
+      static_cast<double>(res.cache.hbm_write_bytes) * upscale);
+
+  // ---- register-spill (scratch) traffic ----
+  const std::size_t spill = res.launch.alloc.spill_bytes_per_thread;
+  if (spill > 0 && info.accum_sweeps > 0) {
+    res.scratch_bytes = static_cast<std::uint64_t>(n_cells) * spill * 2ull *
+                        static_cast<std::uint64_t>(info.accum_sweeps);
+    rd += res.scratch_bytes / 2;
+    wr += res.scratch_bytes - res.scratch_bytes / 2;
+  }
+  res.hbm_read_bytes = rd;
+  res.hbm_write_bytes = wr;
+  res.hbm_bytes = rd + wr;
+
+  res.min_bytes = theoretical_min_bytes(trace, n_cells);
+  res.flops = info.flops_per_cell * static_cast<double>(n_cells);
+
+  // ---- timing: roofline over modeled traffic ----
+  const double eff = pipeline_efficiency(arch, info, res.launch);
+  const double bw = arch.achievable_bw() * eff;
+  const double t_mem = static_cast<double>(res.hbm_bytes) / bw;
+  const double t_cmp = res.flops / (arch.fp64_flops * 0.85);
+  res.time_s = std::max(t_mem, t_cmp) + arch.kernel_latency_s;
+  res.min_time_s =
+      static_cast<double>(res.min_bytes) / arch.hbm_bw_bytes_per_s;
+  res.achieved_bw = static_cast<double>(res.hbm_bytes) / res.time_s;
+  res.arithmetic_intensity =
+      res.flops / static_cast<double>(res.hbm_bytes);
+  res.gflops_per_s = res.flops / res.time_s / 1e9;
+  return res;
+}
+
+}  // namespace mali::gpusim

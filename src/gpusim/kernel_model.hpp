@@ -1,0 +1,67 @@
+#pragma once
+// Kernel-variant metadata consumed by the GPU execution model.
+//
+// The quantities here play the role of what the paper reads off the
+// profilers / compiler (register allocations, instruction-level structure):
+// per-thread local-accumulator footprints, FLOP counts, register-allocation
+// candidates, and structural facts (branches, loop nests, runtime trip
+// counts) that set the memory-pipeline efficiency of a variant.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/reg_alloc.hpp"
+
+namespace mali::gpusim {
+
+struct KernelModelInfo {
+  std::string name;
+
+  /// FP64 operations per cell (AD arithmetic counted at scalar granularity).
+  double flops_per_cell = 0.0;
+
+  /// Per-thread bytes of local accumulator arrays (res0/res1 in the
+  /// optimized kernels).  Zero for the baseline, which accumulates globally.
+  std::size_t local_accum_bytes = 0;
+
+  /// Number of full sweeps over the local accumulators (numQPs + final
+  /// write-back); sets the scratch traffic when accumulators spill.
+  int accum_sweeps = 0;
+
+  /// Structural facts from the kernel source.
+  bool has_branch = false;          ///< in-kernel if(cond) (baseline)
+  int loop_nests = 1;               ///< separate top-level loop nests
+  bool compile_time_bounds = false; ///< trip counts known at compile time
+
+  /// Memory-pipeline efficiency: fraction of the achievable bandwidth the
+  /// kernel's instruction stream can sustain.  Optimized kernels with one
+  /// fused loop and independent wide loads sustain ~1.0; the baseline's
+  /// dependent global read-modify-write chains and short runtime-bounded
+  /// loops sustain roughly half (calibrated; see DESIGN.md §6).
+  double mem_pipeline_efficiency = 1.0;
+
+  /// Register-allocation candidates, best-first, per vendor class.  These
+  /// mirror what the paper *measures* via rocprof (`arch_vgpr`,
+  /// `accum_vgpr` in Table II); the model chooses among them per launch
+  /// bounds and derives occupancy + scratch-spill traffic.
+  std::vector<RegCandidate> cdna2_candidates;
+  std::vector<RegCandidate> nvidia_candidates;
+
+  /// Vendor-default block size for this kernel when no LaunchBounds are
+  /// given (paper: Jacobian 256 / Residual 1024 on MI250X; 128 on A100).
+  int default_block_size_cdna2 = 256;
+  int default_block_size_nvidia = 128;
+
+  [[nodiscard]] const std::vector<RegCandidate>& candidates(
+      const GpuArch& arch) const {
+    return arch.has_accum_vgprs ? cdna2_candidates : nvidia_candidates;
+  }
+  [[nodiscard]] int default_block_size(const GpuArch& arch) const {
+    return arch.has_accum_vgprs ? default_block_size_cdna2
+                                : default_block_size_nvidia;
+  }
+};
+
+}  // namespace mali::gpusim

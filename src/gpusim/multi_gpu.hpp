@@ -1,0 +1,61 @@
+#pragma once
+// Multi-GPU scaling model — the paper's future-work item "conduct
+// scalability studies ... for large-scale simulations".
+//
+// A distributed MALI step interleaves per-GPU kernel work with halo
+// exchanges of the velocity dofs along partition boundaries.  The model
+// composes the single-GPU execution model (kernel time per workset) with a
+// network model of the Slingshot-11 fabric (per-NIC bandwidth + message
+// latency) over the partition statistics the mesh module computes.
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/exec_model.hpp"
+
+namespace mali::gpusim {
+
+struct NetworkModel {
+  double nic_bw_bytes_per_s = 25.0e9;  ///< Slingshot-11: 25 GB/s/direction/NIC
+  double message_latency_s = 2.0e-6;   ///< per neighbor exchange
+  int neighbors = 2;                   ///< exchange partners per rank
+};
+
+struct ScalingPoint {
+  int n_gpus = 1;
+  double kernel_time_s = 0.0;   ///< per-GPU kernel time (max over ranks)
+  double halo_time_s = 0.0;     ///< halo exchange time
+  double total_time_s = 0.0;
+  double efficiency = 1.0;      ///< vs the single-GPU point
+};
+
+/// Halo bytes exchanged per assembly: velocity dofs on the ghost columns.
+[[nodiscard]] inline double halo_bytes(std::size_t halo_columns,
+                                       std::size_t levels,
+                                       int dofs_per_node = 2,
+                                       std::size_t bytes_per_dof = 8) {
+  return static_cast<double>(halo_columns) * static_cast<double>(levels) *
+         static_cast<double>(dofs_per_node) *
+         static_cast<double>(bytes_per_dof);
+}
+
+/// Composes kernel time and halo exchange into a scaling point.
+[[nodiscard]] inline ScalingPoint scaling_point(int n_gpus,
+                                                double kernel_time_s,
+                                                double halo_bytes_per_rank,
+                                                const NetworkModel& net,
+                                                double single_gpu_time_s) {
+  ScalingPoint p;
+  p.n_gpus = n_gpus;
+  p.kernel_time_s = kernel_time_s;
+  p.halo_time_s =
+      n_gpus > 1 ? halo_bytes_per_rank / net.nic_bw_bytes_per_s +
+                       net.message_latency_s * net.neighbors
+                 : 0.0;
+  p.total_time_s = p.kernel_time_s + p.halo_time_s;
+  p.efficiency =
+      p.total_time_s > 0.0 ? single_gpu_time_s / p.total_time_s : 1.0;
+  return p;
+}
+
+}  // namespace mali::gpusim

@@ -1,0 +1,96 @@
+#include "gpusim/reg_alloc.hpp"
+
+#include <algorithm>
+
+#include "portability/common.hpp"
+
+namespace mali::gpusim {
+
+int waves_per_eu_target(const GpuArch& arch, const pk::LaunchConfig& cfg,
+                        int default_block_size) {
+  const int wave = arch.warp_size;
+  if (cfg.is_default()) {
+    // Without explicit bounds the compiler optimizes for its own default
+    // occupancy target, but never below what the block size itself forces.
+    constexpr int kCompilerDefaultWavesPerEu = 4;
+    const int forced = (default_block_size / wave + 3) / 4;  // one block resident
+    return std::max(kCompilerDefaultWavesPerEu, forced);
+  }
+  const int waves_per_block =
+      std::max(1, static_cast<int>(cfg.max_threads) / wave);
+  const int min_blocks = static_cast<int>(std::max(1u, cfg.min_blocks));
+  // The bound must be honoured both as a block count and as the wave
+  // pressure those blocks exert across the 4 SIMDs of a CU.
+  const int from_waves = (waves_per_block * min_blocks + 3) / 4;
+  return std::max({1, min_blocks, from_waves});
+}
+
+int register_budget(const GpuArch& arch, const pk::LaunchConfig& cfg,
+                    int default_block_size) {
+  if (arch.has_accum_vgprs) {
+    // CDNA2: per-wave budget across both files shrinks with the
+    // waves-per-EU target; a single wave can address at most 256 + 256.
+    const int waves_eu = waves_per_eu_target(arch, cfg, default_block_size);
+    const int budget = 2 * arch.max_regs_per_thread / std::max(1, waves_eu);
+    return std::min(budget, 2 * arch.max_regs_per_thread);
+  }
+  // NVIDIA: without explicit bounds the compiler may use the full
+  // per-thread budget; __launch_bounds__ caps it by the residency product.
+  if (cfg.is_default()) return arch.max_regs_per_thread;
+  const int threads = static_cast<int>(cfg.max_threads);
+  const int min_blocks = static_cast<int>(std::max(1u, cfg.min_blocks));
+  const int by_residency =
+      arch.reg_file_words_per_sm / std::max(1, threads * min_blocks);
+  return std::clamp(by_residency, 16, arch.max_regs_per_thread);
+}
+
+RegCandidate choose_allocation(const std::vector<RegCandidate>& candidates,
+                               int budget, bool has_accum_file) {
+  MALI_CHECK(!candidates.empty());
+  // The compiler reserves a handful of architectural registers for system
+  // use, so a candidate's architectural demand must clear the architectural
+  // share of the budget with that margin.
+  constexpr int kArchReserve = 4;
+  const int arch_budget = std::min(budget, 256) - kArchReserve;
+  for (const auto& c : candidates) {
+    if (c.accum_vgprs > 0 && !has_accum_file) continue;  // NVIDIA: no AGPRs
+    if (c.arch_vgprs <= arch_budget && c.total_vgprs() <= budget) return c;
+  }
+  // Nothing fits: the compiler falls back to the floor allocation and the
+  // requested occupancy is simply not achieved (register-limited instead).
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    if (it->accum_vgprs == 0 || has_accum_file) return *it;
+  }
+  return candidates.back();
+}
+
+LaunchModelResult model_launch(const GpuArch& arch,
+                               const pk::LaunchConfig& cfg,
+                               int default_block_size,
+                               const std::vector<RegCandidate>& candidates) {
+  LaunchModelResult r;
+  r.config = cfg;
+  r.block_size = cfg.is_default() ? default_block_size
+                                  : static_cast<int>(cfg.max_threads);
+  MALI_CHECK(r.block_size > 0);
+
+  const int budget = register_budget(arch, cfg, default_block_size);
+  r.alloc = choose_allocation(candidates, budget, arch.has_accum_vgprs);
+
+  // Occupancy: blocks per SM limited by thread slots, the register file
+  // (architectural regs only — the accumulation file is separate), and the
+  // hardware block-slot limit.
+  const int arch_regs = std::max(1, r.alloc.arch_vgprs);
+  const int by_threads = arch.max_threads_per_sm / r.block_size;
+  const int by_regs = arch.reg_file_words_per_sm / (arch_regs * r.block_size);
+  int blocks = std::min({by_threads, by_regs, arch.max_blocks_per_sm});
+  blocks = std::max(blocks, 1);  // a kernel always launches
+  r.blocks_per_sm = blocks;
+  r.threads_per_sm = blocks * r.block_size;
+  r.occupancy = static_cast<double>(r.threads_per_sm) /
+                static_cast<double>(arch.max_threads_per_sm);
+  r.concurrent_threads = r.threads_per_sm * arch.n_sm;
+  return r;
+}
+
+}  // namespace mali::gpusim

@@ -1,0 +1,74 @@
+#pragma once
+// Register-allocation and occupancy models.
+//
+// Table II of the paper relates Kokkos LaunchBounds<MaxThreads,MinBlocks>
+// on the MI250X to the architectural / accumulation VGPR allocation the
+// compiler chooses, and to performance.  We model the allocator with a
+// small rule set that mirrors the observed LLVM amdgpu behaviour (see
+// DESIGN.md §6): launch bounds imply a target waves-per-EU occupancy, the
+// occupancy implies a per-wave register budget, and a kernel's ordered
+// allocation candidates are matched against that budget.  Candidates that
+// keep accumulators in registers carry less scratch-spill traffic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+#include "portability/launch_bounds.hpp"
+
+namespace mali::gpusim {
+
+/// One feasible register allocation for a kernel, ordered best-first.
+struct RegCandidate {
+  int arch_vgprs = 0;   ///< architectural VGPRs per thread
+  int accum_vgprs = 0;  ///< accumulation VGPRs per thread (CDNA2 AGPRs)
+  /// Per-thread accumulator bytes that do NOT fit in registers under this
+  /// allocation and therefore spill to scratch memory.
+  std::size_t spill_bytes_per_thread = 0;
+
+  [[nodiscard]] int total_vgprs() const noexcept {
+    return arch_vgprs + accum_vgprs;
+  }
+};
+
+/// Result of the allocation + occupancy model for one launch configuration.
+struct LaunchModelResult {
+  pk::LaunchConfig config;
+  RegCandidate alloc;
+  int block_size = 0;          ///< threads per block actually used
+  int blocks_per_sm = 0;       ///< resident blocks per SM/CU
+  int threads_per_sm = 0;      ///< resident threads per SM/CU
+  double occupancy = 0.0;      ///< resident threads / max threads
+  int concurrent_threads = 0;  ///< across the whole device
+};
+
+/// Target waves-per-EU the compiler derives from launch bounds (CDNA2 rule;
+/// for NVIDIA the analogous quantity bounds the per-thread register count).
+[[nodiscard]] int waves_per_eu_target(const GpuArch& arch,
+                                      const pk::LaunchConfig& cfg,
+                                      int default_block_size);
+
+/// Per-thread register budget the compiler works against: on CDNA2 the
+/// combined architectural + accumulation files divided by the waves-per-EU
+/// target; on NVIDIA the ISA cap (default) or the residency product implied
+/// by explicit __launch_bounds__.
+[[nodiscard]] int register_budget(const GpuArch& arch,
+                                  const pk::LaunchConfig& cfg,
+                                  int default_block_size);
+
+/// Picks the best candidate fitting the budget; falls back to the last
+/// (floor) candidate when none fits, which then limits occupancy instead.
+[[nodiscard]] RegCandidate choose_allocation(
+    const std::vector<RegCandidate>& candidates, int budget,
+    bool has_accum_file);
+
+/// Full launch model: register allocation, block residency and occupancy.
+/// `default_block_size` is the vendor default for this kernel when the
+/// config carries no explicit bounds (the paper: 256 for the Jacobian and
+/// 1024 for the Residual on MI250X; 128 for both on A100).
+[[nodiscard]] LaunchModelResult model_launch(
+    const GpuArch& arch, const pk::LaunchConfig& cfg, int default_block_size,
+    const std::vector<RegCandidate>& candidates);
+
+}  // namespace mali::gpusim

@@ -1,0 +1,88 @@
+#pragma once
+// Memory-access tracing for GPU kernel modeling.
+//
+// A kernel variant is executed once for a single representative cell with
+// its views replaced by TraceViews.  Every element access is recorded as
+// (array, byte offset, size, read/write).  Because every view in the study
+// is LayoutLeft with the cell index leftmost (stride-1), the access stream
+// of cell c is the cell-0 stream shifted by c * elem_bytes — which lets the
+// execution model replay the trace for hundreds of thousands of cells
+// without re-running the kernel.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::gpusim {
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// One traced array (a pk::View the kernel touches).
+struct ArrayInfo {
+  std::string name;
+  std::size_t elem_bytes = 0;   ///< bytes per element (cell stride in bytes)
+  std::size_t total_bytes = 0;  ///< full allocation size
+  std::uint64_t base_addr = 0;  ///< synthetic, non-overlapping base address
+};
+
+/// One recorded access, relative to the array base, for the template cell.
+struct AccessRecord {
+  std::int32_t array_id;
+  std::uint32_t size;
+  std::uint64_t offset;  ///< bytes from array base, for cell 0
+  AccessKind kind;
+};
+
+/// Collects the per-cell access template plus array metadata.
+class TraceRecorder {
+ public:
+  /// Registers an array; returns its id.  Synthetic base addresses are
+  /// assigned sequentially with a guard gap so arrays never alias.
+  int register_array(std::string name, std::size_t elem_bytes,
+                     std::size_t total_bytes) {
+    ArrayInfo info;
+    info.name = std::move(name);
+    info.elem_bytes = elem_bytes;
+    info.total_bytes = total_bytes;
+    info.base_addr = next_base_;
+    constexpr std::uint64_t kGuard = 4096;
+    next_base_ += ((total_bytes + kGuard - 1) / kGuard + 1) * kGuard;
+    arrays_.push_back(std::move(info));
+    return static_cast<int>(arrays_.size()) - 1;
+  }
+
+  void record(int array_id, std::size_t offset, std::size_t size,
+              AccessKind kind) {
+    records_.push_back(AccessRecord{array_id, static_cast<std::uint32_t>(size),
+                                    offset, kind});
+  }
+
+  [[nodiscard]] const std::vector<ArrayInfo>& arrays() const noexcept {
+    return arrays_;
+  }
+  [[nodiscard]] const std::vector<AccessRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Total logical bytes in the template (one cell), by kind.
+  [[nodiscard]] std::size_t template_bytes(AccessKind kind) const noexcept {
+    std::size_t b = 0;
+    for (const auto& r : records_) {
+      if (r.kind == kind) b += r.size;
+    }
+    return b;
+  }
+
+  void clear_records() { records_.clear(); }
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+  std::vector<AccessRecord> records_;
+  std::uint64_t next_base_ = 1 << 20;
+};
+
+}  // namespace mali::gpusim

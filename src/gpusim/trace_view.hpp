@@ -1,0 +1,119 @@
+#pragma once
+// TraceView / TraceRef — drop-in instrumented replacements for pk::View.
+//
+// The physics kernels are templated on the view template, so the identical
+// kernel source runs either on plain views (fast path: solver, CPU benches)
+// or on TraceViews (modeling path: one-cell execution recording the access
+// stream).  TraceRef is a reference proxy: converting it to a value records
+// a read; assigning through it records a write; += records a read-modify-
+// write.  Arithmetic mixing TraceRefs with scalars resolves through implicit
+// conversion, because SFad's operators are hidden friends and ADL associates
+// TraceRef<SFad> with SFad.
+//
+// Virtual sizing: traces are recorded on tiny arrays (a couple of cells)
+// but replayed by the execution model across the full workset.  TraceView
+// therefore records offsets in the layout of the *virtual* full-size array
+// (LayoutLeft with the cell extent replaced by the modeled cell count), so
+// that cell c's accesses are exactly the template shifted by c*sizeof(T).
+
+#include <array>
+#include <cstddef>
+
+#include "gpusim/trace.hpp"
+#include "portability/view.hpp"
+
+namespace mali::gpusim {
+
+template <class T>
+class TraceRef {
+ public:
+  TraceRef(T* p, TraceRecorder* rec, int array_id, std::size_t offset) noexcept
+      : p_(p), rec_(rec), array_id_(array_id), offset_(offset) {}
+
+  /// Read: conversion to value.
+  operator T() const {  // NOLINT(runtime/explicit)
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kRead);
+    return *p_;
+  }
+
+  /// Write.
+  TraceRef& operator=(const T& v) {
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kWrite);
+    *p_ = v;
+    return *this;
+  }
+
+  /// Read-modify-write.
+  TraceRef& operator+=(const T& v) {
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kRead);
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kWrite);
+    *p_ += v;
+    return *this;
+  }
+
+  TraceRef& operator-=(const T& v) {
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kRead);
+    rec_->record(array_id_, offset_, sizeof(T), AccessKind::kWrite);
+    *p_ -= v;
+    return *this;
+  }
+
+ private:
+  T* p_;
+  TraceRecorder* rec_;
+  int array_id_;
+  std::size_t offset_;
+};
+
+template <class T, std::size_t Rank>
+class TraceView {
+ public:
+  using value_type = T;
+  static constexpr std::size_t rank = Rank;
+
+  TraceView() = default;
+
+  /// Wraps an existing (small) view, registering it with the recorder as an
+  /// array of `virtual_cells` cells along the leftmost extent.
+  TraceView(pk::View<T, Rank> view, TraceRecorder& rec,
+            std::size_t virtual_cells)
+      : view_(std::move(view)), rec_(&rec) {
+    std::array<std::size_t, Rank> ext{};
+    ext[0] = virtual_cells;
+    std::size_t total = virtual_cells;
+    for (std::size_t d = 1; d < Rank; ++d) {
+      ext[d] = view_.extent(d);
+      total *= ext[d];
+    }
+    virtual_strides_ = pk::LayoutLeft::strides<Rank>(ext);
+    array_id_ = rec_->register_array(view_.label(), sizeof(T),
+                                     total * sizeof(T));
+  }
+
+  template <class... Idx>
+  [[nodiscard]] TraceRef<T> operator()(Idx... idx) const {
+    static_assert(sizeof...(Idx) == Rank, "index arity must equal rank");
+    const std::array<std::size_t, Rank> ii{static_cast<std::size_t>(idx)...};
+    std::size_t voff = 0;
+    for (std::size_t d = 0; d < Rank; ++d) voff += ii[d] * virtual_strides_[d];
+    const std::size_t real = view_.offset_of(idx...);
+    return TraceRef<T>(view_.data() + real, rec_, array_id_,
+                       voff * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t d) const noexcept {
+    return view_.extent(d);
+  }
+  [[nodiscard]] const pk::View<T, Rank>& underlying() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] int array_id() const noexcept { return array_id_; }
+
+ private:
+  pk::View<T, Rank> view_;
+  TraceRecorder* rec_ = nullptr;
+  std::array<std::size_t, Rank> virtual_strides_{};
+  int array_id_ = -1;
+};
+
+}  // namespace mali::gpusim

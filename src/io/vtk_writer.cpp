@@ -1,0 +1,62 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+
+#include "portability/common.hpp"
+
+namespace mali::io {
+
+std::string write_vtk(const std::string& path, const mesh::ExtrudedMesh& mesh,
+                      const std::vector<VtkNodalField>& scalars,
+                      const std::vector<VtkNodalVector2>& vectors) {
+  const std::size_t n_nodes = mesh.n_nodes();
+  const std::size_t n_cells = mesh.n_cells();
+  for (const auto& f : scalars) {
+    MALI_CHECK_MSG(f.values != nullptr && f.values->size() == n_nodes,
+                   "scalar field size mismatch: " + f.name);
+  }
+  for (const auto& v : vectors) {
+    MALI_CHECK_MSG(v.dofs != nullptr && v.dofs->size() == 2 * n_nodes,
+                   "vector field size mismatch: " + v.name);
+  }
+
+  std::ofstream os(path);
+  MALI_CHECK_MSG(os.good(), "cannot open " + path);
+  os.precision(10);
+  os << "# vtk DataFile Version 3.0\n";
+  os << "MiniMALI extruded ice-sheet mesh\n";
+  os << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+
+  os << "POINTS " << n_nodes << " double\n";
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    os << mesh.node_x(n) << ' ' << mesh.node_y(n) << ' ' << mesh.node_z(n)
+       << '\n';
+  }
+
+  os << "CELLS " << n_cells << ' ' << n_cells * 9 << '\n';
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    os << 8;
+    for (int k = 0; k < 8; ++k) os << ' ' << mesh.cell_node(c, k);
+    os << '\n';
+  }
+  os << "CELL_TYPES " << n_cells << '\n';
+  for (std::size_t c = 0; c < n_cells; ++c) os << "12\n";  // VTK_HEXAHEDRON
+
+  if (!scalars.empty() || !vectors.empty()) {
+    os << "POINT_DATA " << n_nodes << '\n';
+    for (const auto& f : scalars) {
+      os << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+      for (double v : *f.values) os << v << '\n';
+    }
+    for (const auto& v : vectors) {
+      os << "VECTORS " << v.name << " double\n";
+      for (std::size_t n = 0; n < n_nodes; ++n) {
+        os << (*v.dofs)[2 * n] << ' ' << (*v.dofs)[2 * n + 1] << " 0\n";
+      }
+    }
+  }
+  MALI_CHECK_MSG(os.good(), "write failed: " + path);
+  return path;
+}
+
+}  // namespace mali::io

@@ -1,0 +1,31 @@
+#pragma once
+// Legacy VTK (ASCII, unstructured grid) output of the extruded mesh with
+// nodal fields — ParaView-viewable 3D snapshots of the velocity solution,
+// the production visualization path behind figures like the paper's Fig. 1.
+
+#include <string>
+#include <vector>
+
+#include "mesh/extruded_mesh.hpp"
+
+namespace mali::io {
+
+/// One named nodal scalar field (size = mesh.n_nodes()).
+struct VtkNodalField {
+  std::string name;
+  const std::vector<double>* values = nullptr;
+};
+
+/// One named nodal vector field given as a dof vector (2 dofs/node, the
+/// solver layout); the z component is written as 0.
+struct VtkNodalVector2 {
+  std::string name;
+  const std::vector<double>* dofs = nullptr;
+};
+
+/// Writes the hexahedral mesh and fields as legacy VTK; returns the path.
+std::string write_vtk(const std::string& path, const mesh::ExtrudedMesh& mesh,
+                      const std::vector<VtkNodalField>& scalars = {},
+                      const std::vector<VtkNodalVector2>& vectors = {});
+
+}  // namespace mali::io

@@ -1,0 +1,99 @@
+#include "linalg/block_jacobi.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+namespace {
+
+/// In-place Gauss–Jordan inverse of a small dense row-major matrix.
+void invert_small(std::vector<double>& a, int n) {
+  std::vector<double> inv(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(i) * n + i] = 1.0;
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int piv = col;
+    double best = std::abs(a[static_cast<std::size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[static_cast<std::size_t>(r) * n + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    MALI_CHECK_MSG(best > 0.0, "block-Jacobi: singular diagonal block");
+    if (piv != col) {
+      for (int j = 0; j < n; ++j) {
+        std::swap(a[static_cast<std::size_t>(col) * n + j],
+                  a[static_cast<std::size_t>(piv) * n + j]);
+        std::swap(inv[static_cast<std::size_t>(col) * n + j],
+                  inv[static_cast<std::size_t>(piv) * n + j]);
+      }
+    }
+    const double d = 1.0 / a[static_cast<std::size_t>(col) * n + col];
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(col) * n + j] *= d;
+      inv[static_cast<std::size_t>(col) * n + j] *= d;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[static_cast<std::size_t>(r) * n + col];
+      if (f == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(r) * n + j] -=
+            f * a[static_cast<std::size_t>(col) * n + j];
+        inv[static_cast<std::size_t>(r) * n + j] -=
+            f * inv[static_cast<std::size_t>(col) * n + j];
+      }
+    }
+  }
+  a = std::move(inv);
+}
+
+}  // namespace
+
+void BlockJacobiPreconditioner::compute(const CrsMatrix& A) {
+  const std::size_t n = A.n_rows();
+  MALI_CHECK_MSG(n % static_cast<std::size_t>(bs_) == 0,
+                 "matrix size not divisible by block size");
+  n_blocks_ = n / static_cast<std::size_t>(bs_);
+  inv_blocks_.assign(n_blocks_ * static_cast<std::size_t>(bs_ * bs_), 0.0);
+
+  std::vector<double> block(static_cast<std::size_t>(bs_ * bs_));
+  for (std::size_t b = 0; b < n_blocks_; ++b) {
+    for (int i = 0; i < bs_; ++i) {
+      for (int j = 0; j < bs_; ++j) {
+        block[static_cast<std::size_t>(i * bs_ + j)] =
+            A.get(b * static_cast<std::size_t>(bs_) + static_cast<std::size_t>(i),
+                  b * static_cast<std::size_t>(bs_) + static_cast<std::size_t>(j));
+      }
+    }
+    invert_small(block, bs_);
+    std::copy(block.begin(), block.end(),
+              inv_blocks_.begin() +
+                  static_cast<std::ptrdiff_t>(b * static_cast<std::size_t>(bs_ * bs_)));
+  }
+}
+
+void BlockJacobiPreconditioner::apply(const std::vector<double>& r,
+                                      std::vector<double>& z) const {
+  MALI_CHECK(r.size() == n_blocks_ * static_cast<std::size_t>(bs_));
+  z.assign(r.size(), 0.0);
+  for (std::size_t b = 0; b < n_blocks_; ++b) {
+    const double* inv =
+        inv_blocks_.data() + b * static_cast<std::size_t>(bs_ * bs_);
+    const std::size_t off = b * static_cast<std::size_t>(bs_);
+    for (int i = 0; i < bs_; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < bs_; ++j) {
+        acc += inv[i * bs_ + j] * r[off + static_cast<std::size_t>(j)];
+      }
+      z[off + static_cast<std::size_t>(i)] = acc;
+    }
+  }
+}
+
+}  // namespace mali::linalg

@@ -1,0 +1,36 @@
+#pragma once
+// Block-Jacobi preconditioner with small dense blocks — for the velocity
+// Jacobian the natural blocks are the 2x2 per-node (u,v) couplings, which
+// capture the strong in-node coupling Glen's-law viscosity induces between
+// the two velocity components.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+#include "linalg/preconditioner.hpp"
+
+namespace mali::linalg {
+
+class BlockJacobiPreconditioner final : public Preconditioner {
+ public:
+  /// block_size consecutive dofs form one dense block (rows must be
+  /// grouped: dof = node * block_size + component).
+  explicit BlockJacobiPreconditioner(int block_size = 2)
+      : bs_(block_size) {}
+
+  void compute(const CrsMatrix& A) override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+  [[nodiscard]] const char* name() const override { return "block-jacobi"; }
+
+  [[nodiscard]] int block_size() const noexcept { return bs_; }
+
+ private:
+  int bs_;
+  std::size_t n_blocks_ = 0;
+  /// Inverted diagonal blocks, row-major per block.
+  std::vector<double> inv_blocks_;
+};
+
+}  // namespace mali::linalg

@@ -1,0 +1,80 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace mali::linalg {
+
+void DenseLu::factor(DenseMatrix a) {
+  MALI_CHECK_MSG(a.rows() == a.cols(), "LU requires a square matrix");
+  n_ = a.rows();
+  lu_ = std::move(a.data());
+  piv_.assign(n_, 0);
+  pivot_sign_ = 1;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    std::size_t p = k;
+    double best = std::abs(lu_[k + k * n_]);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_[i + k * n_]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    MALI_CHECK_MSG(best > 0.0, "dense LU: singular matrix");
+    piv_[k] = static_cast<int>(p);
+    if (p != k) {
+      pivot_sign_ = -pivot_sign_;
+      for (std::size_t j = 0; j < n_; ++j) {
+        std::swap(lu_[k + j * n_], lu_[p + j * n_]);
+      }
+    }
+    const double inv = 1.0 / lu_[k + k * n_];
+    for (std::size_t i = k + 1; i < n_; ++i) lu_[i + k * n_] *= inv;
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      const double akj = lu_[k + j * n_];
+      if (akj == 0.0) continue;
+      for (std::size_t i = k + 1; i < n_; ++i) {
+        lu_[i + j * n_] -= lu_[i + k * n_] * akj;
+      }
+    }
+  }
+}
+
+void DenseLu::solve(std::vector<double>& x) const {
+  MALI_CHECK_MSG(factored(), "solve() before factor()");
+  MALI_CHECK(x.size() == n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const auto p = static_cast<std::size_t>(piv_[k]);
+    if (p != k) std::swap(x[k], x[p]);
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = k + 1; i < n_; ++i) x[i] -= lu_[i + k * n_] * x[k];
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    x[k] /= lu_[k + k * n_];
+    for (std::size_t i = 0; i < k; ++i) x[i] -= lu_[i + k * n_] * x[k];
+  }
+}
+
+double DenseLu::determinant() const {
+  MALI_CHECK_MSG(factored(), "determinant() before factor()");
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t k = 0; k < n_; ++k) det *= lu_[k + k * n_];
+  return det;
+}
+
+DenseMatrix DenseLu::inverse() const {
+  MALI_CHECK_MSG(factored(), "inverse() before factor()");
+  DenseMatrix inv(n_, n_);
+  std::vector<double> e(n_, 0.0);
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[c] = 1.0;
+    solve(e);
+    for (std::size_t r = 0; r < n_; ++r) inv(r, c) = e[r];
+  }
+  return inv;
+}
+
+}  // namespace mali::linalg

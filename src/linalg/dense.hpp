@@ -1,0 +1,86 @@
+#pragma once
+// Small dense linear algebra: column-major matrices with LU factorization
+// (partial pivoting), solves and inverses — the direct-solver workhorse
+// behind the AMG coarse level and the block preconditioners.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+/// Column-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    MALI_ASSERT(r < rows_ && c < cols_);
+    return a_[r + c * rows_];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    MALI_ASSERT(r < rows_ && c < cols_);
+    return a_[r + c * rows_];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return a_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return a_; }
+
+  /// y = A x.
+  [[nodiscard]] std::vector<double> apply(const std::vector<double>& x) const {
+    MALI_CHECK(x.size() == cols_);
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double xc = x[c];
+      for (std::size_t r = 0; r < rows_; ++r) y[r] += a_[r + c * rows_] * xc;
+    }
+    return y;
+  }
+
+  [[nodiscard]] double frobenius_norm() const {
+    double s = 0.0;
+    for (double v : a_) s += v * v;
+    return std::sqrt(s);
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// LU factorization with partial pivoting of a square DenseMatrix.
+class DenseLu {
+ public:
+  DenseLu() = default;
+  explicit DenseLu(DenseMatrix a) { factor(std::move(a)); }
+
+  /// Factors A (throws mali::Error when singular).
+  void factor(DenseMatrix a);
+
+  [[nodiscard]] bool factored() const noexcept { return n_ > 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Solves A x = b in place.
+  void solve(std::vector<double>& x) const;
+
+  /// Determinant from the factorization (sign includes pivoting parity).
+  [[nodiscard]] double determinant() const;
+
+  /// Explicit inverse (column-by-column solves).
+  [[nodiscard]] DenseMatrix inverse() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> lu_;  ///< column-major factors
+  std::vector<int> piv_;
+  int pivot_sign_ = 1;
+};
+
+}  // namespace mali::linalg

@@ -1,0 +1,121 @@
+#include "linalg/gmres.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+GmresResult Gmres::solve(const CrsMatrix& A, const Preconditioner& M,
+                         const std::vector<double>& b,
+                         std::vector<double>& x) const {
+  const std::size_t n = A.n_rows();
+  MALI_CHECK(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  GmresResult result;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  const std::size_t m = cfg_.restart;
+  std::vector<std::vector<double>> V(m + 1);
+  std::vector<std::vector<double>> Z(m);  // preconditioned directions
+  // Hessenberg in column-major: H[j] holds column j (j+2 entries).
+  std::vector<std::vector<double>> H(m);
+  std::vector<double> cs(m), sn(m), g(m + 1);
+  std::vector<double> r(n), w(n);
+
+  std::size_t total_iters = 0;
+  while (total_iters < cfg_.max_iters) {
+    // r = b - A x
+    A.apply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    double beta = norm2(r);
+    result.rel_residual = beta / bnorm;
+    if (result.rel_residual < cfg_.rel_tol) {
+      result.converged = true;
+      return result;
+    }
+
+    V[0] = r;
+    scale(1.0 / beta, V[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    std::size_t j = 0;
+    for (; j < m && total_iters < cfg_.max_iters; ++j, ++total_iters) {
+      // Arnoldi with right preconditioning: w = A M^{-1} v_j.
+      Z[j].resize(n);
+      M.apply(V[j], Z[j]);
+      A.apply(Z[j], w);
+      H[j].assign(j + 2, 0.0);
+      for (std::size_t i = 0; i <= j; ++i) {
+        H[j][i] = dot(w, V[i]);
+        axpy(-H[j][i], V[i], w);
+      }
+      H[j][j + 1] = norm2(w);
+      if (H[j][j + 1] > 0.0) {
+        V[j + 1] = w;
+        scale(1.0 / H[j][j + 1], V[j + 1]);
+      } else {
+        V[j + 1].assign(n, 0.0);  // lucky breakdown
+      }
+
+      // Apply previous Givens rotations to the new column.
+      for (std::size_t i = 0; i < j; ++i) {
+        const double t = cs[i] * H[j][i] + sn[i] * H[j][i + 1];
+        H[j][i + 1] = -sn[i] * H[j][i] + cs[i] * H[j][i + 1];
+        H[j][i] = t;
+      }
+      // New rotation annihilating H[j][j+1].
+      const double denom = std::hypot(H[j][j], H[j][j + 1]);
+      cs[j] = denom == 0.0 ? 1.0 : H[j][j] / denom;
+      sn[j] = denom == 0.0 ? 0.0 : H[j][j + 1] / denom;
+      H[j][j] = denom;
+      H[j][j + 1] = 0.0;
+      g[j + 1] = -sn[j] * g[j];
+      g[j] = cs[j] * g[j];
+
+      result.iterations = total_iters + 1;
+      result.rel_residual = std::abs(g[j + 1]) / bnorm;
+      result.history.push_back(result.rel_residual);
+      if (cfg_.verbose && (total_iters % 25 == 0)) {
+        std::printf("  gmres iter %4zu  rel res %.3e\n", total_iters + 1,
+                    result.rel_residual);
+      }
+      if (result.rel_residual < cfg_.rel_tol) {
+        ++j;
+        break;
+      }
+    }
+
+    // Solve the j x j triangular system and update x += sum y_i Z_i.
+    std::vector<double> y(j, 0.0);
+    for (std::size_t ii = j; ii-- > 0;) {
+      double acc = g[ii];
+      for (std::size_t k = ii + 1; k < j; ++k) acc -= H[k][ii] * y[k];
+      MALI_CHECK_MSG(H[ii][ii] != 0.0, "GMRES: singular Hessenberg");
+      y[ii] = acc / H[ii][ii];
+    }
+    for (std::size_t ii = 0; ii < j; ++ii) axpy(y[ii], Z[ii], x);
+
+    if (result.rel_residual < cfg_.rel_tol) {
+      // Confirm with the true residual (restart otherwise).
+      A.apply(x, r);
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+      result.rel_residual = norm2(r) / bnorm;
+      if (result.rel_residual < 10.0 * cfg_.rel_tol) {
+        result.converged = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mali::linalg

@@ -1,0 +1,46 @@
+#pragma once
+// Restarted GMRES with right preconditioning and Givens-rotation least
+// squares — the paper's linear solver (Trilinos/Belos GMRES), run to a
+// relative tolerance of 1e-6 inside each nonlinear step.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+#include "linalg/preconditioner.hpp"
+
+namespace mali::linalg {
+
+struct GmresConfig {
+  double rel_tol = 1.0e-6;
+  std::size_t max_iters = 2000;
+  std::size_t restart = 100;
+  bool verbose = false;
+};
+
+struct GmresResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double rel_residual = 0.0;  ///< final ||b - Ax|| / ||b||
+  /// Per-iteration (preconditioned) relative residual estimates — the
+  /// convergence monitor solvers like Belos expose.
+  std::vector<double> history;
+};
+
+class Gmres {
+ public:
+  explicit Gmres(GmresConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Solves A x = b with right preconditioning; x is the initial guess on
+  /// entry and the solution on exit.
+  GmresResult solve(const CrsMatrix& A, const Preconditioner& M,
+                    const std::vector<double>& b, std::vector<double>& x) const;
+
+  [[nodiscard]] const GmresConfig& config() const noexcept { return cfg_; }
+
+ private:
+  GmresConfig cfg_;
+};
+
+}  // namespace mali::linalg

@@ -1,0 +1,132 @@
+#include "linalg/krylov.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+KrylovResult ConjugateGradient::solve(const CrsMatrix& A,
+                                      const Preconditioner& M,
+                                      const std::vector<double>& b,
+                                      std::vector<double>& x) const {
+  const std::size_t n = A.n_rows();
+  MALI_CHECK(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  KrylovResult result;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n), z(n), p(n), Ap(n);
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  M.apply(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
+    A.apply(p, Ap);
+    const double pAp = dot(p, Ap);
+    MALI_CHECK_MSG(pAp > 0.0, "CG: matrix is not positive definite");
+    const double alpha = rz / pAp;
+    axpy(alpha, p, x);
+    axpy(-alpha, Ap, r);
+    result.iterations = it + 1;
+    result.rel_residual = norm2(r) / bnorm;
+    if (cfg_.verbose && it % 25 == 0) {
+      std::printf("  cg iter %4zu rel res %.3e\n", it + 1,
+                  result.rel_residual);
+    }
+    if (result.rel_residual < cfg_.rel_tol) {
+      result.converged = true;
+      return result;
+    }
+    M.apply(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+KrylovResult BiCgStab::solve(const CrsMatrix& A, const Preconditioner& M,
+                             const std::vector<double>& b,
+                             std::vector<double>& x) const {
+  const std::size_t n = A.n_rows();
+  MALI_CHECK(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  KrylovResult result;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n);
+  std::vector<double> phat(n), shat(n);
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  r0 = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+
+  for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
+    const double rho_new = dot(r0, r);
+    if (rho_new == 0.0) break;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    rho = rho_new;
+
+    M.apply(p, phat);
+    A.apply(phat, v);
+    const double r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+
+    result.iterations = it + 1;
+    if (norm2(s) / bnorm < cfg_.rel_tol) {
+      axpy(alpha, phat, x);
+      result.rel_residual = norm2(s) / bnorm;
+      result.converged = true;
+      return result;
+    }
+
+    M.apply(s, shat);
+    A.apply(shat, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    result.rel_residual = norm2(r) / bnorm;
+    if (cfg_.verbose && it % 25 == 0) {
+      std::printf("  bicgstab iter %4zu rel res %.3e\n", it + 1,
+                  result.rel_residual);
+    }
+    if (result.rel_residual < cfg_.rel_tol) {
+      result.converged = true;
+      return result;
+    }
+    if (omega == 0.0) break;
+  }
+  return result;
+}
+
+}  // namespace mali::linalg

@@ -1,0 +1,50 @@
+#pragma once
+// Additional Krylov solvers: preconditioned conjugate gradients (for the
+// SPD systems that arise in diagnostic solves) and BiCGStab (a low-memory
+// alternative to restarted GMRES for the nonsymmetric Jacobians).
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+#include "linalg/preconditioner.hpp"
+
+namespace mali::linalg {
+
+struct KrylovConfig {
+  double rel_tol = 1.0e-8;
+  std::size_t max_iters = 2000;
+  bool verbose = false;
+};
+
+struct KrylovResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double rel_residual = 0.0;
+};
+
+/// Preconditioned conjugate gradients; requires A SPD and M SPD.
+class ConjugateGradient {
+ public:
+  explicit ConjugateGradient(KrylovConfig cfg = {}) : cfg_(cfg) {}
+  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const;
+
+ private:
+  KrylovConfig cfg_;
+};
+
+/// BiCGStab with right preconditioning for general nonsymmetric systems.
+class BiCgStab {
+ public:
+  explicit BiCgStab(KrylovConfig cfg = {}) : cfg_(cfg) {}
+  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const;
+
+ private:
+  KrylovConfig cfg_;
+};
+
+}  // namespace mali::linalg

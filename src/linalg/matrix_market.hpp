@@ -1,0 +1,29 @@
+#pragma once
+// MatrixMarket (.mtx) import/export for CRS matrices and vectors — the
+// interchange format Trilinos tooling uses; lets MiniMALI Jacobians be
+// inspected in external tools (and external systems be loaded into the
+// solvers and tests).
+
+#include <string>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+
+namespace mali::linalg {
+
+/// Writes A in "matrix coordinate real general" format (1-based indices).
+void write_matrix_market(const std::string& path, const CrsMatrix& A);
+
+/// Reads a "matrix coordinate real general" file into a CRS matrix
+/// (duplicate entries are summed, as the format allows).
+[[nodiscard]] CrsMatrix read_matrix_market(const std::string& path);
+
+/// Writes a dense vector in "matrix array real general" format (n x 1).
+void write_matrix_market(const std::string& path,
+                         const std::vector<double>& v);
+
+/// Reads an n x 1 dense array file.
+[[nodiscard]] std::vector<double> read_matrix_market_vector(
+    const std::string& path);
+
+}  // namespace mali::linalg

@@ -1,0 +1,75 @@
+#pragma once
+// Preconditioner interface plus the pointwise preconditioners: Jacobi,
+// symmetric Gauss–Seidel, and ILU(0).  The semicoarsening multigrid (the
+// MDSC-AMG stand-in) lives in semicoarsening_amg.hpp.
+
+#include <memory>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+
+namespace mali::linalg {
+
+/// Applies z = M^{-1} r.  `compute` must be called after matrix values
+/// change (the graph is fixed).
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void compute(const CrsMatrix& A) = 0;
+  virtual void apply(const std::vector<double>& r,
+                     std::vector<double>& z) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Identity (no preconditioning) — the Krylov baseline.
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void compute(const CrsMatrix&) override {}
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override {
+    z = r;
+  }
+  [[nodiscard]] const char* name() const override { return "none"; }
+};
+
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  void compute(const CrsMatrix& A) override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+  [[nodiscard]] const char* name() const override { return "jacobi"; }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+/// Symmetric Gauss–Seidel: one forward and one backward sweep.
+class SymGaussSeidelPreconditioner final : public Preconditioner {
+ public:
+  explicit SymGaussSeidelPreconditioner(int sweeps = 1) : sweeps_(sweeps) {}
+  void compute(const CrsMatrix& A) override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+  [[nodiscard]] const char* name() const override { return "sgs"; }
+
+ private:
+  int sweeps_;
+  const CrsMatrix* A_ = nullptr;
+  std::vector<double> inv_diag_;
+};
+
+/// Zero-fill incomplete LU factorization on the matrix graph.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  void compute(const CrsMatrix& A) override;
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+  [[nodiscard]] const char* name() const override { return "ilu0"; }
+
+ private:
+  const CrsMatrix* A_ = nullptr;
+  std::vector<double> luv_;        ///< factor values on A's graph
+  std::vector<std::size_t> diag_;  ///< index of the diagonal in each row
+};
+
+}  // namespace mali::linalg

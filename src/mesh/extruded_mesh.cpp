@@ -1,0 +1,32 @@
+#include "mesh/extruded_mesh.hpp"
+
+#include "portability/common.hpp"
+
+namespace mali::mesh {
+
+ExtrudedMesh::ExtrudedMesh(std::shared_ptr<const QuadGrid> base,
+                           const IceGeometry& geom, ExtrudedMeshConfig cfg)
+    : base_(std::move(base)), cfg_(cfg) {
+  MALI_CHECK(base_ != nullptr);
+  MALI_CHECK(cfg_.n_layers >= 1);
+
+  z_.resize(n_nodes());
+  const std::size_t nl = levels();
+  for (std::size_t col = 0; col < base_->n_nodes(); ++col) {
+    const double x = base_->node_x(col);
+    const double y = base_->node_y(col);
+    const double b = geom.bed(x, y);
+    // Nodes sit on ice columns; margin nodes can lie just outside the mask,
+    // where we extrude a thin minimum-thickness column to keep elements
+    // well-shaped (these columns are Dirichlet-constrained anyway).
+    const double h =
+        std::max(geom.thickness(x, y), geom.config().min_thickness_m);
+    for (std::size_t level = 0; level < nl; ++level) {
+      const double sigma =
+          static_cast<double>(level) / static_cast<double>(cfg_.n_layers);
+      z_[node_id(col, level)] = b + sigma * h;
+    }
+  }
+}
+
+}  // namespace mali::mesh

@@ -1,0 +1,112 @@
+#pragma once
+// 3D hexahedral mesh extruded from the quad base grid.
+//
+// Matches the paper's discretization: the 2D mesh is extruded through the
+// ice thickness by a fixed number of layers (20 in the Antarctica test),
+// producing ~256K hexahedra at 16 km resolution.  Node numbering places the
+// vertical level fastest within each column, which both mirrors MALI's
+// column-wise layout and gives the semicoarsening multigrid contiguous
+// vertical lines.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mesh/ice_geometry.hpp"
+#include "mesh/quad_grid.hpp"
+
+namespace mali::mesh {
+
+struct ExtrudedMeshConfig {
+  int n_layers = 20;
+};
+
+class ExtrudedMesh {
+ public:
+  ExtrudedMesh(std::shared_ptr<const QuadGrid> base, const IceGeometry& geom,
+               ExtrudedMeshConfig cfg);
+
+  [[nodiscard]] const QuadGrid& base() const noexcept { return *base_; }
+  [[nodiscard]] int n_layers() const noexcept { return cfg_.n_layers; }
+
+  [[nodiscard]] std::size_t n_cells() const noexcept {
+    return base_->n_cells() * static_cast<std::size_t>(cfg_.n_layers);
+  }
+  [[nodiscard]] std::size_t n_nodes() const noexcept {
+    return base_->n_nodes() * levels();
+  }
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return static_cast<std::size_t>(cfg_.n_layers) + 1;
+  }
+
+  // ---- node addressing: level fastest within a column ----
+  [[nodiscard]] std::size_t node_id(std::size_t column,
+                                    std::size_t level) const noexcept {
+    return column * levels() + level;
+  }
+  [[nodiscard]] std::size_t column_of(std::size_t node) const noexcept {
+    return node / levels();
+  }
+  [[nodiscard]] std::size_t level_of(std::size_t node) const noexcept {
+    return node % levels();
+  }
+
+  // ---- cell addressing: layer fastest within a column of cells ----
+  [[nodiscard]] std::size_t cell_id(std::size_t base_cell,
+                                    std::size_t layer) const noexcept {
+    return base_cell * static_cast<std::size_t>(cfg_.n_layers) + layer;
+  }
+  [[nodiscard]] std::size_t base_cell_of(std::size_t cell) const noexcept {
+    return cell / static_cast<std::size_t>(cfg_.n_layers);
+  }
+  [[nodiscard]] std::size_t layer_of(std::size_t cell) const noexcept {
+    return cell % static_cast<std::size_t>(cfg_.n_layers);
+  }
+
+  /// k-th node of hex cell c; k in [0,8): bottom face CCW then top face CCW.
+  [[nodiscard]] std::size_t cell_node(std::size_t c, int k) const noexcept {
+    const std::size_t bc = base_cell_of(c);
+    const std::size_t layer = layer_of(c);
+    const std::size_t level = layer + (k >= 4 ? 1 : 0);
+    const int corner = k % 4;
+    return node_id(base_->cell_node(bc, corner), level);
+  }
+
+  [[nodiscard]] double node_x(std::size_t n) const noexcept {
+    return base_->node_x(column_of(n));
+  }
+  [[nodiscard]] double node_y(std::size_t n) const noexcept {
+    return base_->node_y(column_of(n));
+  }
+  [[nodiscard]] double node_z(std::size_t n) const noexcept {
+    return z_[n];
+  }
+
+  /// True on lateral-margin columns (homogeneous Dirichlet velocity nodes).
+  [[nodiscard]] bool is_dirichlet_node(std::size_t n) const noexcept {
+    return base_->is_margin_node(column_of(n));
+  }
+  [[nodiscard]] bool is_basal_node(std::size_t n) const noexcept {
+    return level_of(n) == 0;
+  }
+  [[nodiscard]] bool is_surface_node(std::size_t n) const noexcept {
+    return level_of(n) + 1 == levels();
+  }
+
+  /// Basal cells (layer 0) — their bottom faces form the basal side set.
+  [[nodiscard]] std::vector<std::size_t> basal_cells() const {
+    std::vector<std::size_t> cells;
+    cells.reserve(base_->n_cells());
+    for (std::size_t bc = 0; bc < base_->n_cells(); ++bc) {
+      cells.push_back(cell_id(bc, 0));
+    }
+    return cells;
+  }
+
+ private:
+  std::shared_ptr<const QuadGrid> base_;
+  ExtrudedMeshConfig cfg_;
+  std::vector<double> z_;  ///< per 3D node
+};
+
+}  // namespace mali::mesh

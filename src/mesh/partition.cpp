@@ -1,0 +1,116 @@
+#include "mesh/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "portability/common.hpp"
+
+namespace mali::mesh {
+
+namespace {
+
+/// Fills the per-part owned/halo statistics from the owner array.
+void finalize(const QuadGrid& grid, Partition& p) {
+  const int P = p.n_parts;
+  p.owned_cells.assign(static_cast<std::size_t>(P), 0);
+  p.owned_columns.assign(static_cast<std::size_t>(P), 0);
+  p.halo_columns.assign(static_cast<std::size_t>(P), 0);
+
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    ++p.owned_cells[static_cast<std::size_t>(p.cell_owner[c])];
+  }
+
+  // Column ownership: a column (base node) belongs to the lowest part id
+  // among its touching cells; halo columns of a part are columns it touches
+  // but does not own.
+  std::vector<int> col_owner(grid.n_nodes(), -1);
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    const int owner = p.cell_owner[c];
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t node = grid.cell_node(c, k);
+      if (col_owner[node] < 0 || owner < col_owner[node]) {
+        col_owner[node] = owner;
+      }
+    }
+  }
+  std::vector<std::set<std::size_t>> halos(static_cast<std::size_t>(P));
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    const int owner = p.cell_owner[c];
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t node = grid.cell_node(c, k);
+      if (col_owner[node] != owner) {
+        halos[static_cast<std::size_t>(owner)].insert(node);
+      }
+    }
+  }
+  for (std::size_t n = 0; n < grid.n_nodes(); ++n) {
+    if (col_owner[n] >= 0) {
+      ++p.owned_columns[static_cast<std::size_t>(col_owner[n])];
+    }
+  }
+  for (int part = 0; part < P; ++part) {
+    p.halo_columns[static_cast<std::size_t>(part)] =
+        halos[static_cast<std::size_t>(part)].size();
+  }
+}
+
+}  // namespace
+
+Partition partition_strips(const QuadGrid& grid, int n_parts) {
+  MALI_CHECK(n_parts >= 1);
+  Partition p;
+  p.n_parts = n_parts;
+  p.cell_owner.assign(grid.n_cells(), 0);
+
+  // Sort cells by centroid x; assign equal-count contiguous runs.
+  std::vector<std::size_t> order(grid.n_cells());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> cx(grid.n_cells());
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    double x, y;
+    grid.cell_centroid(c, x, y);
+    cx[c] = x;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return cx[a] < cx[b]; });
+  const std::size_t per =
+      (grid.n_cells() + static_cast<std::size_t>(n_parts) - 1) /
+      static_cast<std::size_t>(n_parts);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    p.cell_owner[order[i]] = static_cast<int>(i / per);
+  }
+  finalize(grid, p);
+  return p;
+}
+
+Partition partition_blocks(const QuadGrid& grid, int px, int py) {
+  MALI_CHECK(px >= 1 && py >= 1);
+  Partition p;
+  p.n_parts = px * py;
+  p.cell_owner.assign(grid.n_cells(), 0);
+
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  std::vector<double> cx(grid.n_cells()), cy(grid.n_cells());
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    grid.cell_centroid(c, cx[c], cy[c]);
+    xmin = std::min(xmin, cx[c]);
+    xmax = std::max(xmax, cx[c]);
+    ymin = std::min(ymin, cy[c]);
+    ymax = std::max(ymax, cy[c]);
+  }
+  const double wx = (xmax - xmin) * (1.0 + 1e-12);
+  const double wy = (ymax - ymin) * (1.0 + 1e-12);
+  for (std::size_t c = 0; c < grid.n_cells(); ++c) {
+    const int i = std::min(px - 1, static_cast<int>((cx[c] - xmin) / wx *
+                                                    static_cast<double>(px)));
+    const int j = std::min(py - 1, static_cast<int>((cy[c] - ymin) / wy *
+                                                    static_cast<double>(py)));
+    p.cell_owner[c] = j * px + i;
+  }
+  finalize(grid, p);
+  return p;
+}
+
+}  // namespace mali::mesh

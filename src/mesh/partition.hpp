@@ -1,0 +1,54 @@
+#pragma once
+// Horizontal domain partitioning for distributed runs.
+//
+// MALI distributes the extruded mesh by columns: each MPI rank owns a set
+// of base cells (and all their layers) plus a one-column halo.  MiniMALI
+// partitions the quad base grid into strips or 2D blocks and reports the
+// owned/halo column counts — the inputs to the multi-GPU scaling model.
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/quad_grid.hpp"
+
+namespace mali::mesh {
+
+struct Partition {
+  int n_parts = 1;
+  std::vector<int> cell_owner;  ///< base-cell -> part
+
+  /// Per part: owned cells, owned columns (base nodes touched by owned
+  /// cells), and halo columns (columns of neighbouring parts adjacent to an
+  /// owned cell — the ghost layer exchanged each assembly).
+  std::vector<std::size_t> owned_cells;
+  std::vector<std::size_t> owned_columns;
+  std::vector<std::size_t> halo_columns;
+
+  [[nodiscard]] std::size_t max_owned_cells() const {
+    std::size_t m = 0;
+    for (auto c : owned_cells) m = std::max(m, c);
+    return m;
+  }
+  [[nodiscard]] std::size_t max_halo_columns() const {
+    std::size_t m = 0;
+    for (auto c : halo_columns) m = std::max(m, c);
+    return m;
+  }
+  /// Load imbalance: max owned cells / mean owned cells.
+  [[nodiscard]] double imbalance() const {
+    std::size_t total = 0;
+    for (auto c : owned_cells) total += c;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(owned_cells.size());
+    return mean > 0 ? static_cast<double>(max_owned_cells()) / mean : 1.0;
+  }
+};
+
+/// Vertical strips of equal cell count (1D decomposition, sorted by x).
+[[nodiscard]] Partition partition_strips(const QuadGrid& grid, int n_parts);
+
+/// px x py blocks over the bounding box (2D decomposition; parts covering
+/// no ice end up empty — the imbalance metric exposes this).
+[[nodiscard]] Partition partition_blocks(const QuadGrid& grid, int px, int py);
+
+}  // namespace mali::mesh

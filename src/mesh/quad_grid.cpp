@@ -1,0 +1,90 @@
+#include "mesh/quad_grid.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace mali::mesh {
+
+QuadGrid::QuadGrid(const IceGeometry& geom, QuadGridConfig cfg) : cfg_(cfg) {
+  MALI_CHECK(cfg.dx_m > 0.0);
+  long ni = 0;
+  double x0 = 0.0, y0 = 0.0;
+  if (geom.config().square_mask) {
+    // Verification mode: anchor the lattice on the square mask so that
+    // refinements with dx dividing the radius produce nested domains.
+    const double R = geom.config().radius_m;
+    ni = static_cast<long>(std::llround(2.0 * R / cfg.dx_m));
+    MALI_CHECK_MSG(std::abs(static_cast<double>(ni) * cfg.dx_m - 2.0 * R) <
+                       1e-6 * R,
+                   "square-mask grids require dx to divide the radius");
+    x0 = -R;
+    y0 = -R;
+  } else {
+    const double margin = 1.10;
+    const double R =
+        geom.config().radius_m * (1.0 + geom.config().lobe_amplitude);
+    const double half = R * margin;
+    ni = static_cast<long>(std::ceil(2.0 * half / cfg.dx_m));
+    x0 = -half;
+    y0 = -half;
+  }
+  // Lattice cell (i, j) spans [x0 + i dx, x0 + (i+1) dx] x [...].
+
+  auto lattice_node = [ni](long i, long j) -> std::size_t {
+    return static_cast<std::size_t>(j * (ni + 1) + i);
+  };
+
+  // Pass 1: find active cells (ice at the centroid).
+  std::vector<std::pair<long, long>> active;
+  std::vector<signed char> cell_active(
+      static_cast<std::size_t>(ni) * static_cast<std::size_t>(ni), 0);
+  for (long j = 0; j < ni; ++j) {
+    for (long i = 0; i < ni; ++i) {
+      const double cx = x0 + (static_cast<double>(i) + 0.5) * cfg.dx_m;
+      const double cy = y0 + (static_cast<double>(j) + 0.5) * cfg.dx_m;
+      if (geom.has_ice(cx, cy)) {
+        active.emplace_back(i, j);
+        cell_active[static_cast<std::size_t>(j * ni + i)] = 1;
+      }
+    }
+  }
+  MALI_CHECK_MSG(!active.empty(), "ice geometry produced no active cells");
+
+  // Pass 2: compact node numbering over nodes referenced by active cells.
+  std::unordered_map<std::size_t, std::size_t> node_id;
+  auto get_node = [&](long i, long j) -> std::size_t {
+    const std::size_t key = lattice_node(i, j);
+    auto [it, inserted] = node_id.try_emplace(key, xs_.size());
+    if (inserted) {
+      xs_.push_back(x0 + static_cast<double>(i) * cfg.dx_m);
+      ys_.push_back(y0 + static_cast<double>(j) * cfg.dx_m);
+    }
+    return it->second;
+  };
+
+  cells_.reserve(active.size() * 4);
+  for (auto [i, j] : active) {
+    // CCW: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+    cells_.push_back(get_node(i, j));
+    cells_.push_back(get_node(i + 1, j));
+    cells_.push_back(get_node(i + 1, j + 1));
+    cells_.push_back(get_node(i, j + 1));
+  }
+
+  // Pass 3: margin nodes — any node whose four surrounding lattice cells are
+  // not all active.
+  margin_.assign(xs_.size(), false);
+  auto active_at = [&](long i, long j) -> bool {
+    if (i < 0 || j < 0 || i >= ni || j >= ni) return false;
+    return cell_active[static_cast<std::size_t>(j * ni + i)] != 0;
+  };
+  for (const auto& [key, id] : node_id) {
+    const long i = static_cast<long>(key % static_cast<std::size_t>(ni + 1));
+    const long j = static_cast<long>(key / static_cast<std::size_t>(ni + 1));
+    const bool interior = active_at(i, j) && active_at(i - 1, j) &&
+                          active_at(i, j - 1) && active_at(i - 1, j - 1);
+    margin_[id] = !interior;
+  }
+}
+
+}  // namespace mali::mesh

@@ -1,0 +1,36 @@
+#include "mesh/tri_grid.hpp"
+
+#include <cmath>
+
+#include "portability/common.hpp"
+
+namespace mali::mesh {
+
+TriGrid::TriGrid(std::shared_ptr<const QuadGrid> quads)
+    : quads_(std::move(quads)) {
+  MALI_CHECK(quads_ != nullptr);
+  cells_.reserve(quads_->n_cells() * 6);
+  for (std::size_t q = 0; q < quads_->n_cells(); ++q) {
+    const std::size_t n0 = quads_->cell_node(q, 0);
+    const std::size_t n1 = quads_->cell_node(q, 1);
+    const std::size_t n2 = quads_->cell_node(q, 2);
+    const std::size_t n3 = quads_->cell_node(q, 3);
+    // Alternate the split diagonal by lattice parity (from the centroid) so
+    // the triangulation has no global directional bias.
+    double cx, cy;
+    quads_->cell_centroid(q, cx, cy);
+    const auto i = static_cast<long>(std::floor(cx / quads_->dx()));
+    const auto j = static_cast<long>(std::floor(cy / quads_->dx()));
+    if (((i + j) & 1) == 0) {
+      // Diagonal n0-n2.
+      cells_.insert(cells_.end(), {n0, n1, n2});
+      cells_.insert(cells_.end(), {n0, n2, n3});
+    } else {
+      // Diagonal n1-n3.
+      cells_.insert(cells_.end(), {n0, n1, n3});
+      cells_.insert(cells_.end(), {n1, n2, n3});
+    }
+  }
+}
+
+}  // namespace mali::mesh

@@ -1,0 +1,54 @@
+#pragma once
+// Triangle base mesh — the stand-in for the "triangulation dual to the MPAS
+// Voronoi mesh" MALI extrudes its prisms from.  Built by splitting each
+// quad of a QuadGrid along alternating diagonals (a union-jack-like pattern
+// that avoids directional bias), sharing the quad grid's nodes and margin
+// classification.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mesh/quad_grid.hpp"
+
+namespace mali::mesh {
+
+class TriGrid {
+ public:
+  explicit TriGrid(std::shared_ptr<const QuadGrid> quads);
+
+  [[nodiscard]] const QuadGrid& quads() const noexcept { return *quads_; }
+  [[nodiscard]] std::size_t n_cells() const noexcept {
+    return cells_.size() / 3;
+  }
+  [[nodiscard]] std::size_t n_nodes() const noexcept {
+    return quads_->n_nodes();
+  }
+
+  /// k-th node (CCW) of triangle c, k in [0,3).
+  [[nodiscard]] std::size_t cell_node(std::size_t c, int k) const noexcept {
+    return cells_[3 * c + static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] double node_x(std::size_t n) const noexcept {
+    return quads_->node_x(n);
+  }
+  [[nodiscard]] double node_y(std::size_t n) const noexcept {
+    return quads_->node_y(n);
+  }
+  [[nodiscard]] bool is_margin_node(std::size_t n) const noexcept {
+    return quads_->is_margin_node(n);
+  }
+
+  /// Signed area of triangle c (positive: CCW).
+  [[nodiscard]] double signed_area(std::size_t c) const noexcept {
+    const auto a = cell_node(c, 0), b = cell_node(c, 1), d = cell_node(c, 2);
+    return 0.5 * ((node_x(b) - node_x(a)) * (node_y(d) - node_y(a)) -
+                  (node_x(d) - node_x(a)) * (node_y(b) - node_y(a)));
+  }
+
+ private:
+  std::shared_ptr<const QuadGrid> quads_;
+  std::vector<std::size_t> cells_;  ///< 3 node ids per triangle
+};
+
+}  // namespace mali::mesh

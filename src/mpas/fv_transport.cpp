@@ -1,0 +1,183 @@
+#include "mpas/fv_transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "portability/common.hpp"
+
+namespace mali::mpas {
+
+namespace {
+
+/// van Leer slope limiter phi(r) = (r + |r|) / (1 + |r|).
+double van_leer(double r) {
+  const double a = std::abs(r);
+  return (r + a) / (1.0 + a);
+}
+
+}  // namespace
+
+FvTransport::FvTransport(const mesh::QuadGrid& grid, TransportConfig cfg)
+    : grid_(grid), cfg_(cfg), n_cells_(grid.n_cells()), dx_(grid.dx()) {
+  // Faces from shared edges; neighbour table from centroid offsets.
+  std::vector<double> cx(n_cells_), cy(n_cells_);
+  for (std::size_t c = 0; c < n_cells_; ++c) grid_.cell_centroid(c, cx[c], cy[c]);
+
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edge_owner;
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_count;
+  neighbors_.assign(n_cells_, {npos, npos, npos, npos});
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    for (int k = 0; k < 4; ++k) {
+      std::size_t a = grid_.cell_node(c, k);
+      std::size_t b = grid_.cell_node(c, (k + 1) % 4);
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+      auto [it, inserted] = edge_owner.try_emplace({a, b}, c);
+      if (inserted) continue;
+      const std::size_t other = it->second;
+      const double dxc = cx[c] - cx[other];
+      const double dyc = cy[c] - cy[other];
+      const double len = std::hypot(dxc, dyc);
+      MALI_CHECK(len > 0.0);
+      faces_.push_back(Face{other, c, dxc / len, dyc / len});
+      // Fill the directional neighbour table for both cells.
+      const bool horizontal = std::abs(dxc) > std::abs(dyc);
+      if (horizontal) {
+        if (dxc > 0) {  // `c` is +x of `other`
+          neighbors_[other][1] = c;
+          neighbors_[c][0] = other;
+        } else {
+          neighbors_[other][0] = c;
+          neighbors_[c][1] = other;
+        }
+      } else {
+        if (dyc > 0) {
+          neighbors_[other][3] = c;
+          neighbors_[c][2] = other;
+        } else {
+          neighbors_[other][2] = c;
+          neighbors_[c][3] = other;
+        }
+      }
+    }
+  }
+
+  // Margin edges (single owner): outflow boundary faces with the outward
+  // normal taken from edge midpoint relative to the cell centroid.
+  for (const auto& [edge, count] : edge_count) {
+    if (count != 1) continue;
+    const std::size_t c = edge_owner.at(edge);
+    const double mx = 0.5 * (grid_.node_x(edge.first) + grid_.node_x(edge.second));
+    const double my = 0.5 * (grid_.node_y(edge.first) + grid_.node_y(edge.second));
+    const double ox = mx - cx[c];
+    const double oy = my - cy[c];
+    const double len = std::hypot(ox, oy);
+    MALI_CHECK(len > 0.0);
+    boundary_faces_.push_back(BoundaryFace{c, ox / len, oy / len});
+  }
+}
+
+double FvTransport::max_stable_dt(const std::vector<double>& u,
+                                  const std::vector<double>& v) const {
+  MALI_CHECK(u.size() == n_cells_ && v.size() == n_cells_);
+  double max_speed = 0.0;
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    max_speed = std::max(max_speed, std::abs(u[c]) + std::abs(v[c]));
+  }
+  return max_speed > 0.0 ? dx_ / max_speed
+                         : std::numeric_limits<double>::infinity();
+}
+
+double FvTransport::face_value(const std::vector<double>& H, const Face& f,
+                               double un) const {
+  const std::size_t up = un >= 0.0 ? f.left : f.right;
+  if (cfg_.flux == FluxScheme::kUpwind) return H[up];
+
+  // MUSCL: reconstruct the upwind cell's face value with a limited slope
+  // along the face direction.  Directions: 0:-x 1:+x 2:-y 3:+y.
+  const bool horizontal = std::abs(f.nx) > std::abs(f.ny);
+  const bool toward_positive = horizontal ? (f.nx > 0) == (un >= 0.0)
+                                          : (f.ny > 0) == (un >= 0.0);
+  const int fwd_dir = horizontal ? (toward_positive ? 1 : 0)
+                                 : (toward_positive ? 3 : 2);
+  const int bwd_dir = fwd_dir ^ 1;
+  const std::size_t fwd = neighbors_[up][static_cast<std::size_t>(fwd_dir)];
+  const std::size_t bwd = neighbors_[up][static_cast<std::size_t>(bwd_dir)];
+  if (fwd == npos || bwd == npos) return H[up];  // boundary: donor cell
+
+  const double d_fwd = H[fwd] - H[up];
+  const double d_bwd = H[up] - H[bwd];
+  if (d_fwd == 0.0) return H[up];
+  const double r = d_bwd / d_fwd;
+  return H[up] + 0.5 * van_leer(r) * d_fwd;
+}
+
+void FvTransport::tendency(const std::vector<double>& H,
+                           const std::vector<double>& u,
+                           const std::vector<double>& v,
+                           const std::vector<double>& source,
+                           std::vector<double>& dHdt) const {
+  MALI_CHECK(H.size() == n_cells_);
+  MALI_CHECK(u.size() == n_cells_ && v.size() == n_cells_);
+  MALI_CHECK(source.size() == n_cells_);
+  dHdt.assign(n_cells_, 0.0);
+  const double inv_area = 1.0 / (dx_ * dx_);
+  for (const auto& f : faces_) {
+    const double un = 0.5 * ((u[f.left] + u[f.right]) * f.nx +
+                             (v[f.left] + v[f.right]) * f.ny);
+    const double h_face = face_value(H, f, un);
+    const double flux = un * h_face * dx_;  // m^2/yr * m
+    dHdt[f.left] -= flux * inv_area;
+    dHdt[f.right] += flux * inv_area;
+  }
+  // Outflow through the margin (calving); no inflow from the void.
+  for (const auto& f : boundary_faces_) {
+    const double un = u[f.cell] * f.nx + v[f.cell] * f.ny;
+    if (un > 0.0) dHdt[f.cell] -= un * H[f.cell] * dx_ * inv_area;
+  }
+  for (std::size_t c = 0; c < n_cells_; ++c) dHdt[c] += source[c];
+}
+
+void FvTransport::step(std::vector<double>& H, const std::vector<double>& u,
+                       const std::vector<double>& v,
+                       const std::vector<double>& source, double dt) const {
+  std::vector<double> k1, k2;
+  tendency(H, u, v, source, k1);
+  if (cfg_.time == TimeScheme::kForwardEuler) {
+    for (std::size_t c = 0; c < n_cells_; ++c) {
+      H[c] = std::max(cfg_.min_thickness, H[c] + dt * k1[c]);
+    }
+    return;
+  }
+  // Heun's RK2: predictor + trapezoidal corrector.
+  std::vector<double> H1(n_cells_);
+  for (std::size_t c = 0; c < n_cells_; ++c) H1[c] = H[c] + dt * k1[c];
+  tendency(H1, u, v, source, k2);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    H[c] = std::max(cfg_.min_thickness,
+                    H[c] + 0.5 * dt * (k1[c] + k2[c]));
+  }
+}
+
+double FvTransport::volume(const std::vector<double>& H) const {
+  MALI_CHECK(H.size() == n_cells_);
+  double v = 0.0;
+  for (double h : H) v += h;
+  return v * dx_ * dx_;
+}
+
+std::vector<double> FvTransport::node_to_cell(
+    const std::vector<double>& node_field) const {
+  MALI_CHECK(node_field.size() == grid_.n_nodes());
+  std::vector<double> out(n_cells_, 0.0);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    for (int k = 0; k < 4; ++k) {
+      out[c] += 0.25 * node_field[grid_.cell_node(c, k)];
+    }
+  }
+  return out;
+}
+
+}  // namespace mali::mpas

@@ -1,0 +1,47 @@
+#include "nonlinear/continuation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "portability/common.hpp"
+
+namespace mali::nonlinear {
+
+ContinuationResult continuation_solve(
+    NonlinearProblem& problem, linalg::Preconditioner& M,
+    const std::function<void(double)>& set_parameter, std::vector<double>& U,
+    ContinuationConfig cfg) {
+  MALI_CHECK(cfg.start_parameter > cfg.target_parameter);
+  MALI_CHECK(cfg.reduction > 0.0 && cfg.reduction < 1.0);
+
+  ContinuationResult result;
+  const NewtonSolver newton(cfg.newton);
+  double param = cfg.start_parameter;
+
+  for (int step = 0; step < cfg.max_steps; ++step) {
+    param = std::max(param, cfg.target_parameter);
+    set_parameter(param);
+    if (cfg.verbose) {
+      std::printf("continuation step %d: parameter %.3e\n", step + 1, param);
+    }
+    result.inner.push_back(newton.solve(problem, M, U));
+    result.steps = step + 1;
+    result.final_parameter = param;
+    result.residual_norm = result.inner.back().residual_norm;
+    if (param <= cfg.target_parameter) {
+      result.converged = result.inner.back().converged;
+      return result;
+    }
+    param *= cfg.reduction;
+  }
+  // Ran out of steps before hitting the target: finish at the target.
+  set_parameter(cfg.target_parameter);
+  result.inner.push_back(newton.solve(problem, M, U));
+  ++result.steps;
+  result.final_parameter = cfg.target_parameter;
+  result.residual_norm = result.inner.back().residual_norm;
+  result.converged = result.inner.back().converged;
+  return result;
+}
+
+}  // namespace mali::nonlinear

@@ -1,0 +1,41 @@
+#pragma once
+// Homotopy continuation on the viscosity regularization — the strategy
+// Albany/LandIce uses (via LOCA) to make the Glen's-law nonlinearity
+// tractable: start from a heavily regularized (nearly linear) problem,
+// solve, then walk the regularization down toward the physical value,
+// re-solving with the previous solution as the initial guess.
+
+#include <functional>
+#include <vector>
+
+#include "linalg/preconditioner.hpp"
+#include "nonlinear/newton.hpp"
+
+namespace mali::nonlinear {
+
+struct ContinuationConfig {
+  double start_parameter = 1.0e-2;   ///< initial (heavy) regularization
+  double target_parameter = 1.0e-10; ///< physical regularization
+  double reduction = 0.1;            ///< parameter multiplier per step
+  int max_steps = 12;
+  NewtonConfig newton{};             ///< inner solver per step
+  bool verbose = false;
+};
+
+struct ContinuationResult {
+  bool converged = false;
+  int steps = 0;
+  double final_parameter = 0.0;
+  double residual_norm = 0.0;
+  std::vector<NewtonResult> inner;  ///< per-step Newton outcomes
+};
+
+/// Walks `set_parameter` from start to target geometrically, solving at
+/// each value.  `set_parameter` mutates the problem (e.g. the viscosity
+/// regularization); U carries the solution between steps.
+ContinuationResult continuation_solve(
+    NonlinearProblem& problem, linalg::Preconditioner& M,
+    const std::function<void(double)>& set_parameter, std::vector<double>& U,
+    ContinuationConfig cfg = {});
+
+}  // namespace mali::nonlinear

@@ -1,0 +1,80 @@
+#include "nonlinear/newton.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "portability/common.hpp"
+
+namespace mali::nonlinear {
+
+NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
+                                 linalg::Preconditioner& M,
+                                 std::vector<double>& U) const {
+  const std::size_t n = problem.n_dofs();
+  MALI_CHECK(U.size() == n);
+
+  NewtonResult result;
+  std::vector<double> F(n), F_trial(n), rhs(n), dU(n), U_trial(n);
+  linalg::CrsMatrix J = problem.create_matrix();
+  const linalg::Gmres gmres(cfg_.gmres);
+
+  problem.residual(U, F);
+  double fnorm = linalg::norm2(F);
+  result.initial_norm = fnorm;
+  result.history.push_back(fnorm);
+
+  for (int it = 0; it < cfg_.max_iters; ++it) {
+    if (fnorm < cfg_.abs_tol ||
+        (result.initial_norm > 0.0 &&
+         fnorm < cfg_.rel_tol * result.initial_norm)) {
+      result.converged = true;
+      break;
+    }
+
+    J.set_zero();
+    problem.residual_and_jacobian(U, F, J);
+    M.compute(J);
+
+    // Solve J dU = -F.
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -F[i];
+    std::fill(dU.begin(), dU.end(), 0.0);
+    const auto lin = gmres.solve(J, M, rhs, dU);
+    result.total_linear_iters += lin.iterations;
+
+    // Damped update with backtracking on ||F||.
+    double damping = 1.0;
+    double trial_norm = fnorm;
+    while (true) {
+      for (std::size_t i = 0; i < n; ++i) U_trial[i] = U[i] + damping * dU[i];
+      problem.residual(U_trial, F_trial);
+      trial_norm = linalg::norm2(F_trial);
+      if (!cfg_.line_search || trial_norm < fnorm ||
+          damping <= cfg_.min_damping) {
+        break;
+      }
+      damping *= 0.5;
+    }
+
+    U = U_trial;
+    F = F_trial;
+    fnorm = trial_norm;
+    result.iterations = it + 1;
+    result.history.push_back(fnorm);
+    if (cfg_.verbose) {
+      std::printf(
+          "newton step %2d  ||F|| = %.6e  (gmres iters %4zu, rel res %.2e, "
+          "damping %.3f)\n",
+          it + 1, fnorm, lin.iterations, lin.rel_residual, damping);
+    }
+  }
+
+  result.residual_norm = fnorm;
+  if (fnorm < cfg_.abs_tol ||
+      (result.initial_norm > 0.0 &&
+       fnorm < cfg_.rel_tol * result.initial_norm)) {
+    result.converged = true;
+  }
+  return result;
+}
+
+}  // namespace mali::nonlinear

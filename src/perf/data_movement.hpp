@@ -1,0 +1,59 @@
+#pragma once
+// Closed-form theoretical minimum data movement for the StokesFOResid
+// kernels, computed the way the paper describes: from the multidimensional
+// array shapes and the number of unique reads/writes the numerical method
+// requires.  This is the analytic counterpart of
+// gpusim::ExecModel::theoretical_min_bytes (which derives the same quantity
+// from the recorded trace); the two are cross-checked in the tests.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mali::perf {
+
+/// Description of one array the kernel touches.
+struct ArrayAccessSpec {
+  std::string name;
+  std::size_t elements_per_cell = 0;  ///< unique elements per cell
+  std::size_t elem_bytes = 0;
+  bool is_output = false;  ///< outputs count writes; inputs count reads
+};
+
+/// Minimum bytes per cell: every unique input element read once from HBM,
+/// every unique output element written once.
+[[nodiscard]] inline std::size_t min_bytes_per_cell(
+    const std::vector<ArrayAccessSpec>& arrays) {
+  std::size_t b = 0;
+  for (const auto& a : arrays) b += a.elements_per_cell * a.elem_bytes;
+  return b;
+}
+
+/// The StokesFOResid array set for a hexahedral workset.
+/// `scalar_bytes` is sizeof(double) for the Residual evaluation and
+/// sizeof(SFad<double,16>) for the Jacobian — the paper's "the Jacobian
+/// kernel is expected to move 16 times more data".
+[[nodiscard]] inline std::vector<ArrayAccessSpec> stokes_fo_resid_arrays(
+    std::size_t num_nodes, std::size_t num_qps, std::size_t scalar_bytes,
+    std::size_t mesh_scalar_bytes = sizeof(double)) {
+  const std::size_t dims = 3;
+  const std::size_t vec = 2;  // velocity components
+  return {
+      {"Ugrad", num_qps * vec * dims, scalar_bytes, false},
+      {"muLandIce", num_qps, scalar_bytes, false},
+      {"force", num_qps * vec, scalar_bytes, false},
+      {"wGradBF", num_nodes * num_qps * dims, mesh_scalar_bytes, false},
+      {"wBF", num_nodes * num_qps, mesh_scalar_bytes, false},
+      {"Residual", num_nodes * vec, scalar_bytes, true},
+  };
+}
+
+/// Minimum bytes for a full workset.
+[[nodiscard]] inline std::size_t stokes_fo_resid_min_bytes(
+    std::size_t n_cells, std::size_t num_nodes, std::size_t num_qps,
+    std::size_t scalar_bytes) {
+  return n_cells * min_bytes_per_cell(stokes_fo_resid_arrays(
+                       num_nodes, num_qps, scalar_bytes));
+}
+
+}  // namespace mali::perf

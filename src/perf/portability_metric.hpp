@@ -1,0 +1,39 @@
+#pragma once
+// Pennycook–Sewall–Lee performance-portability metric Φ (Eq. 4 of the
+// paper): the harmonic mean of an application's efficiency across a set of
+// platforms, or zero if any platform is unsupported.
+
+#include <string>
+#include <vector>
+
+namespace mali::perf {
+
+/// Efficiency of one application/problem pair on one platform, in [0, 1].
+/// `supported == false` makes Φ collapse to zero, per the metric's
+/// definition.
+struct PlatformEfficiency {
+  std::string platform;
+  double efficiency = 0.0;
+  bool supported = true;
+};
+
+/// Φ(a, p, H) = |H| / Σ 1/e_i  if supported on all platforms, else 0.
+[[nodiscard]] inline double phi(const std::vector<PlatformEfficiency>& effs) {
+  if (effs.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (const auto& e : effs) {
+    if (!e.supported || e.efficiency <= 0.0) return 0.0;
+    inv_sum += 1.0 / e.efficiency;
+  }
+  return static_cast<double>(effs.size()) / inv_sum;
+}
+
+/// Convenience overload for plain efficiency values.
+[[nodiscard]] inline double phi(const std::vector<double>& effs) {
+  std::vector<PlatformEfficiency> v;
+  v.reserve(effs.size());
+  for (double e : effs) v.push_back({"", e, true});
+  return phi(v);
+}
+
+}  // namespace mali::perf

@@ -1,0 +1,87 @@
+#pragma once
+// Minimal fixed-width ASCII table writer used by the benches to print
+// paper-shaped tables (Tables II–IV) and CSV series (Figs. 3 and 5).
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::perf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> row) {
+    MALI_CHECK(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+    return *this;
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> w(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        w[c] = std::max(w[c], r[c].size());
+      }
+    }
+    auto line = [&] {
+      os << '+';
+      for (auto cw : w) os << std::string(cw + 2, '-') << '+';
+      os << '\n';
+    };
+    auto row = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        os << ' ' << std::left << std::setw(static_cast<int>(w[c])) << r[c]
+           << " |";
+      }
+      os << '\n';
+    };
+    line();
+    row(header_);
+    line();
+    for (const auto& r : rows_) row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] inline std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Scientific notation, paper style (e.g. "5.4e-2").
+[[nodiscard]] inline std::string fmt_sci(double v, int prec = 1) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Percentage ("84%").
+[[nodiscard]] inline std::string fmt_pct(double frac) {
+  std::ostringstream os;
+  os << static_cast<int>(frac * 100.0 + 0.5) << '%';
+  return os.str();
+}
+
+/// Speedup ("1.54x").
+[[nodiscard]] inline std::string fmt_speedup(double s, int prec = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << s << 'x';
+  return os.str();
+}
+
+}  // namespace mali::perf

@@ -1,0 +1,53 @@
+#pragma once
+// Classical Roofline model (Williams, Waterman, Patterson 2009), used for
+// Fig. 3 of the paper: kernel performance in GFLOP/s against arithmetic
+// intensity, bounded by peak memory bandwidth and peak FP64 throughput.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mali::perf {
+
+/// A machine's roofline: a bandwidth diagonal and a compute ceiling.
+struct Roofline {
+  std::string machine;
+  double peak_flops;         ///< FLOP/s
+  double peak_bw;            ///< bytes/s
+
+  /// Attainable FLOP/s at arithmetic intensity `ai` (FLOPs/byte).
+  [[nodiscard]] double attainable(double ai) const noexcept {
+    return std::min(peak_flops, peak_bw * ai);
+  }
+
+  /// Machine balance: the AI at which the two bounds cross.
+  [[nodiscard]] double ridge_point() const noexcept {
+    return peak_flops / peak_bw;
+  }
+
+  /// Whether a kernel at this AI is memory-bound.
+  [[nodiscard]] bool memory_bound(double ai) const noexcept {
+    return ai < ridge_point();
+  }
+};
+
+/// One measured kernel placed on the roofline.
+struct RooflinePoint {
+  std::string label;
+  double ai = 0.0;          ///< FLOPs / HBM byte
+  double gflops = 0.0;      ///< achieved GFLOP/s
+
+  /// Fraction of the roofline at this AI (the paper's "percent of peak").
+  [[nodiscard]] double fraction_of_roof(const Roofline& r) const noexcept {
+    const double roof = r.attainable(ai);
+    return roof > 0 ? gflops * 1e9 / roof : 0.0;
+  }
+
+  /// Fraction of peak *bandwidth* implied by the point (for memory-bound
+  /// kernels; this is what "90% of peak memory bandwidth" means in Fig. 3).
+  [[nodiscard]] double fraction_of_bw(const Roofline& r) const noexcept {
+    return r.peak_bw > 0 ? gflops * 1e9 / ai / r.peak_bw : 0.0;
+  }
+};
+
+}  // namespace mali::perf

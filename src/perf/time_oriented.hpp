@@ -1,0 +1,54 @@
+#pragma once
+// The paper's time-oriented performance-portability model (Figs. 4–5).
+//
+// A memory-bound kernel is a point in the plane (HBM bytes moved, time per
+// invocation).  Two bounds frame it:
+//  - the ARCHITECTURAL bound: a diagonal t = bytes / peak-BW below which
+//    execution would be "faster than light";
+//  - the APPLICATION bound: a vertical wall at the theoretical minimum data
+//    movement, derived from array sizes and the number of reads/writes —
+//    no optimization can move less.
+// The intersection gives the achievable corner; observed kernels are
+// compared against it through the efficiencies e_time and e_DM.
+
+#include <string>
+#include <vector>
+
+namespace mali::perf {
+
+/// One kernel placed in the (bytes, time) plane, plus its bounds.
+struct TimeOrientedPoint {
+  std::string kernel;   ///< e.g. "Jacobian"
+  std::string variant;  ///< e.g. "baseline" / "optimized"
+  std::string machine;  ///< e.g. "A100"
+
+  double bytes_moved = 0.0;  ///< measured/modeled HBM bytes per invocation
+  double time_s = 0.0;       ///< measured/modeled time per invocation
+
+  double min_bytes = 0.0;    ///< application bound (theoretical minimum)
+  double peak_bw = 0.0;      ///< architectural bound slope (bytes/s)
+
+  /// Architectural bound on time at the application-bound data movement:
+  /// the achievable corner of Fig. 4.
+  [[nodiscard]] double min_time_s() const noexcept {
+    return peak_bw > 0 ? min_bytes / peak_bw : 0.0;
+  }
+
+  /// Time-per-invocation efficiency (paper's e_time).
+  [[nodiscard]] double e_time() const noexcept {
+    return time_s > 0 ? min_time_s() / time_s : 0.0;
+  }
+
+  /// Data-movement efficiency (paper's e_DM); architecture-independent.
+  [[nodiscard]] double e_dm() const noexcept {
+    return bytes_moved > 0 ? min_bytes / bytes_moved : 0.0;
+  }
+
+  /// Time the architectural bound alone would allow for the *observed*
+  /// data movement (the diagonal in Fig. 4 at x = bytes_moved).
+  [[nodiscard]] double arch_bound_time_s() const noexcept {
+    return peak_bw > 0 ? bytes_moved / peak_bw : 0.0;
+  }
+};
+
+}  // namespace mali::perf

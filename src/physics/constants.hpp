@@ -1,0 +1,22 @@
+#pragma once
+// Physical constants and flow-law parameters for the first-order Stokes
+// (Blatter–Pattyn) ice-sheet model.  Units: SI lengths/stresses, velocities
+// in m/yr, time in yr — the conventional glaciological unit system also used
+// by MALI.
+
+namespace mali::physics {
+
+struct PhysicalConstants {
+  double rho_ice = 910.0;    ///< ice density, kg/m^3
+  double gravity = 9.81;     ///< m/s^2
+  double glen_A = 1.0e-16;   ///< Glen's flow-rate factor, Pa^-n yr^-1
+  double glen_n = 3.0;       ///< Glen exponent
+  /// Strain-rate regularization (1/yr)^2 keeping the viscosity finite at
+  /// zero strain rate (Albany's epsilon^2 parameter).
+  double eps_reg2 = 1.0e-10;
+
+  /// rho * g in Pa/m — the driving-stress prefactor.
+  [[nodiscard]] double rho_g() const noexcept { return rho_ice * gravity; }
+};
+
+}  // namespace mali::physics

@@ -1,0 +1,27 @@
+#pragma once
+// Evaluation types, following Albany's template-evaluation design: the same
+// kernel source is instantiated once with a plain double scalar (the
+// Residual evaluation) and once with a Sacado-style SFad scalar carrying 16
+// derivative components (the Jacobian evaluation — 8 nodes x 2 velocity
+// components per hexahedron, fixed at compile time exactly as the paper
+// describes).
+
+#include "ad/scalar_traits.hpp"
+#include "ad/sfad.hpp"
+
+namespace mali::physics {
+
+/// Number of element-local derivative components for the Jacobian.
+inline constexpr int kNumLocalDofs = 16;  // 8 nodes x 2 components
+
+struct ResidualEval {
+  using ScalarT = double;
+  using MeshScalarT = double;
+};
+
+struct JacobianEval {
+  using ScalarT = ad::SFad<double, kNumLocalDofs>;
+  using MeshScalarT = double;
+};
+
+}  // namespace mali::physics

@@ -1,0 +1,57 @@
+#pragma once
+// Flow-law and sliding-law constitutive models.
+//
+// Glen's flow-rate factor A depends strongly on temperature; MALI uses the
+// Paterson–Budd Arrhenius relation.  Basal sliding is either linear
+// (tau_b = beta u, the default the paper's test uses) or a Weertman power
+// law (tau_b = beta |u|^{m-1} u with m typically 1/3).
+
+#include <cmath>
+
+namespace mali::physics {
+
+/// Paterson–Budd Arrhenius flow-rate factor (Pa^-3 yr^-1).
+///
+/// A(T) = A0 exp(-Q / (R T*)) with the standard cold/warm split at 263.15 K
+/// and T* the pressure-melting-corrected temperature (we use T directly —
+/// the pressure correction is below the model's fidelity).
+[[nodiscard]] inline double paterson_budd_A(double temperature_K) noexcept {
+  constexpr double R = 8.314;  // J/mol/K
+  // Cold/warm branches; constants converted to Pa^-3 yr^-1.
+  constexpr double kSecPerYear = 3.1536e7;
+  if (temperature_K < 263.15) {
+    constexpr double A0 = 3.985e-13 * kSecPerYear;  // Pa^-3 yr^-1
+    constexpr double Q = 60.0e3;
+    return A0 * std::exp(-Q / (R * temperature_K));
+  }
+  constexpr double A0 = 1.916e3 * kSecPerYear;
+  constexpr double Q = 139.0e3;
+  return A0 * std::exp(-Q / (R * temperature_K));
+}
+
+enum class SlidingLaw {
+  kLinear,    ///< tau_b = beta u
+  kWeertman,  ///< tau_b = beta |u|^{m-1} u
+};
+
+struct SlidingConfig {
+  SlidingLaw law = SlidingLaw::kLinear;
+  double weertman_m = 1.0 / 3.0;
+  /// Speed regularization (m/yr)^2 keeping |u|^{m-1} finite at u = 0.
+  double u_reg2 = 1.0e-4;
+};
+
+/// Effective linearized friction factor: tau_b = friction_factor(u) * u.
+/// For the linear law this is beta; for Weertman it is
+/// beta (|u|^2 + u_reg^2)^{(m-1)/2}, differentiable in u through the AD
+/// scalar so the Jacobian picks up the full nonlinearity.
+template <class ScalarT>
+[[nodiscard]] ScalarT friction_factor(const SlidingConfig& cfg, double beta,
+                                      const ScalarT& u, const ScalarT& v) {
+  using std::pow;
+  if (cfg.law == SlidingLaw::kLinear) return ScalarT(beta);
+  const ScalarT speed2 = u * u + v * v + cfg.u_reg2;
+  return beta * pow(speed2, 0.5 * (cfg.weertman_m - 1.0));
+}
+
+}  // namespace mali::physics

@@ -1,0 +1,99 @@
+#pragma once
+// FusedStokesChain — the evaluator chain collapsed into a single kernel:
+// velocity gradient, Glen's-law viscosity, body force and the StokesFOResid
+// accumulation computed per cell with every intermediate (Ugrad, mu, force)
+// kept in registers.  The intermediate fields never touch memory, which is
+// the cross-kernel continuation of the paper's local-accumulation idea.
+// Numerically identical to the staged pipeline (asserted in tests).
+
+#include <cmath>
+#include <cstddef>
+
+#include "portability/common.hpp"
+#include "portability/view.hpp"
+
+namespace mali::physics {
+
+template <class ScalarType, template <class, std::size_t> class ViewT = pk::View>
+class FusedStokesChain {
+ public:
+  using ScalarT = ScalarType;
+  static constexpr int kMaxNodes = 8;
+
+  // Inputs.
+  ViewT<ScalarT, 3> UNodal;        ///< (C, N, 2) gathered solution
+  ViewT<double, 4> gradBF;         ///< (C, N, Q, 3)
+  ViewT<double, 4> wGradBF;        ///< (C, N, Q, 3)
+  ViewT<double, 3> wBF;            ///< (C, N, Q)
+  ViewT<double, 3> force_passive;  ///< (C, Q, 2)
+  // Output.
+  ViewT<ScalarT, 3> Residual;  ///< (C, N, 2)
+
+  double glen_A = 1.0e-16;
+  double glen_n = 3.0;
+  double eps_reg2 = 1.0e-10;
+  unsigned int numNodes = 8;
+  unsigned int numQPs = 8;
+
+  MALI_KERNEL_FUNCTION void operator()(const int& cell) const {
+    using std::pow;
+    const double coeff = 0.5 * pow(glen_A, -1.0 / glen_n);
+    const double expo = (1.0 - glen_n) / (2.0 * glen_n);
+
+    // Nodal values: each read exactly once from memory.
+    ScalarT un[kMaxNodes][2];
+    for (std::size_t node = 0; node < numNodes; ++node) {
+      un[node][0] = UNodal(cell, node, 0);
+      un[node][1] = UNodal(cell, node, 1);
+    }
+
+    ScalarT res0[kMaxNodes] = {};
+    ScalarT res1[kMaxNodes] = {};
+
+    for (std::size_t qp = 0; qp < numQPs; ++qp) {
+      // Velocity gradient, in registers.
+      ScalarT g[2][3] = {};
+      for (std::size_t node = 0; node < numNodes; ++node) {
+        for (int d = 0; d < 3; ++d) {
+          const double gb = gradBF(cell, node, qp, d);
+          g[0][d] += un[node][0] * gb;
+          g[1][d] += un[node][1] * gb;
+        }
+      }
+
+      // Glen's-law viscosity, in registers.
+      const ScalarT eps2 =
+          g[0][0] * g[0][0] + g[1][1] * g[1][1] + g[0][0] * g[1][1] +
+          0.25 * ((g[0][1] + g[1][0]) * (g[0][1] + g[1][0]) +
+                  g[0][2] * g[0][2] + g[1][2] * g[1][2]);
+      const ScalarT mu = coeff * pow(eps2 + eps_reg2, expo);
+
+      // Stress components and body force.
+      const ScalarT strs00 = 2.0 * mu * (2.0 * g[0][0] + g[1][1]);
+      const ScalarT strs11 = 2.0 * mu * (2.0 * g[1][1] + g[0][0]);
+      const ScalarT strs01 = mu * (g[0][1] + g[1][0]);
+      const ScalarT strs02 = mu * g[0][2];
+      const ScalarT strs12 = mu * g[1][2];
+      const double frc0 = force_passive(cell, qp, 0);
+      const double frc1 = force_passive(cell, qp, 1);
+
+      for (std::size_t node = 0; node < numNodes; ++node) {
+        res0[node] += strs00 * wGradBF(cell, node, qp, 0) +
+                      strs01 * wGradBF(cell, node, qp, 1) +
+                      strs02 * wGradBF(cell, node, qp, 2) +
+                      frc0 * wBF(cell, node, qp);
+        res1[node] += strs01 * wGradBF(cell, node, qp, 0) +
+                      strs11 * wGradBF(cell, node, qp, 1) +
+                      strs12 * wGradBF(cell, node, qp, 2) +
+                      frc1 * wBF(cell, node, qp);
+      }
+    }
+
+    for (std::size_t node = 0; node < numNodes; ++node) {
+      Residual(cell, node, 0) = res0[node];
+      Residual(cell, node, 1) = res1[node];
+    }
+  }
+};
+
+}  // namespace mali::physics

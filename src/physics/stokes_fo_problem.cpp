@@ -1,0 +1,554 @@
+#include "physics/stokes_fo_problem.hpp"
+
+#include <cmath>
+
+#include "ad/scalar_traits.hpp"
+#include "fem/cell_geometry.hpp"
+#include "fem/hex8.hpp"
+#include "fem/quadrature.hpp"
+#include "physics/evaluators.hpp"
+#include "physics/stokes_fo_resid.hpp"
+#include "portability/parallel.hpp"
+
+namespace mali::physics {
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kBaseline:
+      return "baseline";
+    case KernelVariant::kOptimized:
+      return "optimized";
+    case KernelVariant::kLoopOptOnly:
+      return "loop-opt-only";
+    case KernelVariant::kFusedOnly:
+      return "fusion-only";
+    case KernelVariant::kLocalAccumOnly:
+      return "local-accum-only";
+  }
+  return "unknown";
+}
+
+template <class ScalarT>
+void FieldSet<ScalarT>::allocate(std::size_t C, int N, int Q) {
+  if (allocated && Residual.extent(0) >= C) return;  // big enough: reuse
+  UNodal = pk::View<ScalarT, 3>("UNodal", C, N, 2);
+  Ugrad = pk::View<ScalarT, 4>("Ugrad", C, Q, 2, 3);
+  mu = pk::View<ScalarT, 2>("muLandIce", C, Q);
+  force = pk::View<ScalarT, 3>("force", C, Q, 2);
+  Residual = pk::View<ScalarT, 3>("Residual", C, N, 2);
+  allocated = true;
+}
+
+template struct FieldSet<double>;
+template struct FieldSet<JacobianEval::ScalarT>;
+
+StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
+    : cfg_(cfg), geom_(cfg.geometry) {
+  base_ = std::make_shared<mesh::QuadGrid>(geom_,
+                                           mesh::QuadGridConfig{cfg_.dx_m});
+  mesh_ = std::make_unique<mesh::ExtrudedMesh>(
+      base_, geom_, mesh::ExtrudedMeshConfig{cfg_.n_layers});
+  dof_map_ = std::make_unique<fem::DofMap>(*mesh_, cfg_.mms.enabled);
+  ws_ = fem::build_geometry(*mesh_, geom_);
+
+  // Driving-stress body force at quadrature points: f = rho g grad(s),
+  // evaluated at the qp's horizontal position via the trilinear map.
+  const std::size_t C = ws_.n_cells;
+  const int N = ws_.num_nodes;
+  const int Q = ws_.num_qps;
+  force_passive_ = pk::View<double, 3>("force_passive", C, Q, 2);
+  const auto qps = fem::gauss_hex(2);
+  const double rho_g = cfg_.constants.rho_g();
+  if (cfg_.mms.enabled) {
+    double fu = 0.0, fv = 0.0;
+    mms_forcing(cfg_.mms, fu, fv);
+    pk::parallel_for("mms_force", C, [&](int ci) {
+      const auto c = static_cast<std::size_t>(ci);
+      for (int q = 0; q < Q; ++q) {
+        force_passive_(c, q, 0) = fu;
+        force_passive_(c, q, 1) = fv;
+      }
+    });
+  } else {
+    pk::parallel_for("body_force", C, [&](int ci) {
+      const auto c = static_cast<std::size_t>(ci);
+      for (int q = 0; q < Q; ++q) {
+        double x = 0.0, y = 0.0;
+        for (int k = 0; k < N; ++k) {
+          const double bf =
+              fem::Hex8Basis::value(k, qps[static_cast<std::size_t>(q)].xi,
+                                    qps[static_cast<std::size_t>(q)].eta,
+                                    qps[static_cast<std::size_t>(q)].zeta);
+          x += bf * ws_.coords(c, k, 0);
+          y += bf * ws_.coords(c, k, 1);
+        }
+        double dsdx = 0.0, dsdy = 0.0;
+        geom_.surface_gradient(x, y, dsdx, dsdy);
+        force_passive_(c, q, 0) = rho_g * dsdx;
+        force_passive_(c, q, 1) = rho_g * dsdy;
+      }
+    });
+  }
+
+  // Imposed Dirichlet values: zero except in MMS mode, where boundary nodes
+  // carry the exact manufactured field.
+  dirichlet_values_.assign(n_dofs(), 0.0);
+  if (cfg_.mms.enabled) {
+    const auto exact = mms_exact();
+    for (std::size_t d : dof_map_->dirichlet_dofs()) {
+      dirichlet_values_[d] = exact[d];
+    }
+  }
+
+  // Temperature-dependent flow factor at quadrature points (thermal mode):
+  // A = paterson_budd_A(T(x, y, sigma)) with sigma from the qp elevation.
+  if (cfg_.thermal_viscosity) {
+    flow_factor_ = pk::View<double, 2>("flow_factor", C, Q);
+    pk::parallel_for("flow_factor", C, [&](int ci) {
+      const auto c = static_cast<std::size_t>(ci);
+      for (int q = 0; q < Q; ++q) {
+        double x = 0.0, y = 0.0, z = 0.0;
+        for (int k = 0; k < N; ++k) {
+          const auto& qp = qps[static_cast<std::size_t>(q)];
+          const double bf = fem::Hex8Basis::value(k, qp.xi, qp.eta, qp.zeta);
+          x += bf * ws_.coords(c, k, 0);
+          y += bf * ws_.coords(c, k, 1);
+          z += bf * ws_.coords(c, k, 2);
+        }
+        const double h =
+            std::max(geom_.thickness(x, y), geom_.config().min_thickness_m);
+        const double sigma =
+            std::clamp((z - geom_.bed(x, y)) / h, 0.0, 1.0);
+        flow_factor_(c, q) = paterson_budd_A(geom_.temperature(x, y, sigma));
+      }
+    });
+  }
+
+  // Reference QUAD4 basis values at the face quadrature points.
+  const auto fqps = fem::gauss_quad(2);
+  face_BF_ = pk::View<double, 2>("face_BF", 4, fqps.size());
+  for (int k = 0; k < 4; ++k) {
+    for (std::size_t q = 0; q < fqps.size(); ++q) {
+      face_BF_(k, q) = fem::Quad4Basis::value(k, fqps[q].xi, fqps[q].eta);
+    }
+  }
+
+  // Workset ranges: chunk the cells and attach each basal face to the
+  // workset owning its cell, with cell ids localized to the chunk.
+  const std::size_t ws_size =
+      cfg_.workset_size == 0 ? C : std::min(cfg_.workset_size, C);
+  const int Qf = ws_.face_qps;
+  for (std::size_t c0 = 0; c0 < C; c0 += ws_size) {
+    WorksetRange range;
+    range.c0 = c0;
+    range.count = std::min(ws_size, C - c0);
+    std::vector<std::size_t> faces;
+    for (std::size_t fidx = 0; fidx < ws_.n_basal_faces; ++fidx) {
+      const std::size_t cell = ws_.basal_face_cell(fidx);
+      if (cell >= c0 && cell < c0 + range.count) faces.push_back(fidx);
+    }
+    const std::size_t Fw = faces.size();
+    range.face_cell_local = pk::View<std::size_t, 1>("ws_face_cell", Fw);
+    range.face_wBF = pk::View<double, 3>("ws_face_wBF", Fw, 4, Qf);
+    range.face_beta = pk::View<double, 1>("ws_face_beta", Fw);
+    for (std::size_t i = 0; i < Fw; ++i) {
+      const std::size_t fidx = faces[i];
+      range.face_cell_local(i) = ws_.basal_face_cell(fidx) - c0;
+      range.face_beta(i) = ws_.basal_beta(fidx);
+      for (int k = 0; k < 4; ++k) {
+        for (int q = 0; q < Qf; ++q) {
+          range.face_wBF(i, k, q) = ws_.basal_wBF(fidx, k, q);
+        }
+      }
+    }
+    workset_ranges_.push_back(std::move(range));
+  }
+}
+
+linalg::CrsMatrix StokesFOProblem::create_matrix() const {
+  return linalg::CrsMatrix(dof_map_->row_ptr(), dof_map_->cols());
+}
+
+linalg::ExtrusionInfo StokesFOProblem::extrusion_info() const {
+  linalg::ExtrusionInfo info;
+  info.n_nodes = mesh_->n_nodes();
+  info.levels = mesh_->levels();
+  info.dofs_per_node = fem::DofMap::dofs_per_node;
+  const std::size_t n_cols = base_->n_nodes();
+  info.column_x.resize(n_cols);
+  info.column_y.resize(n_cols);
+  for (std::size_t c = 0; c < n_cols; ++c) {
+    info.column_x[c] = base_->node_x(c);
+    info.column_y[c] = base_->node_y(c);
+  }
+  info.dx = base_->dx();
+  return info;
+}
+
+template <class ScalarT>
+FieldSet<ScalarT>& StokesFOProblem::fields() {
+  if constexpr (ad::is_fad_v<ScalarT>) {
+    return jac_fields_;
+  } else {
+    return res_fields_;
+  }
+}
+
+template <class EvalT>
+FieldSet<typename EvalT::ScalarT>& StokesFOProblem::evaluate_fields(
+    const std::vector<double>& U) {
+  using ScalarT = typename EvalT::ScalarT;
+  MALI_CHECK(U.size() == n_dofs());
+  auto& f = fields<ScalarT>();
+  f.allocate(ws_.n_cells, ws_.num_nodes, ws_.num_qps);
+
+  pk::View<double, 1> Uview("U", U.size());
+  std::copy(U.begin(), U.end(), Uview.data());
+
+  GatherSolution<ScalarT> gather{Uview, ws_.cell_nodes, f.UNodal,
+                                 static_cast<unsigned>(ws_.num_nodes)};
+  pk::parallel_for("gather", ws_.n_cells, gather);
+
+  VelocityGradient<ScalarT> vgrad{f.UNodal, ws_.gradBF, f.Ugrad,
+                                  static_cast<unsigned>(ws_.num_nodes),
+                                  static_cast<unsigned>(ws_.num_qps)};
+  pk::parallel_for("velocity_gradient", ws_.n_cells, vgrad);
+
+  ViscosityFO<ScalarT> visc{f.Ugrad,
+                            f.mu,
+                            flow_factor_,
+                            cfg_.constants.glen_A,
+                            cfg_.constants.glen_n,
+                            cfg_.constants.eps_reg2,
+                            static_cast<unsigned>(ws_.num_qps),
+                            cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0};
+  pk::parallel_for("viscosity", ws_.n_cells, visc);
+
+  BodyForceFO<ScalarT> bf{force_passive_, f.force,
+                          static_cast<unsigned>(ws_.num_qps)};
+  pk::parallel_for("body_force_copy", ws_.n_cells, bf);
+  return f;
+}
+
+template FieldSet<ResidualEval::ScalarT>&
+StokesFOProblem::evaluate_fields<ResidualEval>(const std::vector<double>&);
+template FieldSet<JacobianEval::ScalarT>&
+StokesFOProblem::evaluate_fields<JacobianEval>(const std::vector<double>&);
+
+template <class EvalT>
+void StokesFOProblem::run_resid_kernel(KernelVariant v) {
+  using ScalarT = typename EvalT::ScalarT;
+  auto& f = fields<ScalarT>();
+  MALI_CHECK_MSG(f.allocated, "call evaluate_fields first");
+
+  StokesFOResid<ScalarT> kernel;
+  kernel.Ugrad = f.Ugrad;
+  kernel.muLandIce = f.mu;
+  kernel.force = f.force;
+  kernel.wGradBF = ws_.wGradBF;
+  kernel.wBF = ws_.wBF;
+  kernel.Residual = f.Residual;
+  kernel.numNodes = static_cast<unsigned>(ws_.num_nodes);
+  kernel.numQPs = static_cast<unsigned>(ws_.num_qps);
+  kernel.cond = false;
+
+  const std::size_t C = ws_.n_cells;
+  using pk::RangePolicy;
+  using Exec = pk::DefaultExec;
+  switch (v) {
+    case KernelVariant::kBaseline:
+      pk::parallel_for("StokesFOResid<baseline>",
+                       RangePolicy<Exec, LandIce_3D_Tag>(C), kernel);
+      break;
+    case KernelVariant::kOptimized:
+      pk::parallel_for("StokesFOResid<optimized>",
+                       RangePolicy<Exec, LandIce_3D_Opt_Tag<8>>(C), kernel);
+      break;
+    case KernelVariant::kLoopOptOnly:
+      pk::parallel_for("StokesFOResid<loop-opt>",
+                       RangePolicy<Exec, LandIce_3D_LoopOptOnly_Tag<8>>(C),
+                       kernel);
+      break;
+    case KernelVariant::kFusedOnly:
+      pk::parallel_for("StokesFOResid<fused>",
+                       RangePolicy<Exec, LandIce_3D_FusedOnly_Tag>(C), kernel);
+      break;
+    case KernelVariant::kLocalAccumOnly:
+      pk::parallel_for("StokesFOResid<local-accum>",
+                       RangePolicy<Exec, LandIce_3D_LocalAccumOnly_Tag>(C),
+                       kernel);
+      break;
+  }
+}
+
+template void StokesFOProblem::run_resid_kernel<ResidualEval>(KernelVariant);
+template void StokesFOProblem::run_resid_kernel<JacobianEval>(KernelVariant);
+
+template <class EvalT>
+void StokesFOProblem::assemble_workset(std::size_t w,
+                                       const pk::View<double, 1>& Uview,
+                                       std::vector<double>& F,
+                                       linalg::CrsMatrix* J) {
+  using ScalarT = typename EvalT::ScalarT;
+  const WorksetRange& range = workset_ranges_[w];
+  const std::size_t cnt = range.count;
+  auto& f = fields<ScalarT>();
+
+  // Workset windows over the global geometry arrays (no copies).
+  const auto cell_nodes = ws_.cell_nodes.window(range.c0, cnt);
+  const auto gradBF = ws_.gradBF.window(range.c0, cnt);
+  const auto wGradBF = ws_.wGradBF.window(range.c0, cnt);
+  const auto wBF = ws_.wBF.window(range.c0, cnt);
+  const auto force_passive = force_passive_.window(range.c0, cnt);
+  pk::View<double, 2> flow_factor;
+  if (flow_factor_.allocated()) {
+    flow_factor = flow_factor_.window(range.c0, cnt);
+  }
+
+  GatherSolution<ScalarT> gather{Uview, cell_nodes, f.UNodal,
+                                 static_cast<unsigned>(ws_.num_nodes)};
+  pk::parallel_for("gather", cnt, gather);
+
+  VelocityGradient<ScalarT> vgrad{f.UNodal, gradBF, f.Ugrad,
+                                  static_cast<unsigned>(ws_.num_nodes),
+                                  static_cast<unsigned>(ws_.num_qps)};
+  pk::parallel_for("velocity_gradient", cnt, vgrad);
+
+  ViscosityFO<ScalarT> visc{f.Ugrad,
+                            f.mu,
+                            flow_factor,
+                            cfg_.constants.glen_A,
+                            cfg_.constants.glen_n,
+                            cfg_.constants.eps_reg2,
+                            static_cast<unsigned>(ws_.num_qps),
+                            cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0};
+  pk::parallel_for("viscosity", cnt, visc);
+
+  BodyForceFO<ScalarT> bf{force_passive, f.force,
+                          static_cast<unsigned>(ws_.num_qps)};
+  pk::parallel_for("body_force_copy", cnt, bf);
+
+  // The paper's kernel, on this workset.
+  StokesFOResid<ScalarT> kernel;
+  kernel.Ugrad = f.Ugrad;
+  kernel.muLandIce = f.mu;
+  kernel.force = f.force;
+  kernel.wGradBF = wGradBF;
+  kernel.wBF = wBF;
+  kernel.Residual = f.Residual;
+  kernel.numNodes = static_cast<unsigned>(ws_.num_nodes);
+  kernel.numQPs = static_cast<unsigned>(ws_.num_qps);
+  kernel.cond = false;
+  using pk::RangePolicy;
+  using Exec = pk::DefaultExec;
+  switch (cfg_.variant) {
+    case KernelVariant::kBaseline:
+      pk::parallel_for("StokesFOResid", RangePolicy<Exec, LandIce_3D_Tag>(cnt),
+                       kernel);
+      break;
+    case KernelVariant::kOptimized:
+      pk::parallel_for("StokesFOResid",
+                       RangePolicy<Exec, LandIce_3D_Opt_Tag<8>>(cnt), kernel);
+      break;
+    case KernelVariant::kLoopOptOnly:
+      pk::parallel_for("StokesFOResid",
+                       RangePolicy<Exec, LandIce_3D_LoopOptOnly_Tag<8>>(cnt),
+                       kernel);
+      break;
+    case KernelVariant::kFusedOnly:
+      pk::parallel_for("StokesFOResid",
+                       RangePolicy<Exec, LandIce_3D_FusedOnly_Tag>(cnt),
+                       kernel);
+      break;
+    case KernelVariant::kLocalAccumOnly:
+      pk::parallel_for("StokesFOResid",
+                       RangePolicy<Exec, LandIce_3D_LocalAccumOnly_Tag>(cnt),
+                       kernel);
+      break;
+  }
+
+  // Basal friction contribution (adds to Residual); the manufactured
+  // verification imposes Dirichlet values at the bed instead.
+  if (!cfg_.mms.enabled) {
+    BasalFrictionResid<ScalarT> friction{
+        range.face_cell_local, range.face_wBF, range.face_beta,
+        f.UNodal,              f.Residual,     face_BF_,
+        static_cast<unsigned>(ws_.face_qps), cfg_.sliding};
+    pk::parallel_for("basal_friction",
+                     pk::RangePolicy<pk::Serial>(range.face_cell_local.size()),
+                     friction);
+  }
+
+  // Scatter (serial: rows are shared between cells).
+  const int N = ws_.num_nodes;
+  for (std::size_t c = 0; c < cnt; ++c) {
+    for (int node = 0; node < N; ++node) {
+      const std::size_t gnode = cell_nodes(c, node);
+      for (int comp = 0; comp < 2; ++comp) {
+        const std::size_t row = fem::DofMap::dof(gnode, comp);
+        const ScalarT& R = f.Residual(c, node, comp);
+        F[row] += ad::value_of(R);
+        if constexpr (ad::is_fad_v<ScalarT>) {
+          if (J != nullptr) {
+            for (int l = 0; l < kNumLocalDofs; ++l) {
+              const std::size_t col =
+                  fem::DofMap::dof(cell_nodes(c, l / 2), l % 2);
+              J->add(row, col, R.dx(l));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class EvalT>
+void StokesFOProblem::assemble(const std::vector<double>& U,
+                               std::vector<double>& F, linalg::CrsMatrix* J) {
+  using ScalarT = typename EvalT::ScalarT;
+  MALI_CHECK(U.size() == n_dofs());
+
+  // Field buffers at the workset size (allocated once, reused per chunk;
+  // the first range is the largest — the tail chunk can only be smaller).
+  const std::size_t ws_size =
+      workset_ranges_.empty() ? ws_.n_cells : workset_ranges_.front().count;
+  auto& f = fields<ScalarT>();
+  f.allocate(ws_size, ws_.num_nodes, ws_.num_qps);
+
+  pk::View<double, 1> Uview("U", U.size());
+  std::copy(U.begin(), U.end(), Uview.data());
+
+  F.assign(n_dofs(), 0.0);
+  for (std::size_t w = 0; w < workset_ranges_.size(); ++w) {
+    assemble_workset<EvalT>(w, Uview, F, J);
+  }
+
+  // Dirichlet rows: u = 0 on the lateral margin.  The rows are scaled to
+  // the interior stiffness magnitude so the preconditioners (in particular
+  // the AMG's Galerkin coarse operators) do not see a 1e13:1 scale split.
+  if (J != nullptr) {
+    double mean_diag = 0.0;
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < n_dofs(); ++r) {
+      if (dof_map_->is_dirichlet_dof(r)) continue;
+      mean_diag += std::abs(J->diagonal(r));
+      ++count;
+    }
+    if (count > 0 && mean_diag > 0.0) {
+      dirichlet_scale_ = mean_diag / static_cast<double>(count);
+    }
+  }
+  for (std::size_t d : dof_map_->dirichlet_dofs()) {
+    F[d] = dirichlet_scale_ * (U[d] - dirichlet_values_[d]);
+    if (J != nullptr) {
+      J->set_identity_row(d);
+      J->set(d, d, dirichlet_scale_);
+    }
+  }
+}
+
+void StokesFOProblem::residual(const std::vector<double>& U,
+                               std::vector<double>& F) {
+  assemble<ResidualEval>(U, F, nullptr);
+}
+
+void StokesFOProblem::residual_and_jacobian(const std::vector<double>& U,
+                                            std::vector<double>& F,
+                                            linalg::CrsMatrix& J) {
+  J.set_zero();
+  assemble<JacobianEval>(U, F, &J);
+}
+
+double StokesFOProblem::mean_velocity(const std::vector<double>& U) const {
+  MALI_CHECK(U.size() == n_dofs());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t node = 0; node < mesh_->n_nodes(); ++node) {
+    if (mesh_->is_dirichlet_node(node)) continue;
+    const double u = U[fem::DofMap::dof(node, 0)];
+    const double v = U[fem::DofMap::dof(node, 1)];
+    sum += std::sqrt(u * u + v * v);
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+void StokesFOProblem::set_temperature_field(
+    const std::function<double(double, double, double)>& temperature) {
+  const std::size_t C = ws_.n_cells;
+  const int N = ws_.num_nodes;
+  const int Q = ws_.num_qps;
+  if (!flow_factor_.allocated()) {
+    flow_factor_ = pk::View<double, 2>("flow_factor", C, Q);
+  }
+  const auto qps = fem::gauss_hex(2);
+  pk::parallel_for("set_temperature", C, [&](int ci) {
+    const auto c = static_cast<std::size_t>(ci);
+    for (int q = 0; q < Q; ++q) {
+      double x = 0.0, y = 0.0, z = 0.0;
+      for (int k = 0; k < N; ++k) {
+        const auto& qp = qps[static_cast<std::size_t>(q)];
+        const double bf = fem::Hex8Basis::value(k, qp.xi, qp.eta, qp.zeta);
+        x += bf * ws_.coords(c, k, 0);
+        y += bf * ws_.coords(c, k, 1);
+        z += bf * ws_.coords(c, k, 2);
+      }
+      const double h =
+          std::max(geom_.thickness(x, y), geom_.config().min_thickness_m);
+      const double sigma = std::clamp((z - geom_.bed(x, y)) / h, 0.0, 1.0);
+      flow_factor_(c, q) = paterson_budd_A(temperature(x, y, sigma));
+    }
+  });
+}
+
+double StokesFOProblem::mms_error(const std::vector<double>& U) const {
+  MALI_CHECK(U.size() == n_dofs());
+  const auto exact = mms_exact();
+  double err2 = 0.0;
+  for (std::size_t i = 0; i < U.size(); ++i) {
+    const double e = U[i] - exact[i];
+    err2 += e * e;
+  }
+  return std::sqrt(err2 / static_cast<double>(U.size()));
+}
+
+std::vector<double> StokesFOProblem::mms_exact() const {
+  std::vector<double> exact(n_dofs(), 0.0);
+  for (std::size_t node = 0; node < mesh_->n_nodes(); ++node) {
+    double u = 0.0, v = 0.0;
+    mms_velocity(cfg_.mms, mesh_->node_x(node), mesh_->node_y(node),
+                 mesh_->node_z(node), u, v);
+    exact[fem::DofMap::dof(node, 0)] = u;
+    exact[fem::DofMap::dof(node, 1)] = v;
+  }
+  return exact;
+}
+
+std::vector<double> StokesFOProblem::analytic_initial_guess() const {
+  // Shallow-ice-like speeds: u ~ -Gamma H^{n+1} |grad s|^{n-1} grad s with a
+  // simple vertical profile, giving the kernels realistic strain rates.
+  std::vector<double> U(n_dofs(), 0.0);
+  const double n = cfg_.constants.glen_n;
+  const double gamma = 2.0 * cfg_.constants.glen_A *
+                       std::pow(cfg_.constants.rho_g(), n) / (n + 2.0);
+  for (std::size_t node = 0; node < mesh_->n_nodes(); ++node) {
+    if (mesh_->is_dirichlet_node(node)) continue;
+    const double x = mesh_->node_x(node);
+    const double y = mesh_->node_y(node);
+    const double H = geom_.thickness(x, y);
+    double dsdx = 0.0, dsdy = 0.0;
+    geom_.surface_gradient(x, y, dsdx, dsdy);
+    const double slope = std::hypot(dsdx, dsdy);
+    const double level = static_cast<double>(mesh_->level_of(node));
+    const double sigma = level / static_cast<double>(cfg_.n_layers);
+    // Vertical shape function of the SIA profile.
+    const double shape = 1.0 - std::pow(1.0 - sigma, n + 1.0);
+    const double speed =
+        gamma * std::pow(H, n + 1.0) * std::pow(slope, n - 1.0) * shape;
+    U[fem::DofMap::dof(node, 0)] = -speed * dsdx;
+    U[fem::DofMap::dof(node, 1)] = -speed * dsdy;
+  }
+  return U;
+}
+
+}  // namespace mali::physics

@@ -1,0 +1,189 @@
+#pragma once
+// StokesFOProblem — the full first-order Stokes velocity solve: builds the
+// synthetic Antarctica mesh and FE arrays, runs the evaluator chain
+// (gather → Ugrad → viscosity → StokesFOResid variant → basal friction →
+// scatter), and implements the NonlinearProblem interface for the damped
+// Newton solver.  This is the MiniMALI analog of Albany's LandIce problem.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fem/dof_map.hpp"
+#include "fem/workset.hpp"
+#include "linalg/crs_matrix.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "mesh/extruded_mesh.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/constants.hpp"
+#include "physics/eval_types.hpp"
+#include "physics/flow_law.hpp"
+#include "physics/manufactured.hpp"
+#include "portability/view.hpp"
+
+namespace mali::physics {
+
+enum class KernelVariant {
+  kBaseline,
+  kOptimized,
+  kLoopOptOnly,
+  kFusedOnly,
+  kLocalAccumOnly,
+};
+
+[[nodiscard]] const char* to_string(KernelVariant v);
+
+struct StokesFOConfig {
+  mesh::IceGeometryConfig geometry{};
+  double dx_m = 16.0e3;  ///< the paper's 16 km resolution
+  int n_layers = 20;     ///< the paper's 20 extrusion layers
+  PhysicalConstants constants{};
+  KernelVariant variant = KernelVariant::kOptimized;
+  /// Cells per workset for chunked assembly (0 = one workset covering the
+  /// whole mesh).  Albany assembles in worksets to bound device memory; the
+  /// field buffers here are allocated at the workset size, so the 17-wide
+  /// SFad arrays of the Jacobian evaluation shrink proportionally.
+  std::size_t workset_size = 0;
+  /// Temperature-dependent Paterson–Budd flow factor instead of uniform A.
+  bool thermal_viscosity = false;
+  /// Basal sliding law (the paper's test uses the linear default).
+  SlidingConfig sliding{};
+  /// Manufactured-solution verification mode: constant viscosity, analytic
+  /// forcing, the exact field imposed on every boundary node, no friction.
+  MmsConfig mms{};
+};
+
+/// Per-evaluation-type field storage (double for Residual, SFad<double,16>
+/// for Jacobian), allocated lazily — the Jacobian set is ~17x larger.
+template <class ScalarT>
+struct FieldSet {
+  pk::View<ScalarT, 3> UNodal;    ///< (C, N, 2)
+  pk::View<ScalarT, 4> Ugrad;     ///< (C, Q, 2, 3)
+  pk::View<ScalarT, 2> mu;        ///< (C, Q)
+  pk::View<ScalarT, 3> force;     ///< (C, Q, 2)
+  pk::View<ScalarT, 3> Residual;  ///< (C, N, 2)
+  bool allocated = false;
+
+  void allocate(std::size_t C, int N, int Q);
+};
+
+class StokesFOProblem final : public nonlinear::NonlinearProblem {
+ public:
+  explicit StokesFOProblem(StokesFOConfig cfg);
+
+  // ---- NonlinearProblem ----
+  [[nodiscard]] std::size_t n_dofs() const override {
+    return dof_map_->n_dofs();
+  }
+  void residual(const std::vector<double>& U, std::vector<double>& F) override;
+  void residual_and_jacobian(const std::vector<double>& U,
+                             std::vector<double>& F,
+                             linalg::CrsMatrix& J) override;
+  [[nodiscard]] linalg::CrsMatrix create_matrix() const override;
+
+  // ---- accessors ----
+  [[nodiscard]] const StokesFOConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const mesh::IceGeometry& geometry() const noexcept {
+    return geom_;
+  }
+  [[nodiscard]] const mesh::ExtrudedMesh& mesh() const noexcept {
+    return *mesh_;
+  }
+  [[nodiscard]] const fem::GeometryWorkset& workset() const noexcept {
+    return ws_;
+  }
+  [[nodiscard]] const fem::DofMap& dof_map() const noexcept {
+    return *dof_map_;
+  }
+  [[nodiscard]] KernelVariant variant() const noexcept { return cfg_.variant; }
+  void set_variant(KernelVariant v) noexcept { cfg_.variant = v; }
+
+  /// Extrusion structure for the semicoarsening AMG preconditioner.
+  [[nodiscard]] linalg::ExtrusionInfo extrusion_info() const;
+
+  /// Runs the evaluator chain up to (but not including) StokesFOResid for
+  /// the given solution — used to stage realistic kernel inputs for the
+  /// benches.  EvalT is ResidualEval or JacobianEval.
+  template <class EvalT>
+  FieldSet<typename EvalT::ScalarT>& evaluate_fields(
+      const std::vector<double>& U);
+
+  /// Runs only the StokesFOResid kernel variant over all cells on the
+  /// currently staged fields (CPU wall-clock benchmarking).
+  template <class EvalT>
+  void run_resid_kernel(KernelVariant v);
+
+  /// Mean surface speed (m/yr) over non-Dirichlet nodes — the quantity the
+  /// paper's acceptance test compares against a stored reference.
+  [[nodiscard]] double mean_velocity(const std::vector<double>& U) const;
+
+  /// Nodal L2 error against the manufactured solution (MMS mode only).
+  [[nodiscard]] double mms_error(const std::vector<double>& U) const;
+
+  /// The manufactured solution sampled at every node (MMS mode only).
+  [[nodiscard]] std::vector<double> mms_exact() const;
+
+  /// Sets the strain-rate regularization (eps_reg^2) — the continuation
+  /// parameter Albany's homotopy uses to tame the Glen's-law nonlinearity.
+  void set_regularization(double eps_reg2) noexcept {
+    cfg_.constants.eps_reg2 = eps_reg2;
+  }
+
+  /// Replaces the flow-rate factor field with A(T) evaluated from the given
+  /// temperature function T(x, y, sigma) — the hook a thermal solver uses
+  /// to couple into the viscosity (see examples/thermal_coupling).
+  void set_temperature_field(
+      const std::function<double(double, double, double)>& temperature);
+
+  /// Physically-motivated initial guess (shallow-ice-like surface speeds),
+  /// used to stage realistic kernel inputs without a full solve.
+  [[nodiscard]] std::vector<double> analytic_initial_guess() const;
+
+ private:
+  template <class EvalT>
+  void assemble(const std::vector<double>& U, std::vector<double>& F,
+                linalg::CrsMatrix* J);
+
+  /// One chunk of the assembly: cells [c0, c0 + count).
+  template <class EvalT>
+  void assemble_workset(std::size_t w, const pk::View<double, 1>& Uview,
+                        std::vector<double>& F, linalg::CrsMatrix* J);
+
+  /// Per-workset cell range plus the basal faces owned by the range.
+  struct WorksetRange {
+    std::size_t c0 = 0;
+    std::size_t count = 0;
+    pk::View<std::size_t, 1> face_cell_local;  ///< (F_w) cell - c0
+    pk::View<double, 3> face_wBF;              ///< (F_w, 4, Qf)
+    pk::View<double, 1> face_beta;             ///< (F_w)
+  };
+  std::vector<WorksetRange> workset_ranges_;
+
+  StokesFOConfig cfg_;
+  mesh::IceGeometry geom_;
+  std::shared_ptr<const mesh::QuadGrid> base_;
+  std::unique_ptr<mesh::ExtrudedMesh> mesh_;
+  std::unique_ptr<fem::DofMap> dof_map_;
+  fem::GeometryWorkset ws_;
+  pk::View<double, 3> force_passive_;  ///< (C, Q, 2) rho*g*grad(s) at qps
+  pk::View<double, 2> face_BF_;        ///< (4, Qf) reference face basis
+  pk::View<double, 2> flow_factor_;    ///< (C, Q) A(T), thermal mode only
+
+  FieldSet<ResidualEval::ScalarT> res_fields_;
+  FieldSet<JacobianEval::ScalarT> jac_fields_;
+
+  /// Scale applied to Dirichlet rows/residual entries, updated from the
+  /// mean interior diagonal at each Jacobian assembly (keeps the system
+  /// well-conditioned for the multigrid; the solution is unaffected by the
+  /// row scaling).
+  double dirichlet_scale_ = 1.0;
+  /// Imposed Dirichlet values (zero except in MMS mode).
+  std::vector<double> dirichlet_values_;
+
+  template <class ScalarT>
+  FieldSet<ScalarT>& fields();
+};
+
+}  // namespace mali::physics

@@ -1,0 +1,272 @@
+#pragma once
+// StokesFOResid — the paper's kernel (Fig. 2): the per-cell evaluation of
+// the local Residual / Jacobian of the first-order Stokes equations.  The
+// same source serves both evaluations; the Jacobian instantiates ScalarT as
+// SFad<double,16>, which is why it moves ~16x more data.
+//
+// Variants (all numerically identical — asserted by the tests):
+//  * LandIce_3D_Tag            — BASELINE: zero-init loop, in-kernel branch,
+//                                separate stress/force qp loops, global
+//                                accumulation, runtime `unsigned` bounds.
+//  * LandIce_3D_Opt_Tag<N>     — OPTIMIZED: compile-time node count, size_t
+//                                indices, hoisted branch, one fused qp loop,
+//                                local accumulator arrays written back once.
+//  * ablation tags             — each optimization applied in isolation.
+//
+// The functor is additionally templated on the view template so the gpusim
+// TraceViews can be substituted for pk::Views without touching the kernel.
+
+#include <cstddef>
+
+#include "portability/common.hpp"
+#include "portability/view.hpp"
+
+namespace mali::physics {
+
+struct LandIce_3D_Tag {};
+template <int NumNodes>
+struct LandIce_3D_Opt_Tag {
+  static constexpr std::size_t num_nodes = NumNodes;
+};
+// Ablation tags: one optimization at a time.
+template <int NumNodes>
+struct LandIce_3D_LoopOptOnly_Tag {  // compile-time bounds + hoisted branch
+  static constexpr std::size_t num_nodes = NumNodes;
+};
+struct LandIce_3D_FusedOnly_Tag {};      // fused loops, global accumulation
+struct LandIce_3D_LocalAccumOnly_Tag {}; // local accumulation, separate loops
+
+template <class ScalarType, class MeshScalarType = double,
+          template <class, std::size_t> class ViewT = pk::View>
+class StokesFOResid {
+ public:
+  using ScalarT = ScalarType;
+  using MeshScalarT = MeshScalarType;
+
+  // Input fields (Albany names).
+  ViewT<ScalarT, 4> Ugrad;      ///< (C, Q, 2, 3) velocity gradient
+  ViewT<ScalarT, 2> muLandIce;  ///< (C, Q) effective viscosity
+  ViewT<ScalarT, 3> force;      ///< (C, Q, 2) driving-stress body force
+  ViewT<MeshScalarT, 4> wGradBF;  ///< (C, N, Q, 3)
+  ViewT<MeshScalarT, 3> wBF;      ///< (C, N, Q)
+  // Output.
+  ViewT<ScalarT, 3> Residual;  ///< (C, N, 2)
+
+  unsigned int numNodes = 8;
+  unsigned int numQPs = 8;
+  /// Configuration-dependent branch retained from the baseline (selects an
+  /// alternate 2D formulation in Albany; always false for the Antarctica
+  /// configuration — the optimized kernels hoist it out entirely).
+  bool cond = false;
+
+  // --------------------------------------------------------------------
+  // BASELINE (paper Fig. 2, left)
+  // --------------------------------------------------------------------
+  MALI_KERNEL_FUNCTION
+  void operator()(const LandIce_3D_Tag& /*tag*/, const int& cell) const {
+    for (unsigned int node = 0; node < numNodes; ++node) {
+      Residual(cell, node, 0) = ScalarT(0.);
+      Residual(cell, node, 1) = ScalarT(0.);
+    }
+
+    if (cond) {
+      // Alternate formulation; never taken for this configuration but kept
+      // in-kernel, as in the baseline, where it costs divergence.
+    } else {
+      for (unsigned int qp = 0; qp < numQPs; ++qp) {
+        ScalarT mu = muLandIce(cell, qp);
+        ScalarT strs00 = 2.0 * mu *
+                         (2.0 * Ugrad(cell, qp, 0, 0) + Ugrad(cell, qp, 1, 1));
+        ScalarT strs11 = 2.0 * mu *
+                         (2.0 * Ugrad(cell, qp, 1, 1) + Ugrad(cell, qp, 0, 0));
+        ScalarT strs01 =
+            mu * (Ugrad(cell, qp, 1, 0) + Ugrad(cell, qp, 0, 1));
+        ScalarT strs02 = mu * Ugrad(cell, qp, 0, 2);
+        ScalarT strs12 = mu * Ugrad(cell, qp, 1, 2);
+        for (unsigned int node = 0; node < numNodes; ++node) {
+          Residual(cell, node, 0) += strs00 * wGradBF(cell, node, qp, 0) +
+                                     strs01 * wGradBF(cell, node, qp, 1) +
+                                     strs02 * wGradBF(cell, node, qp, 2);
+          Residual(cell, node, 1) += strs01 * wGradBF(cell, node, qp, 0) +
+                                     strs11 * wGradBF(cell, node, qp, 1) +
+                                     strs12 * wGradBF(cell, node, qp, 2);
+        }
+      }
+    }
+
+    for (unsigned int qp = 0; qp < numQPs; ++qp) {
+      ScalarT frc0 = force(cell, qp, 0);
+      ScalarT frc1 = force(cell, qp, 1);
+      for (unsigned int node = 0; node < numNodes; ++node) {
+        Residual(cell, node, 0) += frc0 * wBF(cell, node, qp);
+        Residual(cell, node, 1) += frc1 * wBF(cell, node, qp);
+      }
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // OPTIMIZED (paper Fig. 2, right)
+  // --------------------------------------------------------------------
+  template <int NumNodes>
+  MALI_KERNEL_FUNCTION void operator()(
+      const LandIce_3D_Opt_Tag<NumNodes>& /*tag*/, const int& cell) const {
+    static constexpr std::size_t num_nodes = LandIce_3D_Opt_Tag<NumNodes>::num_nodes;
+    ScalarT res0[num_nodes] = {};
+    ScalarT res1[num_nodes] = {};
+
+    for (std::size_t qp = 0; qp < numQPs; ++qp) {
+      ScalarT mu = muLandIce(cell, qp);
+      ScalarT strs00 =
+          2.0 * mu * (2.0 * Ugrad(cell, qp, 0, 0) + Ugrad(cell, qp, 1, 1));
+      ScalarT strs11 =
+          2.0 * mu * (2.0 * Ugrad(cell, qp, 1, 1) + Ugrad(cell, qp, 0, 0));
+      ScalarT strs01 = mu * (Ugrad(cell, qp, 1, 0) + Ugrad(cell, qp, 0, 1));
+      ScalarT strs02 = mu * Ugrad(cell, qp, 0, 2);
+      ScalarT strs12 = mu * Ugrad(cell, qp, 1, 2);
+      ScalarT frc0 = force(cell, qp, 0);
+      ScalarT frc1 = force(cell, qp, 1);
+      for (std::size_t node = 0; node < num_nodes; ++node) {
+        res0[node] += strs00 * wGradBF(cell, node, qp, 0) +
+                      strs01 * wGradBF(cell, node, qp, 1) +
+                      strs02 * wGradBF(cell, node, qp, 2) +
+                      frc0 * wBF(cell, node, qp);
+        res1[node] += strs01 * wGradBF(cell, node, qp, 0) +
+                      strs11 * wGradBF(cell, node, qp, 1) +
+                      strs12 * wGradBF(cell, node, qp, 2) +
+                      frc1 * wBF(cell, node, qp);
+      }
+    }
+
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+      Residual(cell, node, 0) = res0[node];
+      Residual(cell, node, 1) = res1[node];
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // ABLATION: loop optimizations only (compile-time bounds, hoisted branch;
+  // loops stay separate and accumulation stays global).
+  // --------------------------------------------------------------------
+  template <int NumNodes>
+  MALI_KERNEL_FUNCTION void operator()(
+      const LandIce_3D_LoopOptOnly_Tag<NumNodes>& /*tag*/,
+      const int& cell) const {
+    static constexpr std::size_t num_nodes =
+        LandIce_3D_LoopOptOnly_Tag<NumNodes>::num_nodes;
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+      Residual(cell, node, 0) = ScalarT(0.);
+      Residual(cell, node, 1) = ScalarT(0.);
+    }
+    for (std::size_t qp = 0; qp < numQPs; ++qp) {
+      ScalarT mu = muLandIce(cell, qp);
+      ScalarT strs00 =
+          2.0 * mu * (2.0 * Ugrad(cell, qp, 0, 0) + Ugrad(cell, qp, 1, 1));
+      ScalarT strs11 =
+          2.0 * mu * (2.0 * Ugrad(cell, qp, 1, 1) + Ugrad(cell, qp, 0, 0));
+      ScalarT strs01 = mu * (Ugrad(cell, qp, 1, 0) + Ugrad(cell, qp, 0, 1));
+      ScalarT strs02 = mu * Ugrad(cell, qp, 0, 2);
+      ScalarT strs12 = mu * Ugrad(cell, qp, 1, 2);
+      for (std::size_t node = 0; node < num_nodes; ++node) {
+        Residual(cell, node, 0) += strs00 * wGradBF(cell, node, qp, 0) +
+                                   strs01 * wGradBF(cell, node, qp, 1) +
+                                   strs02 * wGradBF(cell, node, qp, 2);
+        Residual(cell, node, 1) += strs01 * wGradBF(cell, node, qp, 0) +
+                                   strs11 * wGradBF(cell, node, qp, 1) +
+                                   strs12 * wGradBF(cell, node, qp, 2);
+      }
+    }
+    for (std::size_t qp = 0; qp < numQPs; ++qp) {
+      ScalarT frc0 = force(cell, qp, 0);
+      ScalarT frc1 = force(cell, qp, 1);
+      for (std::size_t node = 0; node < num_nodes; ++node) {
+        Residual(cell, node, 0) += frc0 * wBF(cell, node, qp);
+        Residual(cell, node, 1) += frc1 * wBF(cell, node, qp);
+      }
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // ABLATION: loop fusion only (one qp loop including the force term, but
+  // runtime bounds, in-kernel branch, and global accumulation).
+  // --------------------------------------------------------------------
+  MALI_KERNEL_FUNCTION
+  void operator()(const LandIce_3D_FusedOnly_Tag& /*tag*/,
+                  const int& cell) const {
+    for (unsigned int node = 0; node < numNodes; ++node) {
+      Residual(cell, node, 0) = ScalarT(0.);
+      Residual(cell, node, 1) = ScalarT(0.);
+    }
+    if (cond) {
+    } else {
+      for (unsigned int qp = 0; qp < numQPs; ++qp) {
+        ScalarT mu = muLandIce(cell, qp);
+        ScalarT strs00 =
+            2.0 * mu * (2.0 * Ugrad(cell, qp, 0, 0) + Ugrad(cell, qp, 1, 1));
+        ScalarT strs11 =
+            2.0 * mu * (2.0 * Ugrad(cell, qp, 1, 1) + Ugrad(cell, qp, 0, 0));
+        ScalarT strs01 = mu * (Ugrad(cell, qp, 1, 0) + Ugrad(cell, qp, 0, 1));
+        ScalarT strs02 = mu * Ugrad(cell, qp, 0, 2);
+        ScalarT strs12 = mu * Ugrad(cell, qp, 1, 2);
+        ScalarT frc0 = force(cell, qp, 0);
+        ScalarT frc1 = force(cell, qp, 1);
+        for (unsigned int node = 0; node < numNodes; ++node) {
+          Residual(cell, node, 0) += strs00 * wGradBF(cell, node, qp, 0) +
+                                     strs01 * wGradBF(cell, node, qp, 1) +
+                                     strs02 * wGradBF(cell, node, qp, 2) +
+                                     frc0 * wBF(cell, node, qp);
+          Residual(cell, node, 1) += strs01 * wGradBF(cell, node, qp, 0) +
+                                     strs11 * wGradBF(cell, node, qp, 1) +
+                                     strs12 * wGradBF(cell, node, qp, 2) +
+                                     frc1 * wBF(cell, node, qp);
+        }
+      }
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // ABLATION: local accumulation only (local arrays written back once, but
+  // runtime bounds, in-kernel branch, and separate stress/force loops).
+  // --------------------------------------------------------------------
+  MALI_KERNEL_FUNCTION
+  void operator()(const LandIce_3D_LocalAccumOnly_Tag& /*tag*/,
+                  const int& cell) const {
+    constexpr int kMaxNodes = 8;
+    ScalarT res0[kMaxNodes] = {};
+    ScalarT res1[kMaxNodes] = {};
+    if (cond) {
+    } else {
+      for (unsigned int qp = 0; qp < numQPs; ++qp) {
+        ScalarT mu = muLandIce(cell, qp);
+        ScalarT strs00 =
+            2.0 * mu * (2.0 * Ugrad(cell, qp, 0, 0) + Ugrad(cell, qp, 1, 1));
+        ScalarT strs11 =
+            2.0 * mu * (2.0 * Ugrad(cell, qp, 1, 1) + Ugrad(cell, qp, 0, 0));
+        ScalarT strs01 = mu * (Ugrad(cell, qp, 1, 0) + Ugrad(cell, qp, 0, 1));
+        ScalarT strs02 = mu * Ugrad(cell, qp, 0, 2);
+        ScalarT strs12 = mu * Ugrad(cell, qp, 1, 2);
+        for (unsigned int node = 0; node < numNodes; ++node) {
+          res0[node] += strs00 * wGradBF(cell, node, qp, 0) +
+                        strs01 * wGradBF(cell, node, qp, 1) +
+                        strs02 * wGradBF(cell, node, qp, 2);
+          res1[node] += strs01 * wGradBF(cell, node, qp, 0) +
+                        strs11 * wGradBF(cell, node, qp, 1) +
+                        strs12 * wGradBF(cell, node, qp, 2);
+        }
+      }
+    }
+    for (unsigned int qp = 0; qp < numQPs; ++qp) {
+      ScalarT frc0 = force(cell, qp, 0);
+      ScalarT frc1 = force(cell, qp, 1);
+      for (unsigned int node = 0; node < numNodes; ++node) {
+        res0[node] += frc0 * wBF(cell, node, qp);
+        res1[node] += frc1 * wBF(cell, node, qp);
+      }
+    }
+    for (unsigned int node = 0; node < numNodes; ++node) {
+      Residual(cell, node, 0) = res0[node];
+      Residual(cell, node, 1) = res1[node];
+    }
+  }
+};
+
+}  // namespace mali::physics

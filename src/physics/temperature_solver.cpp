@@ -1,0 +1,109 @@
+#include "physics/temperature_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mali::physics {
+
+TemperatureColumnSolver::TemperatureColumnSolver(std::vector<double> z,
+                                                 TemperatureColumnConfig cfg)
+    : z_(std::move(z)), cfg_(cfg) {
+  MALI_CHECK_MSG(z_.size() >= 3, "temperature column needs >= 3 nodes");
+  for (std::size_t i = 1; i < z_.size(); ++i) {
+    MALI_CHECK_MSG(z_[i] > z_[i - 1], "column nodes must increase bed->surface");
+  }
+}
+
+std::vector<double> TemperatureColumnSolver::solve(
+    const std::vector<double>& T_old, const ColumnForcing& forcing,
+    double dt) const {
+  const std::size_t n = z_.size();
+  const bool transient = dt > 0.0;
+  MALI_CHECK(!transient || T_old.size() == n);
+  MALI_CHECK(forcing.vertical_velocity.empty() ||
+             forcing.vertical_velocity.size() == n);
+  MALI_CHECK(forcing.strain_heating.empty() ||
+             forcing.strain_heating.size() == n);
+
+  auto w_at = [&](std::size_t i) {
+    return forcing.vertical_velocity.empty() ? 0.0
+                                             : forcing.vertical_velocity[i];
+  };
+  auto q_at = [&](std::size_t i) {
+    return forcing.strain_heating.empty() ? 0.0 : forcing.strain_heating[i];
+  };
+
+  // Tridiagonal system  a_i T_{i-1} + b_i T_i + c_i T_{i+1} = d_i.
+  std::vector<double> a(n, 0.0), b(n, 0.0), c(n, 0.0), d(n, 0.0);
+
+  // Interior: backward Euler on diffusion + upwinded advection.
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double hm = z_[i] - z_[i - 1];
+    const double hp = z_[i + 1] - z_[i];
+    // Nonuniform central second derivative.
+    const double dm = 2.0 * cfg_.kappa / (hm * (hm + hp));
+    const double dp = 2.0 * cfg_.kappa / (hp * (hm + hp));
+    a[i] = -dm;
+    c[i] = -dp;
+    b[i] = dm + dp;
+    // Upwind advection -w dT/dz.
+    const double w = w_at(i);
+    if (w > 0.0) {  // upward flow: upwind from below
+      a[i] += -w / hm;
+      b[i] += w / hm;
+    } else {  // downward: upwind from above
+      b[i] += -w / hp;
+      c[i] += w / hp;
+    }
+    d[i] = q_at(i) / cfg_.rho_c;
+    if (transient) {
+      b[i] += 1.0 / dt;
+      d[i] += T_old[i] / dt;
+    }
+  }
+
+  // Basal Neumann: -k dT/dz = geothermal flux (into the ice from below),
+  // one-sided first-order: (T1 - T0)/h0 = -G/k  =>  T0 - T1 = G h0 / k.
+  const double h0 = z_[1] - z_[0];
+  b[0] = 1.0;
+  c[0] = -1.0;
+  d[0] = forcing.geothermal_flux * h0 / cfg_.conductivity;
+
+  // Surface Dirichlet.
+  b[n - 1] = 1.0;
+  d[n - 1] = forcing.surface_temperature;
+
+  // Thomas algorithm.
+  std::vector<double> cp(n, 0.0), dp_(n, 0.0), T(n, 0.0);
+  cp[0] = c[0] / b[0];
+  dp_[0] = d[0] / b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = b[i] - a[i] * cp[i - 1];
+    MALI_CHECK_MSG(m != 0.0, "temperature solve: singular tridiagonal");
+    cp[i] = c[i] / m;
+    dp_[i] = (d[i] - a[i] * dp_[i - 1]) / m;
+  }
+  T[n - 1] = dp_[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    T[i] = dp_[i] - cp[i] * T[i + 1];
+  }
+
+  if (cfg_.clamp_to_melting) {
+    for (auto& t : T) t = std::min(t, cfg_.melting_point);
+  }
+  return T;
+}
+
+void TemperatureColumnSolver::step(std::vector<double>& T,
+                                   const ColumnForcing& forcing,
+                                   double dt) const {
+  MALI_CHECK(dt > 0.0);
+  T = solve(T, forcing, dt);
+}
+
+std::vector<double> TemperatureColumnSolver::steady_state(
+    const ColumnForcing& forcing) const {
+  return solve({}, forcing, 0.0);
+}
+
+}  // namespace mali::physics

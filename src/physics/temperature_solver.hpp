@@ -1,0 +1,69 @@
+#pragma once
+// Vertical temperature column solver — MALI's thermal model substrate.
+//
+// Ice temperature in an ice sheet is governed, column by column, by
+// vertical diffusion, vertical advection, and strain/frictional heating:
+//
+//   dT/dt = kappa d2T/dz2 - w dT/dz + Q/(rho c)
+//
+// with a Dirichlet surface temperature and a basal geothermal heat flux
+// (Neumann).  MALI splits the 3D enthalpy problem into per-column solves
+// on the extruded mesh; MiniMALI implements the same: an implicit
+// (backward-Euler) discretization per column, solved with the Thomas
+// tridiagonal algorithm, plus a steady-state mode.  Units: meters, years,
+// Kelvin.
+
+#include <cstddef>
+#include <vector>
+
+#include "portability/common.hpp"
+
+namespace mali::physics {
+
+struct TemperatureColumnConfig {
+  double kappa = 36.0;          ///< thermal diffusivity of ice, m^2/yr (~1.1e-6 m^2/s)
+  double rho_c = 1.8e6;         ///< volumetric heat capacity, J/(m^3 K)
+  double conductivity = 6.6e7;  ///< thermal conductivity, J/(m yr K) (~2.1 W/(m K))
+  double melting_point = 273.15;
+  bool clamp_to_melting = true; ///< cap temperatures at the pressure-melting point
+};
+
+/// One column's boundary data and forcing.
+struct ColumnForcing {
+  double surface_temperature;        ///< K (Dirichlet at the top)
+  double geothermal_flux = 1.9e6;    ///< J/(m^2 yr) (~60 mW/m^2), into the ice
+  std::vector<double> vertical_velocity;  ///< w at nodes, m/yr (negative = down)
+  std::vector<double> strain_heating;     ///< Q at nodes, J/(m^3 yr)
+};
+
+/// Implicit solver for one vertical column with fixed node elevations.
+class TemperatureColumnSolver {
+ public:
+  /// `z` are the node elevations (strictly increasing, bed to surface).
+  TemperatureColumnSolver(std::vector<double> z,
+                          TemperatureColumnConfig cfg = {});
+
+  [[nodiscard]] std::size_t n_nodes() const noexcept { return z_.size(); }
+  [[nodiscard]] const std::vector<double>& z() const noexcept { return z_; }
+
+  /// Advances T (bed..surface) by dt with backward Euler; T is updated in
+  /// place.  Forcing vectors must have n_nodes() entries (or be empty for
+  /// zero advection/heating).
+  void step(std::vector<double>& T, const ColumnForcing& forcing,
+            double dt) const;
+
+  /// Steady state (dT/dt = 0): solves the boundary-value problem directly.
+  [[nodiscard]] std::vector<double> steady_state(
+      const ColumnForcing& forcing) const;
+
+ private:
+  /// Assembles and solves the tridiagonal system for the given dt
+  /// (dt <= 0 means steady state).
+  std::vector<double> solve(const std::vector<double>& T_old,
+                            const ColumnForcing& forcing, double dt) const;
+
+  std::vector<double> z_;
+  TemperatureColumnConfig cfg_;
+};
+
+}  // namespace mali::physics

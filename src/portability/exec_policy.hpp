@@ -1,0 +1,60 @@
+#pragma once
+// Execution policies with Kokkos-style work tags.
+//
+// Albany dispatches one functor over multiple physics configurations by
+// tagging operator() overloads (e.g. `operator()(const LandIce_3D_Tag&, int)`).
+// RangePolicy carries an optional WorkTag plus LaunchBounds; parallel_for
+// selects the tagged overload when a tag is present.
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+
+#include "portability/common.hpp"
+#include "portability/launch_bounds.hpp"
+
+namespace mali::pk {
+
+struct Serial {};   ///< single-thread backend
+struct Threads {};  ///< thread-pool backend
+
+#ifndef MALI_DEFAULT_EXEC_SERIAL
+using DefaultExec = Threads;
+#else
+using DefaultExec = Serial;
+#endif
+
+template <class ExecSpace = DefaultExec, class WorkTag = void,
+          class Bounds = LaunchBounds<>>
+class RangePolicy {
+ public:
+  using exec_space = ExecSpace;
+  using work_tag = WorkTag;
+  using launch_bounds = Bounds;
+
+  RangePolicy(std::size_t begin, std::size_t end) : begin_(begin), end_(end) {}
+  explicit RangePolicy(std::size_t end) : begin_(0), end_(end) {}
+
+  [[nodiscard]] std::size_t begin() const noexcept { return begin_; }
+  [[nodiscard]] std::size_t end() const noexcept { return end_; }
+  [[nodiscard]] std::size_t size() const noexcept { return end_ - begin_; }
+
+ private:
+  std::size_t begin_;
+  std::size_t end_;
+};
+
+namespace detail {
+
+template <class Functor, class WorkTag>
+MALI_INLINE void invoke(const Functor& f, std::size_t i) {
+  if constexpr (std::is_void_v<WorkTag>) {
+    f(static_cast<int>(i));
+  } else {
+    f(WorkTag{}, static_cast<int>(i));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace mali::pk

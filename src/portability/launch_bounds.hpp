@@ -1,0 +1,41 @@
+#pragma once
+// Launch-bounds hints, mirroring Kokkos::LaunchBounds<MaxThreads,MinBlocks>.
+//
+// On a real GPU these bound the compiler's register budget and the runtime's
+// block size.  In MiniMALI they are consumed by the gpusim register-allocation
+// and occupancy models (Table II of the paper); on the CPU backends they only
+// influence the work-chunking of the thread pool.
+
+#include <cstddef>
+
+namespace mali::pk {
+
+/// Compile-time launch bounds, as used in Kokkos execution policies.
+template <unsigned MaxThreads = 0, unsigned MinBlocks = 0>
+struct LaunchBounds {
+  static constexpr unsigned max_threads = MaxThreads;
+  static constexpr unsigned min_blocks = MinBlocks;
+};
+
+/// Runtime representation of a kernel-launch configuration.
+///
+/// `max_threads == 0` means "vendor default": the paper reports Kokkos
+/// defaults of 256 threads/block for the Jacobian and 1024 for the Residual
+/// on MI250X, and 128 on A100.
+struct LaunchConfig {
+  unsigned max_threads = 0;
+  unsigned min_blocks = 0;
+
+  [[nodiscard]] constexpr bool is_default() const noexcept {
+    return max_threads == 0;
+  }
+  friend constexpr bool operator==(const LaunchConfig&,
+                                   const LaunchConfig&) = default;
+};
+
+template <class LB>
+constexpr LaunchConfig to_launch_config() noexcept {
+  return LaunchConfig{LB::max_threads, LB::min_blocks};
+}
+
+}  // namespace mali::pk

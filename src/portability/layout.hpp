@@ -1,0 +1,47 @@
+#pragma once
+// Memory layouts for multidimensional views.
+//
+// LayoutLeft places the leftmost index at stride 1 — the Kokkos default for
+// GPU memory spaces, where the leftmost ("cell") index maps to consecutive
+// threads so that a warp's simultaneous accesses coalesce.  LayoutRight is
+// the C/row-major layout, the Kokkos default on host.
+
+#include <array>
+#include <cstddef>
+
+#include "portability/common.hpp"
+
+namespace mali::pk {
+
+inline constexpr std::size_t kMaxRank = 6;
+
+struct LayoutLeft {
+  /// strides[d] for extents e: stride grows left-to-right.
+  template <std::size_t Rank>
+  static constexpr std::array<std::size_t, Rank> strides(
+      const std::array<std::size_t, Rank>& e) noexcept {
+    std::array<std::size_t, Rank> s{};
+    std::size_t acc = 1;
+    for (std::size_t d = 0; d < Rank; ++d) {
+      s[d] = acc;
+      acc *= e[d];
+    }
+    return s;
+  }
+};
+
+struct LayoutRight {
+  template <std::size_t Rank>
+  static constexpr std::array<std::size_t, Rank> strides(
+      const std::array<std::size_t, Rank>& e) noexcept {
+    std::array<std::size_t, Rank> s{};
+    std::size_t acc = 1;
+    for (std::size_t d = Rank; d-- > 0;) {
+      s[d] = acc;
+      acc *= e[d];
+    }
+    return s;
+  }
+};
+
+}  // namespace mali::pk

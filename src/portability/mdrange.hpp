@@ -1,0 +1,95 @@
+#pragma once
+// MDRangePolicy — multidimensional parallel iteration, the pk analog of
+// Kokkos::MDRangePolicy.  Albany dispatches (cell, qp) and (cell, node, qp)
+// shaped loops this way; MiniMALI flattens the iteration space and hands
+// contiguous chunks to the backend, invoking the functor with unpacked
+// indices (leftmost index slowest, matching Kokkos' default iteration
+// order for LayoutLeft data).
+
+#include <array>
+#include <cstddef>
+
+#include "portability/exec_policy.hpp"
+#include "portability/thread_pool.hpp"
+
+namespace mali::pk {
+
+template <std::size_t Rank, class ExecSpace = DefaultExec>
+class MDRangePolicy {
+  static_assert(Rank >= 2 && Rank <= 4, "MDRange rank must be 2..4");
+
+ public:
+  using exec_space = ExecSpace;
+  static constexpr std::size_t rank = Rank;
+
+  explicit MDRangePolicy(const std::array<std::size_t, Rank>& upper)
+      : upper_(upper) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t s = 1;
+    for (auto u : upper_) s *= u;
+    return s;
+  }
+  [[nodiscard]] std::size_t extent(std::size_t d) const noexcept {
+    return upper_[d];
+  }
+
+  /// Unflattens a linear index; index 0 is slowest (row-major traversal).
+  [[nodiscard]] std::array<std::size_t, Rank> unflatten(
+      std::size_t lin) const noexcept {
+    std::array<std::size_t, Rank> idx{};
+    for (std::size_t d = Rank; d-- > 0;) {
+      idx[d] = lin % upper_[d];
+      lin /= upper_[d];
+    }
+    return idx;
+  }
+
+ private:
+  std::array<std::size_t, Rank> upper_;
+};
+
+namespace detail {
+
+template <class Functor, std::size_t Rank>
+MALI_INLINE void invoke_md(const Functor& f,
+                           const std::array<std::size_t, Rank>& idx) {
+  if constexpr (Rank == 2) {
+    f(static_cast<int>(idx[0]), static_cast<int>(idx[1]));
+  } else if constexpr (Rank == 3) {
+    f(static_cast<int>(idx[0]), static_cast<int>(idx[1]),
+      static_cast<int>(idx[2]));
+  } else {
+    f(static_cast<int>(idx[0]), static_cast<int>(idx[1]),
+      static_cast<int>(idx[2]), static_cast<int>(idx[3]));
+  }
+}
+
+}  // namespace detail
+
+template <std::size_t Rank, class ExecSpace, class Functor>
+void parallel_for(const std::string& /*label*/,
+                  const MDRangePolicy<Rank, ExecSpace>& policy,
+                  const Functor& f) {
+  const std::size_t n = policy.size();
+  if constexpr (std::is_same_v<ExecSpace, Serial>) {
+    for (std::size_t lin = 0; lin < n; ++lin) {
+      detail::invoke_md<Functor, Rank>(f, policy.unflatten(lin));
+    }
+  } else {
+    ThreadPool::instance().parallel_range(
+        0, n, [&](std::size_t b, std::size_t e) {
+          for (std::size_t lin = b; lin < e; ++lin) {
+            detail::invoke_md<Functor, Rank>(f, policy.unflatten(lin));
+          }
+        });
+  }
+}
+
+template <std::size_t Rank, class ExecSpace, class Functor>
+void parallel_for(const MDRangePolicy<Rank, ExecSpace>& policy,
+                  const Functor& f) {
+  parallel_for("mali::pk::md_parallel_for", policy, f);
+}
+
+}  // namespace mali::pk

@@ -1,0 +1,71 @@
+#pragma once
+// Host/device mirror semantics — the remaining piece of the Kokkos view
+// API surface Albany uses.  MiniMALI's "device" is the host, so a mirror
+// is a fresh allocation of the same shape and deep_copy is an element-wise
+// copy; the point is that code written against this API is source-
+// compatible with the real Kokkos idioms:
+//
+//   auto h = pk::create_mirror_view(dev);
+//   pk::deep_copy(h, dev);      // device -> host
+//   ... modify h ...
+//   pk::deep_copy(dev, h);      // host -> device
+
+#include <cstddef>
+
+#include "portability/view.hpp"
+
+namespace mali::pk {
+
+/// A fresh host view of the same label/extents (always a new allocation —
+/// the conservative Kokkos behaviour of create_mirror()).
+template <class T, std::size_t Rank, class Layout>
+[[nodiscard]] View<T, Rank, Layout> create_mirror(
+    const View<T, Rank, Layout>& v) {
+  View<T, Rank, Layout> m = [&] {
+    if constexpr (Rank == 1) {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0));
+    } else if constexpr (Rank == 2) {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0),
+                                   v.extent(1));
+    } else if constexpr (Rank == 3) {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0),
+                                   v.extent(1), v.extent(2));
+    } else if constexpr (Rank == 4) {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0),
+                                   v.extent(1), v.extent(2), v.extent(3));
+    } else if constexpr (Rank == 5) {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0),
+                                   v.extent(1), v.extent(2), v.extent(3),
+                                   v.extent(4));
+    } else {
+      return View<T, Rank, Layout>(v.label() + "_mirror", v.extent(0),
+                                   v.extent(1), v.extent(2), v.extent(3),
+                                   v.extent(4), v.extent(5));
+    }
+  }();
+  return m;
+}
+
+/// Host and device share a memory space here, so the mirror *view* is the
+/// view itself (zero-copy), exactly like Kokkos on a host-only build.
+template <class T, std::size_t Rank, class Layout>
+[[nodiscard]] View<T, Rank, Layout> create_mirror_view(
+    const View<T, Rank, Layout>& v) {
+  return v;
+}
+
+/// Element-wise copy between views of identical extents.
+template <class T, std::size_t Rank, class Layout>
+void deep_copy(const View<T, Rank, Layout>& dst,
+               const View<T, Rank, Layout>& src) {
+  if (dst.same_data(src)) return;  // mirror_view alias: nothing to do
+  dst.deep_copy_from(src);
+}
+
+/// Fill overload, mirroring Kokkos::deep_copy(view, value).
+template <class T, std::size_t Rank, class Layout>
+void deep_copy(const View<T, Rank, Layout>& dst, const T& value) {
+  dst.fill(value);
+}
+
+}  // namespace mali::pk

@@ -1,0 +1,89 @@
+#pragma once
+// parallel_for / parallel_reduce — the pk-layer analog of Kokkos parallel
+// dispatch.  Functors may expose either `operator()(int)` or the tagged form
+// `operator()(const Tag&, int)`; reductions additionally take an accumulator
+// reference, as in Kokkos.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "portability/exec_policy.hpp"
+#include "portability/thread_pool.hpp"
+
+namespace mali::pk {
+
+template <class ExecSpace, class WorkTag, class Bounds, class Functor>
+void parallel_for(const std::string& /*label*/,
+                  const RangePolicy<ExecSpace, WorkTag, Bounds>& policy,
+                  const Functor& f) {
+  if constexpr (std::is_same_v<ExecSpace, Serial>) {
+    for (std::size_t i = policy.begin(); i < policy.end(); ++i) {
+      detail::invoke<Functor, WorkTag>(f, i);
+    }
+  } else {
+    ThreadPool::instance().parallel_range(
+        policy.begin(), policy.end(), [&f](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            detail::invoke<Functor, WorkTag>(f, i);
+          }
+        });
+  }
+}
+
+/// Unlabeled overload, for terseness in tests and examples.
+template <class ExecSpace, class WorkTag, class Bounds, class Functor>
+void parallel_for(const RangePolicy<ExecSpace, WorkTag, Bounds>& policy,
+                  const Functor& f) {
+  parallel_for("mali::pk::parallel_for", policy, f);
+}
+
+/// Simple flat-range parallel_for over [0, n).
+template <class Functor>
+void parallel_for(const std::string& label, std::size_t n, const Functor& f) {
+  parallel_for(label, RangePolicy<>(n), f);
+}
+
+/// Sum-reduction: functor signature `void(int, Value&)` (or tagged).
+template <class ExecSpace, class WorkTag, class Bounds, class Functor,
+          class Value>
+void parallel_reduce(const std::string& /*label*/,
+                     const RangePolicy<ExecSpace, WorkTag, Bounds>& policy,
+                     const Functor& f, Value& result) {
+  Value total{};
+  if constexpr (std::is_same_v<ExecSpace, Serial>) {
+    for (std::size_t i = policy.begin(); i < policy.end(); ++i) {
+      if constexpr (std::is_void_v<WorkTag>) {
+        f(static_cast<int>(i), total);
+      } else {
+        f(WorkTag{}, static_cast<int>(i), total);
+      }
+    }
+  } else {
+    std::mutex mu;
+    ThreadPool::instance().parallel_range(
+        policy.begin(), policy.end(),
+        [&f, &mu, &total](std::size_t b, std::size_t e) {
+          Value local{};
+          for (std::size_t i = b; i < e; ++i) {
+            if constexpr (std::is_void_v<WorkTag>) {
+              f(static_cast<int>(i), local);
+            } else {
+              f(WorkTag{}, static_cast<int>(i), local);
+            }
+          }
+          std::lock_guard<std::mutex> lk(mu);
+          total += local;
+        });
+  }
+  result = total;
+}
+
+template <class Functor, class Value>
+void parallel_reduce(const std::string& label, std::size_t n, const Functor& f,
+                     Value& result) {
+  parallel_reduce(label, RangePolicy<>(n), f, result);
+}
+
+}  // namespace mali::pk

@@ -1,0 +1,99 @@
+#pragma once
+// Profiling regions — the pk analog of Kokkos::Profiling::pushRegion /
+// popRegion plus a per-kernel invocation log.  The paper's methodology
+// leans on per-kernel "time per invocation" from Nsight/rocprof; on the
+// host side this registry provides the same view of the evaluator chain:
+// every region records call count, total and maximum time, and regions
+// nest into dotted paths ("newton.assemble.viscosity").
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "portability/timer.hpp"
+
+namespace mali::pk {
+
+class Profiling {
+ public:
+  struct RegionStats {
+    std::size_t calls = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+    [[nodiscard]] double mean_s() const {
+      return calls == 0 ? 0.0 : total_s / static_cast<double>(calls);
+    }
+  };
+
+  static Profiling& instance() {
+    static Profiling p;
+    return p;
+  }
+
+  void push_region(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stack_.push_back({name, Timer{}});
+  }
+
+  void pop_region() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stack_.empty()) return;
+    const double elapsed = stack_.back().timer.seconds();
+    std::string path;
+    for (const auto& fr : stack_) {
+      if (!path.empty()) path += '.';
+      path += fr.name;
+    }
+    auto& s = stats_[path];
+    ++s.calls;
+    s.total_s += elapsed;
+    s.max_s = std::max(s.max_s, elapsed);
+    stack_.pop_back();
+  }
+
+  [[nodiscard]] RegionStats stats(const std::string& path) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = stats_.find(path);
+    return it == stats_.end() ? RegionStats{} : it->second;
+  }
+
+  [[nodiscard]] std::map<std::string, RegionStats> all() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.clear();
+    stack_.clear();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stack_.size();
+  }
+
+ private:
+  struct Frame {
+    std::string name;
+    Timer timer;
+  };
+  mutable std::mutex mu_;
+  std::vector<Frame> stack_;
+  std::map<std::string, RegionStats> stats_;
+};
+
+/// RAII region guard.
+class ScopedRegion {
+ public:
+  explicit ScopedRegion(const std::string& name) {
+    Profiling::instance().push_region(name);
+  }
+  ~ScopedRegion() { Profiling::instance().pop_region(); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+};
+
+}  // namespace mali::pk

@@ -1,0 +1,102 @@
+#pragma once
+// Reducer objects and parallel_scan — the remaining Kokkos dispatch shapes
+// Albany relies on (Min/Max/Sum reducers for convergence monitors and
+// diagnostics; exclusive scans for workset offsets and compactions).
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "portability/exec_policy.hpp"
+#include "portability/thread_pool.hpp"
+
+namespace mali::pk {
+
+/// Kokkos-style reducer concepts: join two partials, identity element.
+template <class T>
+struct Sum {
+  using value_type = T;
+  static constexpr T identity() { return T(0); }
+  static void join(T& dst, const T& src) { dst += src; }
+};
+
+template <class T>
+struct Min {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  static void join(T& dst, const T& src) { dst = std::min(dst, src); }
+};
+
+template <class T>
+struct Max {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  static void join(T& dst, const T& src) { dst = std::max(dst, src); }
+};
+
+/// parallel_reduce with an explicit reducer: functor signature
+/// void(int i, T& partial).
+template <class Reducer, class ExecSpace = DefaultExec, class Functor>
+[[nodiscard]] typename Reducer::value_type reduce(
+    const std::string& /*label*/, std::size_t n, const Functor& f) {
+  using T = typename Reducer::value_type;
+  T total = Reducer::identity();
+  if constexpr (std::is_same_v<ExecSpace, Serial>) {
+    for (std::size_t i = 0; i < n; ++i) {
+      T partial = Reducer::identity();
+      f(static_cast<int>(i), partial);
+      Reducer::join(total, partial);
+    }
+  } else {
+    std::mutex mu;
+    ThreadPool::instance().parallel_range(
+        0, n, [&](std::size_t b, std::size_t e) {
+          T local = Reducer::identity();
+          for (std::size_t i = b; i < e; ++i) {
+            T partial = Reducer::identity();
+            f(static_cast<int>(i), partial);
+            Reducer::join(local, partial);
+          }
+          std::lock_guard<std::mutex> lk(mu);
+          Reducer::join(total, local);
+        });
+  }
+  return total;
+}
+
+/// Exclusive prefix sum over [0, n): functor(i, partial, is_final) is called
+/// twice per element in the two-pass scheme (Kokkos semantics): during the
+/// final pass `partial` holds the exclusive prefix when is_final is true.
+/// Returns the grand total.
+template <class T, class Functor>
+T parallel_scan(const std::string& /*label*/, std::size_t n,
+                const Functor& f) {
+  // Sequential two-phase reference implementation (deterministic; the
+  // scan shapes in MiniMALI are all setup-time, not hot loops).
+  T running = T(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    T partial = running;
+    f(static_cast<int>(i), partial, true);
+    // The functor adds its contribution to partial; the increment is the
+    // difference it applied.
+    running = partial;
+  }
+  return running;
+}
+
+/// Convenience exclusive scan of a vector; returns the total.
+template <class T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  T acc = T(0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  return acc;
+}
+
+}  // namespace mali::pk

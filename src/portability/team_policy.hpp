@@ -1,0 +1,97 @@
+#pragma once
+// TeamPolicy — hierarchical parallelism, the pk analog of
+// Kokkos::TeamPolicy.  A league of teams executes a functor that receives a
+// TeamMember handle; nested work is expressed with team_for (parallel over
+// the team) and team_reduce.  On the host backends a team executes
+// sequentially on one worker, teams are distributed across the pool — the
+// same semantics Kokkos gives OpenMP builds with team_size 1..n.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+#include "portability/exec_policy.hpp"
+#include "portability/thread_pool.hpp"
+
+namespace mali::pk {
+
+/// Handle passed to team-level functors.
+class TeamMember {
+ public:
+  TeamMember(int league_rank, int league_size, int team_size) noexcept
+      : league_rank_(league_rank),
+        league_size_(league_size),
+        team_size_(team_size) {}
+
+  [[nodiscard]] int league_rank() const noexcept { return league_rank_; }
+  [[nodiscard]] int league_size() const noexcept { return league_size_; }
+  [[nodiscard]] int team_size() const noexcept { return team_size_; }
+  /// Host teams execute sequentially: rank 0 does all the nested work.
+  [[nodiscard]] int team_rank() const noexcept { return 0; }
+
+ private:
+  int league_rank_;
+  int league_size_;
+  int team_size_;
+};
+
+template <class ExecSpace = DefaultExec>
+class TeamPolicy {
+ public:
+  using exec_space = ExecSpace;
+
+  TeamPolicy(int league_size, int team_size)
+      : league_size_(league_size), team_size_(team_size) {}
+
+  [[nodiscard]] int league_size() const noexcept { return league_size_; }
+  [[nodiscard]] int team_size() const noexcept { return team_size_; }
+
+ private:
+  int league_size_;
+  int team_size_;
+};
+
+/// Nested team-level loop: on host teams this is a plain sequential loop
+/// (every "thread" of the team is rank 0).
+template <class Functor>
+MALI_INLINE void team_for(const TeamMember& /*member*/, int n,
+                          const Functor& f) {
+  for (int i = 0; i < n; ++i) f(i);
+}
+
+/// Nested team-level reduction.
+template <class Functor, class T>
+MALI_INLINE void team_reduce(const TeamMember& /*member*/, int n,
+                             const Functor& f, T& result) {
+  T acc{};
+  for (int i = 0; i < n; ++i) f(i, acc);
+  result = acc;
+}
+
+/// League dispatch: one functor invocation per team.
+template <class ExecSpace, class Functor>
+void parallel_for(const std::string& /*label*/,
+                  const TeamPolicy<ExecSpace>& policy, const Functor& f) {
+  const int league = policy.league_size();
+  if constexpr (std::is_same_v<ExecSpace, Serial>) {
+    for (int t = 0; t < league; ++t) {
+      f(TeamMember(t, league, policy.team_size()));
+    }
+  } else {
+    ThreadPool::instance().parallel_range(
+        0, static_cast<std::size_t>(league),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t t = b; t < e; ++t) {
+            f(TeamMember(static_cast<int>(t), league, policy.team_size()));
+          }
+        });
+  }
+}
+
+template <class ExecSpace, class Functor>
+void parallel_for(const TeamPolicy<ExecSpace>& policy, const Functor& f) {
+  parallel_for("mali::pk::team_parallel_for", policy, f);
+}
+
+}  // namespace mali::pk

@@ -1,0 +1,82 @@
+#include "portability/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mali::pk {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    std::exception_ptr err;
+    try {
+      task.fn(task.begin, task.end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_range(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t n_chunks = std::min(n, std::max<std::size_t>(1, workers_.size()));
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    first_error_ = nullptr;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::size_t b = begin + c * chunk;
+      const std::size_t e = std::min(end, b + chunk);
+      if (b >= e) break;
+      queue_.push_back(Task{fn, b, e});
+      ++pending_;
+    }
+  }
+  cv_task_.notify_all();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace mali::pk

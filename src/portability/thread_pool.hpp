@@ -1,0 +1,54 @@
+#pragma once
+// A small blocking thread pool used by the pk "Threads" backend.
+//
+// The pool is created once (lazily) and reused; parallel_for dispatches
+// contiguous index chunks to workers and waits for completion.  On a
+// single-core host this degrades gracefully to near-serial execution.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mali::pk {
+
+class ThreadPool {
+ public:
+  /// Global pool sized to the hardware concurrency (at least 1 worker).
+  static ThreadPool& instance();
+
+  explicit ThreadPool(std::size_t n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) across workers covering [begin, end);
+  /// blocks until all chunks complete.  Exceptions from workers are rethrown.
+  void parallel_range(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> fn;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace mali::pk

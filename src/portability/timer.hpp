@@ -1,0 +1,67 @@
+#pragma once
+// Wall-clock timing utilities used by the benches and the solver monitors.
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace mali::pk {
+
+/// Monotonic stopwatch returning seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named timings (per-phase breakdowns in the solver).
+class TimerRegistry {
+ public:
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.total += seconds;
+    ++e.count;
+  }
+  [[nodiscard]] double total(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.total;
+  }
+  [[nodiscard]] std::size_t count(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.count;
+  }
+  [[nodiscard]] const auto& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    double total = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII timer that reports into a registry on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& reg, std::string name)
+      : reg_(reg), name_(std::move(name)) {}
+  ~ScopedTimer() { reg_.add(name_, timer_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& reg_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace mali::pk

@@ -1,0 +1,132 @@
+#pragma once
+// mali::pk::View — a reference-counted multidimensional array, the pk-layer
+// analog of Kokkos::View.  Views are cheap to copy (shared ownership), carry
+// a label for diagnostics/tracing, and default to LayoutLeft so the leftmost
+// (cell) index is contiguous, matching Kokkos' GPU default.
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "portability/common.hpp"
+#include "portability/layout.hpp"
+
+namespace mali::pk {
+
+template <class T, std::size_t Rank, class Layout = LayoutLeft>
+class View {
+  static_assert(Rank >= 1 && Rank <= kMaxRank, "rank out of range");
+
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr std::size_t rank = Rank;
+
+  View() = default;
+
+  /// Allocates zero-initialized storage; extents beyond Rank must be omitted.
+  template <class... Extents,
+            class = std::enable_if_t<sizeof...(Extents) == Rank>>
+  explicit View(std::string label, Extents... extents)
+      : label_(std::move(label)),
+        extents_{static_cast<std::size_t>(extents)...},
+        strides_(Layout::template strides<Rank>(extents_)) {
+    size_ = 1;
+    for (std::size_t e : extents_) size_ *= e;
+    data_ = std::shared_ptr<T[]>(new T[size_]());
+  }
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t extent(std::size_t d) const noexcept {
+    return d < Rank ? extents_[d] : 1;
+  }
+  [[nodiscard]] std::size_t stride(std::size_t d) const noexcept {
+    return strides_[d];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return size_ * sizeof(T);
+  }
+  [[nodiscard]] T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] bool allocated() const noexcept { return data_ != nullptr; }
+
+  /// Flattened offset of a multi-index under this view's layout.
+  template <class... Idx>
+  [[nodiscard]] MALI_INLINE std::size_t offset_of(Idx... idx) const noexcept {
+    static_assert(sizeof...(Idx) == Rank, "index arity must equal rank");
+    const std::array<std::size_t, Rank> ii{static_cast<std::size_t>(idx)...};
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < Rank; ++d) {
+      MALI_ASSERT(ii[d] < extents_[d]);
+      off += ii[d] * strides_[d];
+    }
+    return off;
+  }
+
+  template <class... Idx>
+  [[nodiscard]] MALI_INLINE T& operator()(Idx... idx) const noexcept {
+    return data_[offset_of(idx...)];
+  }
+
+  /// Fill every element with a value.
+  void fill(const T& v) const {
+    MALI_CHECK_MSG(contiguous_, "fill() on a non-contiguous window view");
+    std::fill(data_.get(), data_.get() + size_, v);
+  }
+
+  /// Deep copy from another view of identical extents.
+  void deep_copy_from(const View& src) const {
+    MALI_CHECK(size_ == src.size_);
+    MALI_CHECK_MSG(contiguous_ && src.contiguous_,
+                   "deep copy on a non-contiguous window view");
+    std::copy(src.data_.get(), src.data_.get() + size_, data_.get());
+  }
+
+  [[nodiscard]] bool same_data(const View& other) const noexcept {
+    return data_ == other.data_;
+  }
+
+  /// Window along the leftmost (cell) extent: a view of `count` cells
+  /// starting at `offset`, sharing storage with this view.  Requires
+  /// LayoutLeft (cell stride 1): the window is the same strided layout with
+  /// the base pointer shifted — this is how worksets slice the global
+  /// FE arrays without copying (Kokkos::subview on the cell range).
+  [[nodiscard]] View window(std::size_t offset, std::size_t count) const {
+    static_assert(std::is_same_v<Layout, LayoutLeft>,
+                  "window() requires LayoutLeft");
+    MALI_CHECK(offset + count <= extents_[0]);
+    View w;
+    w.label_ = label_;
+    w.extents_ = extents_;
+    w.extents_[0] = count;
+    w.strides_ = strides_;  // parent strides: the slice is not compacted
+    w.size_ = size_ / extents_[0] * count;  // logical element count
+    w.contiguous_ = count == extents_[0];
+    // Aliasing ctor: share ownership of the parent allocation, point at
+    // the window base.
+    w.data_ = std::shared_ptr<T[]>(data_, data_.get() + offset);
+    return w;
+  }
+
+ private:
+  std::string label_;
+  std::array<std::size_t, Rank> extents_{};
+  std::array<std::size_t, Rank> strides_{};
+  std::size_t size_ = 0;
+  bool contiguous_ = true;
+  std::shared_ptr<T[]> data_;
+};
+
+/// Convenience aliases in the spirit of Albany's field types.
+template <class T>
+using View1 = View<T, 1>;
+template <class T>
+using View2 = View<T, 2>;
+template <class T>
+using View3 = View<T, 3>;
+template <class T>
+using View4 = View<T, 4>;
+
+}  // namespace mali::pk

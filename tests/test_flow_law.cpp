@@ -1,0 +1,203 @@
+// Flow-law and sliding-law tests: the Paterson–Budd Arrhenius factor,
+// Weertman friction (including its AD derivatives), temperature-dependent
+// viscosity in the full problem, and Jacobian consistency of the Weertman
+// solve path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/sfad.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/flow_law.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+using namespace mali;
+using physics::friction_factor;
+using physics::paterson_budd_A;
+using physics::SlidingConfig;
+using physics::SlidingLaw;
+
+TEST(PatersonBudd, ColdWarmBranchesAndMonotonicity) {
+  // Warmer ice deforms faster: A strictly increases with temperature.
+  double prev = 0.0;
+  for (double T = 223.0; T <= 272.0; T += 1.0) {
+    const double A = paterson_budd_A(T);
+    EXPECT_GT(A, prev) << "T=" << T;
+    prev = A;
+  }
+  // Order of magnitude: A(263 K) is within the glaciological ballpark of
+  // the uniform default 1e-16 Pa^-3 yr^-1.
+  const double A263 = paterson_budd_A(263.0);
+  EXPECT_GT(A263, 1e-18);
+  EXPECT_LT(A263, 1e-15);
+  // The two branches join continuously (within a few percent at the split).
+  EXPECT_NEAR(paterson_budd_A(263.14) / paterson_budd_A(263.16), 1.0, 0.05);
+}
+
+TEST(IceGeometry, TemperatureProfile) {
+  mesh::IceGeometry g;
+  // Bed warmer than surface; surface warms toward the margin.
+  EXPECT_GT(g.temperature(0, 0, 0.0), g.temperature(0, 0, 1.0));
+  const double L = g.extent(0.0);
+  EXPECT_GT(g.temperature(0.9 * L, 0, 1.0), g.temperature(0, 0, 1.0));
+  // Everything in a physical range.
+  for (double s = 0.0; s <= 1.0; s += 0.25) {
+    const double T = g.temperature(2e5, -3e5, s);
+    EXPECT_GT(T, 200.0);
+    EXPECT_LT(T, 275.0);
+  }
+}
+
+TEST(Sliding, LinearLawIsBeta) {
+  SlidingConfig cfg;
+  cfg.law = SlidingLaw::kLinear;
+  EXPECT_DOUBLE_EQ(friction_factor(cfg, 1234.5, 10.0, -3.0), 1234.5);
+}
+
+TEST(Sliding, WeertmanReducesToLinearAtMEqualsOne) {
+  SlidingConfig cfg;
+  cfg.law = SlidingLaw::kWeertman;
+  cfg.weertman_m = 1.0;
+  EXPECT_NEAR(friction_factor(cfg, 500.0, 120.0, -80.0), 500.0, 1e-10);
+}
+
+TEST(Sliding, WeertmanShearThinning) {
+  // m < 1: effective friction decreases with speed.
+  SlidingConfig cfg;
+  cfg.law = SlidingLaw::kWeertman;
+  const double slow = friction_factor(cfg, 1e4, 1.0, 0.0);
+  const double fast = friction_factor(cfg, 1e4, 100.0, 0.0);
+  EXPECT_GT(slow, fast);
+  // tau_b = f(u) u still increases with u (monotone sliding law for m>0).
+  EXPECT_GT(fast * 100.0, slow * 1.0);
+}
+
+TEST(Sliding, RegularizedAtZeroVelocity) {
+  SlidingConfig cfg;
+  cfg.law = SlidingLaw::kWeertman;
+  const double f0 = friction_factor(cfg, 1e4, 0.0, 0.0);
+  EXPECT_TRUE(std::isfinite(f0));
+  EXPECT_GT(f0, 0.0);
+}
+
+TEST(Sliding, WeertmanDerivativesMatchFiniteDifferences) {
+  using Fad = ad::SFad<double, 2>;
+  SlidingConfig cfg;
+  cfg.law = SlidingLaw::kWeertman;
+  const double beta = 3.0e3, u0 = 45.0, v0 = -20.0;
+  Fad u(u0, 0), v(v0, 1);
+  const Fad f = friction_factor(cfg, beta, u, v);
+  auto fd = [&](double du, double dv) {
+    const double h = 1e-6;
+    return (friction_factor(cfg, beta, u0 + h * du, v0 + h * dv) -
+            friction_factor(cfg, beta, u0 - h * du, v0 - h * dv)) /
+           (2e-6);
+  };
+  EXPECT_NEAR(f.dx(0), fd(1, 0), std::abs(fd(1, 0)) * 1e-5);
+  EXPECT_NEAR(f.dx(1), fd(0, 1), std::abs(fd(0, 1)) * 1e-5);
+}
+
+namespace {
+
+physics::StokesFOConfig small_config() {
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ThermalViscosity, ChangesTheSolution) {
+  auto cfg = small_config();
+  physics::StokesFOProblem uniform(cfg);
+  cfg.thermal_viscosity = true;
+  physics::StokesFOProblem thermal(cfg);
+  const auto U = uniform.analytic_initial_guess();
+  std::vector<double> Fu, Ft;
+  uniform.residual(U, Fu);
+  thermal.residual(U, Ft);
+  double diff = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < Fu.size(); ++i) {
+    diff += (Fu[i] - Ft[i]) * (Fu[i] - Ft[i]);
+    norm += Fu[i] * Fu[i];
+  }
+  EXPECT_GT(std::sqrt(diff / norm), 1e-3)
+      << "the Arrhenius factor must actually change the residual";
+}
+
+TEST(ThermalViscosity, SolveConverges) {
+  auto cfg = small_config();
+  cfg.thermal_viscosity = true;
+  physics::StokesFOProblem p(cfg);
+  linalg::SemicoarseningAmg amg(p.extrusion_info());
+  nonlinear::NewtonConfig ncfg;
+  ncfg.max_iters = 12;
+  nonlinear::NewtonSolver newton(ncfg);
+  std::vector<double> U(p.n_dofs(), 0.0);
+  const auto r = newton.solve(p, amg, U);
+  EXPECT_LT(r.residual_norm, 1e-3 * r.initial_norm);
+  EXPECT_GT(p.mean_velocity(U), 0.1);
+}
+
+TEST(WeertmanSliding, JacobianMatchesFiniteDifference) {
+  auto cfg = small_config();
+  cfg.sliding.law = SlidingLaw::kWeertman;
+  physics::StokesFOProblem p(cfg);
+  auto U = p.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = p.create_matrix();
+  p.residual_and_jacobian(U, F, J);
+
+  std::vector<double> dir(p.n_dofs());
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    dir[i] = std::sin(0.37 * static_cast<double>(i) + 0.2);
+  }
+  std::vector<double> Jd;
+  J.apply(dir, Jd);
+  auto fd_err = [&](double h) {
+    std::vector<double> Up(U), Um(U), Fp, Fm;
+    for (std::size_t i = 0; i < U.size(); ++i) {
+      Up[i] += h * dir[i];
+      Um[i] -= h * dir[i];
+    }
+    p.residual(Up, Fp);
+    p.residual(Um, Fm);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < U.size(); ++i) {
+      const double fd = (Fp[i] - Fm[i]) / (2.0 * h);
+      num += (fd - Jd[i]) * (fd - Jd[i]);
+      den += fd * fd;
+    }
+    return std::sqrt(num / den);
+  };
+  const double e1 = fd_err(1e-4);
+  EXPECT_LT(e1, 1e-3)
+      << "Weertman friction must be consistently differentiated";
+  EXPECT_LT(fd_err(5e-5), 0.5 * e1);
+}
+
+TEST(WeertmanSliding, FasterFlowThanLinearInStreams) {
+  // Shear-thinning sliding lets the fast ice stream flow faster than the
+  // linear law with the same nominal beta.
+  auto cfg = small_config();
+  physics::StokesFOProblem lin(cfg);
+  cfg.sliding.law = SlidingLaw::kWeertman;
+  physics::StokesFOProblem wee(cfg);
+
+  nonlinear::NewtonConfig ncfg;
+  ncfg.max_iters = 12;
+  nonlinear::NewtonSolver newton(ncfg);
+  double means[2];
+  int i = 0;
+  for (auto* p : {&lin, &wee}) {
+    linalg::SemicoarseningAmg amg(p->extrusion_info());
+    std::vector<double> U(p->n_dofs(), 0.0);
+    newton.solve(*p, amg, U);
+    means[i++] = p->mean_velocity(U);
+  }
+  EXPECT_GT(means[1], means[0]);
+}

@@ -1,0 +1,209 @@
+// Fused evaluator-chain tests: numerical equivalence with the staged
+// pipeline (VelocityGradient -> ViscosityFO -> BodyForce -> StokesFOResid)
+// for both evaluation types, and the data-movement properties of the chain
+// traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/chain_traces.hpp"
+#include "gpusim/exec_model.hpp"
+#include "physics/eval_types.hpp"
+#include "physics/evaluators.hpp"
+#include "physics/fused_chain.hpp"
+#include "physics/stokes_fo_resid.hpp"
+#include "portability/parallel.hpp"
+
+using namespace mali;
+using Fad = physics::JacobianEval::ScalarT;
+
+namespace {
+
+template <class ScalarT>
+struct ChainData {
+  static constexpr std::size_t C = 12, N = 8, Q = 8;
+  pk::View<ScalarT, 3> UNodal{"UNodal", C, N, 2};
+  pk::View<double, 4> gradBF{"gradBF", C, N, Q, 3};
+  pk::View<double, 4> wGradBF{"wGradBF", C, N, Q, 3};
+  pk::View<double, 3> wBF{"wBF", C, N, Q};
+  pk::View<double, 3> force_passive{"force_passive", C, Q, 2};
+  // staged intermediates
+  pk::View<ScalarT, 4> Ugrad{"Ugrad", C, Q, 2, 3};
+  pk::View<ScalarT, 2> mu{"muLandIce", C, Q};
+  pk::View<ScalarT, 3> force{"force", C, Q, 2};
+  pk::View<ScalarT, 3> R_staged{"R_staged", C, N, 2};
+  pk::View<ScalarT, 3> R_fused{"R_fused", C, N, 2};
+
+  explicit ChainData(unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t n = 0; n < N; ++n) {
+        for (int v = 0; v < 2; ++v) {
+          // Velocities O(100 m/yr) with Fad seeding for the Jacobian path.
+          if constexpr (ad::is_fad_v<ScalarT>) {
+            UNodal(c, n, v) =
+                ScalarT(100.0 * dist(rng), static_cast<int>(2 * n) + v);
+          } else {
+            UNodal(c, n, v) = 100.0 * dist(rng);
+          }
+        }
+        for (std::size_t q = 0; q < Q; ++q) {
+          wBF(c, n, q) = dist(rng);
+          for (int d = 0; d < 3; ++d) {
+            gradBF(c, n, q, d) = 1e-5 * dist(rng);  // 1/m scale gradients
+            wGradBF(c, n, q, d) = dist(rng);
+          }
+        }
+      }
+      for (std::size_t q = 0; q < Q; ++q) {
+        force_passive(c, q, 0) = 10.0 * dist(rng);
+        force_passive(c, q, 1) = 10.0 * dist(rng);
+      }
+    }
+  }
+};
+
+template <class ScalarT>
+void run_staged(ChainData<ScalarT>& d) {
+  physics::VelocityGradient<ScalarT> vg{d.UNodal, d.gradBF, d.Ugrad,
+                                        ChainData<ScalarT>::N,
+                                        ChainData<ScalarT>::Q};
+  pk::parallel_for("vg", pk::RangePolicy<pk::Serial>(d.C), vg);
+  physics::ViscosityFO<ScalarT> visc;
+  visc.Ugrad = d.Ugrad;
+  visc.muLandIce = d.mu;
+  visc.numQPs = ChainData<ScalarT>::Q;
+  pk::parallel_for("visc", pk::RangePolicy<pk::Serial>(d.C), visc);
+  physics::BodyForceFO<ScalarT> bf{d.force_passive, d.force,
+                                   ChainData<ScalarT>::Q};
+  pk::parallel_for("bf", pk::RangePolicy<pk::Serial>(d.C), bf);
+  physics::StokesFOResid<ScalarT> resid;
+  resid.Ugrad = d.Ugrad;
+  resid.muLandIce = d.mu;
+  resid.force = d.force;
+  resid.wGradBF = d.wGradBF;
+  resid.wBF = d.wBF;
+  resid.Residual = d.R_staged;
+  resid.numNodes = ChainData<ScalarT>::N;
+  resid.numQPs = ChainData<ScalarT>::Q;
+  pk::parallel_for(
+      "resid",
+      pk::RangePolicy<pk::Serial, physics::LandIce_3D_Opt_Tag<8>>(d.C), resid);
+}
+
+template <class ScalarT>
+void run_fused(ChainData<ScalarT>& d) {
+  physics::FusedStokesChain<ScalarT> fused;
+  fused.UNodal = d.UNodal;
+  fused.gradBF = d.gradBF;
+  fused.wGradBF = d.wGradBF;
+  fused.wBF = d.wBF;
+  fused.force_passive = d.force_passive;
+  fused.Residual = d.R_fused;
+  fused.numNodes = ChainData<ScalarT>::N;
+  fused.numQPs = ChainData<ScalarT>::Q;
+  pk::parallel_for("fused", pk::RangePolicy<pk::Serial>(d.C), fused);
+}
+
+}  // namespace
+
+class FusedChainEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FusedChainEquivalence, ResidualPathMatchesStaged) {
+  ChainData<double> d(GetParam());
+  run_staged(d);
+  run_fused(d);
+  for (std::size_t c = 0; c < d.C; ++c) {
+    for (std::size_t n = 0; n < d.N; ++n) {
+      for (int v = 0; v < 2; ++v) {
+        const double ref = d.R_staged(c, n, v);
+        EXPECT_NEAR(d.R_fused(c, n, v), ref,
+                    1e-11 * std::max(1.0, std::abs(ref)));
+      }
+    }
+  }
+}
+
+TEST_P(FusedChainEquivalence, JacobianPathMatchesStaged) {
+  ChainData<Fad> d(GetParam() + 100);
+  run_staged(d);
+  run_fused(d);
+  for (std::size_t c = 0; c < d.C; ++c) {
+    for (std::size_t n = 0; n < d.N; ++n) {
+      for (int v = 0; v < 2; ++v) {
+        const Fad& ref = d.R_staged(c, n, v);
+        const Fad& got = d.R_fused(c, n, v);
+        EXPECT_NEAR(got.val(), ref.val(),
+                    1e-11 * std::max(1.0, std::abs(ref.val())));
+        for (int l = 0; l < 16; ++l) {
+          EXPECT_NEAR(got.dx(l), ref.dx(l),
+                      1e-10 * std::max(1.0, std::abs(ref.dx(l))));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedChainEquivalence,
+                         ::testing::Values(1u, 7u, 42u));
+
+TEST(ChainTraces, StagedStagesHaveExpectedShapes) {
+  const auto stages = core::record_chain_stages(core::KernelKind::kJacobian,
+                                                4096);
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].name, "VelocityGradient");
+  EXPECT_EQ(stages[3].name, "StokesFOResid");
+  for (const auto& st : stages) {
+    EXPECT_FALSE(st.trace.empty()) << st.name;
+    EXPECT_GT(st.info.flops_per_cell, 0.0) << st.name;
+  }
+}
+
+TEST(ChainTraces, FusedEliminatesIntermediateArrays) {
+  const auto fused = core::record_fused_chain(core::KernelKind::kJacobian,
+                                              4096);
+  for (const auto& a : fused.trace.arrays()) {
+    EXPECT_NE(a.name, "Ugrad");
+    EXPECT_NE(a.name, "muLandIce");
+    EXPECT_NE(a.name, "force");
+  }
+  // Residual written once per element, like the optimized kernel.
+  int residual_id = -1;
+  for (std::size_t i = 0; i < fused.trace.arrays().size(); ++i) {
+    if (fused.trace.arrays()[i].name == "Residual") {
+      residual_id = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(residual_id, 0);
+  std::size_t writes = 0;
+  for (const auto& r : fused.trace.records()) {
+    if (r.array_id == residual_id) {
+      EXPECT_EQ(r.kind, gpusim::AccessKind::kWrite);
+      ++writes;
+    }
+  }
+  EXPECT_EQ(writes, 16u);
+}
+
+TEST(ChainTraces, FusedMinBytesBelowStagedSum) {
+  const std::size_t cells = 8192;
+  for (auto kind : {core::KernelKind::kResidual, core::KernelKind::kJacobian}) {
+    const auto stages = core::record_chain_stages(kind, cells);
+    std::uint64_t staged_min = 0;
+    for (const auto& st : stages) {
+      staged_min += gpusim::ExecModel::theoretical_min_bytes(st.trace, cells);
+    }
+    const auto fused = core::record_fused_chain(kind, cells);
+    const auto fused_min =
+        gpusim::ExecModel::theoretical_min_bytes(fused.trace, cells);
+    EXPECT_LT(fused_min, staged_min) << core::to_string(kind);
+    if (kind == core::KernelKind::kJacobian) {
+      EXPECT_LT(static_cast<double>(fused_min),
+                0.5 * static_cast<double>(staged_min))
+          << "dropping the SFad intermediates should halve the minimum";
+    }
+  }
+}

@@ -1,0 +1,319 @@
+// Randomized property tests: SFad evaluated on random expression trees
+// against DFad and central finite differences; Krylov solvers on random
+// diagonally-dominant systems against a dense LU reference; cache-simulator
+// traffic bounds on random access traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+#include <set>
+
+#include "ad/dfad.hpp"
+#include "ad/sfad.hpp"
+#include "gpusim/cache_sim.hpp"
+#include "linalg/gmres.hpp"
+#include "linalg/krylov.hpp"
+
+using namespace mali;
+
+namespace {
+
+// ---- random expression trees over 3 variables ----
+
+enum class Op { kAdd, kSub, kMul, kDiv, kScale, kSqrt, kPow, kLeaf };
+
+struct Expr {
+  Op op = Op::kLeaf;
+  int leaf = 0;        // variable index for kLeaf
+  double constant = 1.0;
+  std::unique_ptr<Expr> lhs, rhs;
+};
+
+std::unique_ptr<Expr> random_expr(std::mt19937& rng, int depth) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  auto e = std::make_unique<Expr>();
+  if (depth == 0 || uni(rng) < 0.25) {
+    e->op = Op::kLeaf;
+    e->leaf = static_cast<int>(uni(rng) * 3.0) % 3;
+    return e;
+  }
+  const double pick = uni(rng);
+  if (pick < 0.22) {
+    e->op = Op::kAdd;
+  } else if (pick < 0.44) {
+    e->op = Op::kSub;
+  } else if (pick < 0.66) {
+    e->op = Op::kMul;
+  } else if (pick < 0.76) {
+    e->op = Op::kDiv;
+  } else if (pick < 0.86) {
+    e->op = Op::kScale;
+    e->constant = 0.5 + uni(rng);
+  } else if (pick < 0.94) {
+    e->op = Op::kSqrt;
+  } else {
+    e->op = Op::kPow;
+    e->constant = 0.3 + uni(rng);  // fractional exponent, Glen-style
+  }
+  e->lhs = random_expr(rng, depth - 1);
+  if (e->op == Op::kAdd || e->op == Op::kSub || e->op == Op::kMul ||
+      e->op == Op::kDiv) {
+    e->rhs = random_expr(rng, depth - 1);
+  }
+  return e;
+}
+
+/// Evaluates the tree for any scalar type; inputs are kept positive so
+/// sqrt/pow/div stay well-defined, and divisors are shifted away from zero.
+template <class T>
+T eval(const Expr& e, const T x[3]) {
+  switch (e.op) {
+    case Op::kLeaf:
+      return x[e.leaf];
+    case Op::kAdd:
+      return eval(*e.lhs, x) + eval(*e.rhs, x);
+    case Op::kSub:
+      return eval(*e.lhs, x) - eval(*e.rhs, x);
+    case Op::kMul:
+      return eval(*e.lhs, x) * eval(*e.rhs, x);
+    case Op::kDiv:
+      return eval(*e.lhs, x) / (eval(*e.rhs, x) * eval(*e.rhs, x) + 1.5);
+    case Op::kScale:
+      return e.constant * eval(*e.lhs, x);
+    case Op::kSqrt:
+      return sqrt(eval(*e.lhs, x) * eval(*e.lhs, x) + 0.75);
+    case Op::kPow:
+      return pow(eval(*e.lhs, x) * eval(*e.lhs, x) + 0.5, e.constant);
+    default:
+      return T(0);
+  }
+}
+
+double eval_plain(const Expr& e, const double x[3]) {
+  using std::pow;
+  using std::sqrt;
+  switch (e.op) {
+    case Op::kLeaf:
+      return x[e.leaf];
+    case Op::kAdd:
+      return eval_plain(*e.lhs, x) + eval_plain(*e.rhs, x);
+    case Op::kSub:
+      return eval_plain(*e.lhs, x) - eval_plain(*e.rhs, x);
+    case Op::kMul:
+      return eval_plain(*e.lhs, x) * eval_plain(*e.rhs, x);
+    case Op::kDiv: {
+      const double r = eval_plain(*e.rhs, x);
+      return eval_plain(*e.lhs, x) / (r * r + 1.5);
+    }
+    case Op::kScale:
+      return e.constant * eval_plain(*e.lhs, x);
+    case Op::kSqrt: {
+      const double l = eval_plain(*e.lhs, x);
+      return sqrt(l * l + 0.75);
+    }
+    case Op::kPow: {
+      const double l = eval_plain(*e.lhs, x);
+      return pow(l * l + 0.5, e.constant);
+    }
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+class SFadFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SFadFuzz, AgreesWithDFadAndFiniteDifferences) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> val(0.2, 2.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto tree = random_expr(rng, 5);
+    const double xv[3] = {val(rng), val(rng), val(rng)};
+
+    using Fad3 = ad::SFad<double, 3>;
+    const Fad3 xs[3] = {Fad3(xv[0], 0), Fad3(xv[1], 1), Fad3(xv[2], 2)};
+    const Fad3 rs = eval(*tree, xs);
+
+    const ad::DFad<double> xd[3] = {{3, 0, xv[0]}, {3, 1, xv[1]}, {3, 2, xv[2]}};
+    const ad::DFad<double> rd = eval(*tree, xd);
+
+    EXPECT_NEAR(rs.val(), eval_plain(*tree, xv),
+                1e-12 * std::max(1.0, std::abs(rs.val())));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(rs.dx(i), rd.dx(i),
+                  1e-11 * std::max(1.0, std::abs(rs.dx(i))))
+          << "SFad vs DFad, dir " << i;
+      // Central finite differences.
+      const double h = 1e-6 * std::max(1.0, std::abs(xv[i]));
+      double xp[3] = {xv[0], xv[1], xv[2]}, xm[3] = {xv[0], xv[1], xv[2]};
+      xp[i] += h;
+      xm[i] -= h;
+      const double fd = (eval_plain(*tree, xp) - eval_plain(*tree, xm)) / (2 * h);
+      EXPECT_NEAR(rs.dx(i), fd, 2e-4 * std::max(1.0, std::abs(fd)))
+          << "SFad vs FD, dir " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SFadFuzz, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- random linear systems: all solvers agree with dense reference ----
+
+namespace {
+
+struct DenseSystem {
+  linalg::CrsMatrix A;
+  std::vector<std::vector<double>> dense;
+  std::vector<double> b;
+};
+
+DenseSystem random_dd_system(std::mt19937& rng, std::size_t n, double density) {
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    double offsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && std::abs(uni(rng)) < density) {
+        d[i][j] = uni(rng);
+        offsum += std::abs(d[i][j]);
+      }
+    }
+    d[i][i] = offsum + 1.0 + std::abs(uni(rng));  // strict diagonal dominance
+  }
+  std::vector<std::size_t> rp{0}, cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (d[i][j] != 0.0) cols.push_back(j);
+    }
+    rp.push_back(cols.size());
+  }
+  linalg::CrsMatrix A(rp, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (d[i][j] != 0.0) A.set(i, j, d[i][j]);
+    }
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = uni(rng);
+  return {std::move(A), std::move(d), std::move(b)};
+}
+
+std::vector<double> dense_solve(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a[i][k]) > std::abs(a[piv][k])) piv = i;
+    }
+    std::swap(a[k], a[piv]);
+    std::swap(b[k], b[piv]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a[i][k] / a[k][k];
+      for (std::size_t j = k; j < n; ++j) a[i][j] -= f * a[k][j];
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t k = n; k-- > 0;) {
+    double acc = b[k];
+    for (std::size_t j = k + 1; j < n; ++j) acc -= a[k][j] * x[j];
+    x[k] = acc / a[k][k];
+  }
+  return x;
+}
+
+}  // namespace
+
+class SolverFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SolverFuzz, GmresAndBicgstabMatchDenseLu) {
+  std::mt19937 rng(GetParam());
+  const auto sys = random_dd_system(rng, 60, 0.15);
+  const auto ref = dense_solve(sys.dense, sys.b);
+
+  linalg::Ilu0Preconditioner M;
+  M.compute(sys.A);
+
+  std::vector<double> xg, xb;
+  const auto rg = linalg::Gmres({1e-12, 2000, 100}).solve(sys.A, M, sys.b, xg);
+  const auto rb = linalg::BiCgStab({1e-12, 2000}).solve(sys.A, M, sys.b, xb);
+  ASSERT_TRUE(rg.converged);
+  ASSERT_TRUE(rb.converged);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(xg[i], ref[i], 1e-8 * std::max(1.0, std::abs(ref[i])));
+    EXPECT_NEAR(xb[i], ref[i], 1e-7 * std::max(1.0, std::abs(ref[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Values(5u, 17u, 91u, 123u));
+
+// ---- cache-simulator traffic bounds on random traces ----
+
+class CacheFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheFuzz, TrafficBounds) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint64_t> addr(0, (1u << 22) - 64);
+  std::uniform_int_distribution<int> len(1, 512);
+  std::uniform_int_distribution<int> wr(0, 3);
+
+  gpusim::CacheSim cache(256 << 10, 64, 16,
+                         gpusim::CacheSim::Replacement::kRandom);
+  std::set<std::uint64_t> unique_read_lines;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = addr(rng);
+    const std::uint64_t l = static_cast<std::uint64_t>(len(rng));
+    const bool is_write = wr(rng) == 0;
+    cache.access(a, l, is_write);
+    total_bytes += ((a + l - 1) / 64 - a / 64 + 1) * 64;
+    if (!is_write) {
+      for (std::uint64_t line = a / 64; line <= (a + l - 1) / 64; ++line) {
+        unique_read_lines.insert(line);
+      }
+    }
+  }
+  cache.flush();
+  const auto& s = cache.stats();
+  // Compulsory misses put a floor under read traffic only for lines never
+  // first touched by a full-line write; a loose but valid bound: total HBM
+  // traffic never exceeds the probed bytes plus one write-back per probe,
+  // and hits+misses account for every probe.
+  EXPECT_EQ(s.hits + s.misses, s.line_probes);
+  EXPECT_LE(s.hbm_read_bytes, total_bytes);
+  EXPECT_LE(s.hbm_write_bytes, total_bytes + cache.capacity_bytes());
+  EXPECT_GT(s.misses, 0u);
+}
+
+TEST_P(CacheFuzz, LargerCacheNeverReadsMore) {
+  // Replay the identical random trace through growing LRU caches: read
+  // traffic must be non-increasing (inclusion property of LRU).
+  std::mt19937 rng(GetParam() + 7);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trace;
+  std::uniform_int_distribution<std::uint64_t> addr(0, (1u << 18) - 64);
+  for (int i = 0; i < 4000; ++i) {
+    trace.push_back({addr(rng), 64});
+  }
+  // Re-visit a working set to create reuse.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 500; ++i) {
+      trace.push_back({static_cast<std::uint64_t>(i) * 64, 64});
+    }
+  }
+  std::uint64_t prev = UINT64_MAX;
+  for (std::size_t cap : {16u << 10, 64u << 10, 256u << 10, 1u << 20}) {
+    // Fully-associative LRU (ways = lines) has the inclusion property.
+    const int ways = static_cast<int>(cap / 64);
+    gpusim::CacheSim cache(cap, 64, ways, gpusim::CacheSim::Replacement::kLru);
+    for (const auto& [a, l] : trace) cache.access(a, l, false);
+    EXPECT_LE(cache.stats().hbm_read_bytes, prev) << "capacity " << cap;
+    prev = cache.stats().hbm_read_bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(3u, 13u, 31u));

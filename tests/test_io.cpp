@@ -1,0 +1,174 @@
+// Field-output tests: PPM heatmap structure and colormap properties, and
+// CSV writing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <cmath>
+#include <sstream>
+
+#include "io/field_writer.hpp"
+#include "mesh/ice_geometry.hpp"
+
+using namespace mali;
+
+namespace {
+
+struct Fixture {
+  mesh::IceGeometry geom{};
+  mesh::QuadGrid grid{geom, mesh::QuadGridConfig{200.0e3}};
+  std::string tmp(const char* name) {
+    return std::string(::testing::TempDir()) + name;
+  }
+};
+
+}  // namespace
+
+TEST(HeatColor, EndpointsAndMonotoneRedChannel) {
+  const auto lo = io::heat_color(0.0);
+  const auto hi = io::heat_color(1.0);
+  EXPECT_GT(lo.b, lo.r);  // cold end is blue
+  EXPECT_GT(hi.r, hi.b);  // hot end is red
+  // Red channel grows (not strictly, but ends apart).
+  EXPECT_GT(static_cast<int>(hi.r) - static_cast<int>(lo.r), 100);
+  // Clamping.
+  const auto under = io::heat_color(-3.0);
+  EXPECT_EQ(under.r, lo.r);
+  const auto over = io::heat_color(7.0);
+  EXPECT_EQ(over.r, hi.r);
+}
+
+TEST(FieldWriter, PpmHeaderAndSize) {
+  Fixture f;
+  std::vector<double> field(f.grid.n_cells());
+  for (std::size_t c = 0; c < field.size(); ++c) {
+    field[c] = static_cast<double>(c);
+  }
+  io::HeatmapConfig cfg;
+  cfg.pixels_per_cell = 2;
+  const auto path = io::write_heatmap_ppm(f.tmp("field.ppm"), f.grid, field, cfg);
+
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  std::string magic;
+  long w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(maxval, 255);
+  EXPECT_GT(w, 0);
+  EXPECT_GT(h, 0);
+  EXPECT_EQ(w % cfg.pixels_per_cell, 0);
+  is.get();  // single whitespace after header
+  // Payload must be exactly w*h*3 bytes.
+  const auto start = is.tellg();
+  is.seekg(0, std::ios::end);
+  EXPECT_EQ(static_cast<long>(is.tellg() - start), w * h * 3);
+  std::remove(path.c_str());
+}
+
+TEST(FieldWriter, ConstantFieldRendersUniformIceColor) {
+  Fixture f;
+  std::vector<double> field(f.grid.n_cells(), 5.0);
+  io::HeatmapConfig cfg;
+  cfg.pixels_per_cell = 1;
+  const auto path =
+      io::write_heatmap_ppm(f.tmp("const.ppm"), f.grid, field, cfg);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  long w, h, maxval;
+  is >> magic >> w >> h >> maxval;
+  is.get();
+  std::vector<unsigned char> px(static_cast<std::size_t>(w * h * 3));
+  is.read(reinterpret_cast<char*>(px.data()),
+          static_cast<std::streamsize>(px.size()));
+  // Every non-background pixel has the same color.
+  const io::HeatmapConfig defaults;
+  unsigned char r0 = 0, g0 = 0, b0 = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < px.size(); i += 3) {
+    const bool bg = px[i] == defaults.background.r &&
+                    px[i + 1] == defaults.background.g &&
+                    px[i + 2] == defaults.background.b;
+    if (bg) continue;
+    if (!found) {
+      r0 = px[i];
+      g0 = px[i + 1];
+      b0 = px[i + 2];
+      found = true;
+    } else {
+      EXPECT_EQ(px[i], r0);
+      EXPECT_EQ(px[i + 1], g0);
+      EXPECT_EQ(px[i + 2], b0);
+    }
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST(FieldWriter, RejectsWrongFieldSize) {
+  Fixture f;
+  std::vector<double> field(f.grid.n_cells() + 1, 0.0);
+  EXPECT_THROW(io::write_heatmap_ppm(f.tmp("bad.ppm"), f.grid, field),
+               mali::Error);
+}
+
+TEST(FieldWriter, NodeCsvRoundTrip) {
+  Fixture f;
+  std::vector<double> a(f.grid.n_nodes()), b(f.grid.n_nodes());
+  for (std::size_t n = 0; n < f.grid.n_nodes(); ++n) {
+    a[n] = static_cast<double>(n);
+    b[n] = -2.0 * static_cast<double>(n);
+  }
+  const auto path = f.tmp("nodes.csv");
+  io::write_node_csv(path, f.grid, {"a", "b"}, {&a, &b});
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "x_m,y_m,a,b");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, f.grid.n_nodes());
+  std::remove(path.c_str());
+}
+
+TEST(FieldWriter, CsvColumnArityChecked) {
+  Fixture f;
+  std::vector<double> a(f.grid.n_nodes(), 0.0);
+  EXPECT_THROW(io::write_node_csv(f.tmp("x.csv"), f.grid, {"a", "b"}, {&a}),
+               mali::Error);
+}
+
+TEST(FieldWriter, LogScaleHandlesWideDynamicRange) {
+  Fixture f;
+  std::vector<double> field(f.grid.n_cells());
+  for (std::size_t c = 0; c < field.size(); ++c) {
+    field[c] = c == 0 ? 0.0 : std::pow(10.0, static_cast<double>(c % 5));
+  }
+  io::HeatmapConfig cfg;
+  cfg.log_scale = true;
+  cfg.pixels_per_cell = 1;
+  const auto path =
+      io::write_heatmap_ppm(f.tmp("log.ppm"), f.grid, field, cfg);
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good());
+  std::remove(path.c_str());
+}
+
+TEST(FieldWriter, ExplicitColorBounds) {
+  Fixture f;
+  std::vector<double> field(f.grid.n_cells(), 50.0);
+  io::HeatmapConfig cfg;
+  cfg.vmin = 0.0;
+  cfg.vmax = 100.0;
+  cfg.pixels_per_cell = 1;
+  const auto path =
+      io::write_heatmap_ppm(f.tmp("mid.ppm"), f.grid, field, cfg);
+  // Mid-range value maps to the mid color, not an endpoint.
+  const auto mid = io::heat_color(0.5);
+  const auto lo = io::heat_color(0.0);
+  EXPECT_NE(mid.b, lo.b);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,211 @@
+// Tests for the additional Krylov solvers (CG, BiCGStab) and the 2x2
+// block-Jacobi preconditioner, including cross-solver agreement on the real
+// ice-sheet Jacobian.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/block_jacobi.hpp"
+#include "linalg/gmres.hpp"
+#include "linalg/krylov.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+using namespace mali::linalg;
+
+namespace {
+
+CrsMatrix spd_laplacian(std::size_t n) {
+  std::vector<std::size_t> rp{0}, cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) cols.push_back(i - 1);
+    cols.push_back(i);
+    if (i + 1 < n) cols.push_back(i + 1);
+    rp.push_back(cols.size());
+  }
+  CrsMatrix A(rp, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    A.set(i, i, 2.1);
+    if (i > 0) A.set(i, i - 1, -1.0);
+    if (i + 1 < n) A.set(i, i + 1, -1.0);
+  }
+  return A;
+}
+
+std::vector<double> rand_vec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1, 1);
+  std::vector<double> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+double rel_res(const CrsMatrix& A, const std::vector<double>& x,
+               const std::vector<double>& b) {
+  std::vector<double> r;
+  A.apply(x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  return norm2(r) / norm2(b);
+}
+
+}  // namespace
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  auto A = spd_laplacian(200);
+  JacobiPreconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(200, 1);
+  std::vector<double> x;
+  const auto r = ConjugateGradient({1e-10, 2000}).solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(rel_res(A, x, b), 1e-9);
+}
+
+TEST(ConjugateGradient, ZeroRhs) {
+  auto A = spd_laplacian(10);
+  IdentityPreconditioner M;
+  std::vector<double> b(10, 0.0), x(10, 3.0);
+  const auto r = ConjugateGradient().solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ConjugateGradient, FiniteTerminationOnSmallSystem) {
+  // Exact-arithmetic CG terminates in at most n iterations.
+  auto A = spd_laplacian(12);
+  IdentityPreconditioner M;
+  const auto b = rand_vec(12, 3);
+  std::vector<double> x;
+  const auto r = ConjugateGradient({1e-12, 50}).solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 13u);
+}
+
+TEST(ConjugateGradient, RejectsIndefiniteMatrix) {
+  std::vector<std::size_t> rp{0, 1, 2}, cols{0, 1};
+  CrsMatrix A(rp, cols);
+  A.set(0, 0, 1.0);
+  A.set(1, 1, -1.0);  // indefinite
+  IdentityPreconditioner M;
+  std::vector<double> b = {1.0, 1.0}, x;
+  EXPECT_THROW(ConjugateGradient().solve(A, M, b, x), mali::Error);
+}
+
+TEST(BiCgStab, SolvesNonsymmetricSystem) {
+  const std::size_t n = 150;
+  std::vector<std::size_t> rp{0}, cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) cols.push_back(i - 1);
+    cols.push_back(i);
+    if (i + 1 < n) cols.push_back(i + 1);
+    rp.push_back(cols.size());
+  }
+  CrsMatrix A(rp, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    A.set(i, i, 2.4);
+    if (i > 0) A.set(i, i - 1, -1.4);   // convection skew
+    if (i + 1 < n) A.set(i, i + 1, -0.6);
+  }
+  Ilu0Preconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(n, 5);
+  std::vector<double> x;
+  const auto r = BiCgStab({1e-10, 2000}).solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(rel_res(A, x, b), 1e-8);
+}
+
+TEST(BlockJacobi, InvertsBlockDiagonalExactly) {
+  // A block-diagonal matrix is solved exactly in one application.
+  const std::size_t nb = 20;
+  std::vector<std::size_t> rp{0}, cols;
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (int i = 0; i < 2; ++i) {
+      cols.push_back(2 * b);
+      cols.push_back(2 * b + 1);
+      rp.push_back(cols.size());
+    }
+  }
+  CrsMatrix A(rp, cols);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> d(-1, 1);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double a11 = 3.0 + d(rng), a12 = d(rng), a21 = d(rng),
+                 a22 = 3.0 + d(rng);
+    A.set(2 * b, 2 * b, a11);
+    A.set(2 * b, 2 * b + 1, a12);
+    A.set(2 * b + 1, 2 * b, a21);
+    A.set(2 * b + 1, 2 * b + 1, a22);
+  }
+  BlockJacobiPreconditioner M(2);
+  M.compute(A);
+  const auto bvec = rand_vec(2 * nb, 17);
+  std::vector<double> z;
+  M.apply(bvec, z);
+  EXPECT_LT(rel_res(A, z, bvec), 1e-12);
+}
+
+TEST(BlockJacobi, RejectsMismatchedSize) {
+  auto A = spd_laplacian(5);
+  BlockJacobiPreconditioner M(2);
+  EXPECT_THROW(M.compute(A), mali::Error);
+}
+
+TEST(BlockJacobi, BeatsPointJacobiOnVelocityJacobian) {
+  mali::physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 4;
+  mali::physics::StokesFOProblem p(cfg);
+  const auto U = p.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = p.create_matrix();
+  p.residual_and_jacobian(U, F, J);
+
+  GmresConfig gc;
+  gc.rel_tol = 1e-6;
+  gc.max_iters = 3000;
+  gc.restart = 150;
+  const Gmres gmres(gc);
+
+  JacobiPreconditioner pj;
+  pj.compute(J);
+  std::vector<double> x1;
+  const auto r1 = gmres.solve(J, pj, F, x1);
+
+  BlockJacobiPreconditioner bj(2);
+  bj.compute(J);
+  std::vector<double> x2;
+  const auto r2 = gmres.solve(J, bj, F, x2);
+
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LE(r2.iterations, r1.iterations)
+      << "2x2 nodal blocks capture the u-v coupling";
+}
+
+TEST(CrossSolver, GmresBicgstabAmgAgreeOnIceJacobian) {
+  mali::physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 4;
+  mali::physics::StokesFOProblem p(cfg);
+  const auto U = p.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = p.create_matrix();
+  p.residual_and_jacobian(U, F, J);
+
+  SemicoarseningAmg amg(p.extrusion_info());
+  amg.compute(J);
+
+  std::vector<double> xg, xb;
+  const auto rg = Gmres({1e-10, 3000, 200}).solve(J, amg, F, xg);
+  const auto rb = BiCgStab({1e-10, 3000}).solve(J, amg, F, xb);
+  ASSERT_TRUE(rg.converged);
+  ASSERT_TRUE(rb.converged);
+  double diff = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < xg.size(); ++i) {
+    diff += (xg[i] - xb[i]) * (xg[i] - xb[i]);
+    norm += xg[i] * xg[i];
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 1e-6);
+}

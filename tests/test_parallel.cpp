@@ -1,0 +1,130 @@
+// Tests for the pk execution layer: parallel_for/reduce on both backends,
+// tag dispatch, launch-bounds plumbing and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "portability/launch_bounds.hpp"
+#include "portability/parallel.hpp"
+#include "portability/thread_pool.hpp"
+
+namespace pk = mali::pk;
+
+TEST(ThreadPool, CoversFullRange) {
+  pk::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_range(0, 100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  pk::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_range(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  pk::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_range(0, 10,
+                                   [](std::size_t b, std::size_t) {
+                                     if (b == 0) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // The pool survives and remains usable.
+  std::atomic<int> count{0};
+  pool.parallel_range(0, 8, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ParallelFor, SerialBackend) {
+  std::vector<int> out(50, 0);
+  pk::parallel_for("t", pk::RangePolicy<pk::Serial>(50),
+                   [&](int i) { out[static_cast<std::size_t>(i)] = i * 2; });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(ParallelFor, ThreadsBackend) {
+  std::vector<std::atomic<int>> out(257);
+  pk::parallel_for("t", pk::RangePolicy<pk::Threads>(257),
+                   [&](int i) { out[static_cast<std::size_t>(i)] = i; });
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)].load(), i);
+}
+
+TEST(ParallelFor, RangeWithOffset) {
+  std::vector<int> touched(20, 0);
+  pk::parallel_for("t", pk::RangePolicy<pk::Serial>(5, 15),
+                   [&](int i) { touched[static_cast<std::size_t>(i)] = 1; });
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(touched[static_cast<std::size_t>(i)], (i >= 5 && i < 15) ? 1 : 0);
+  }
+}
+
+// Tag dispatch, Albany-style.
+struct TagA {};
+struct TagB {};
+struct TaggedFunctor {
+  mutable std::atomic<int>* a;
+  mutable std::atomic<int>* b;
+  void operator()(const TagA&, int) const { a->fetch_add(1); }
+  void operator()(const TagB&, int) const { b->fetch_add(3); }
+};
+
+TEST(ParallelFor, TagDispatchSelectsOverload) {
+  std::atomic<int> a{0}, b{0};
+  TaggedFunctor f{&a, &b};
+  pk::parallel_for("a", pk::RangePolicy<pk::Serial, TagA>(10), f);
+  EXPECT_EQ(a.load(), 10);
+  EXPECT_EQ(b.load(), 0);
+  pk::parallel_for("b", pk::RangePolicy<pk::Serial, TagB>(10), f);
+  EXPECT_EQ(b.load(), 30);
+}
+
+TEST(ParallelReduce, SumSerial) {
+  double sum = 0.0;
+  pk::parallel_reduce("s", pk::RangePolicy<pk::Serial>(100),
+                      [](int i, double& acc) { acc += i; }, sum);
+  EXPECT_DOUBLE_EQ(sum, 4950.0);
+}
+
+TEST(ParallelReduce, SumThreads) {
+  long sum = 0;
+  pk::parallel_reduce("s", pk::RangePolicy<pk::Threads>(1000),
+                      [](int i, long& acc) { acc += i; }, sum);
+  EXPECT_EQ(sum, 499500);
+}
+
+TEST(LaunchBounds, CompileTimeToRuntime) {
+  using LB = pk::LaunchBounds<128, 2>;
+  constexpr auto cfg = pk::to_launch_config<LB>();
+  EXPECT_EQ(cfg.max_threads, 128u);
+  EXPECT_EQ(cfg.min_blocks, 2u);
+  EXPECT_FALSE(cfg.is_default());
+  constexpr auto dflt = pk::to_launch_config<pk::LaunchBounds<>>();
+  EXPECT_TRUE(dflt.is_default());
+}
+
+// Backend-equivalence sweep over sizes.
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalence, SameResultBothBackends) {
+  const int n = GetParam();
+  std::vector<double> serial(static_cast<std::size_t>(n)),
+      threaded(static_cast<std::size_t>(n));
+  auto fn = [](int i) { return 0.5 * i * i - 3.0 * i; };
+  pk::parallel_for("s", pk::RangePolicy<pk::Serial>(static_cast<std::size_t>(n)),
+                   [&](int i) { serial[static_cast<std::size_t>(i)] = fn(i); });
+  pk::parallel_for("t", pk::RangePolicy<pk::Threads>(static_cast<std::size_t>(n)),
+                   [&](int i) { threaded[static_cast<std::size_t>(i)] = fn(i); });
+  EXPECT_EQ(serial, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BackendEquivalence,
+                         ::testing::Values(1, 2, 17, 100, 1023, 4096));

@@ -1,0 +1,138 @@
+// Domain-partitioning tests (strips and blocks) plus the multi-GPU halo
+// model and the markdown report generator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/report_generator.hpp"
+#include "gpusim/multi_gpu.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "mesh/partition.hpp"
+
+using namespace mali;
+
+namespace {
+
+struct Fixture {
+  mesh::IceGeometry geom{};
+  mesh::QuadGrid grid{geom, mesh::QuadGridConfig{100.0e3}};
+};
+
+}  // namespace
+
+TEST(Partition, StripsCoverEveryCellOnce) {
+  Fixture f;
+  const auto p = mesh::partition_strips(f.grid, 4);
+  ASSERT_EQ(p.cell_owner.size(), f.grid.n_cells());
+  std::size_t total = 0;
+  for (auto c : p.owned_cells) total += c;
+  EXPECT_EQ(total, f.grid.n_cells());
+  for (int owner : p.cell_owner) {
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 4);
+  }
+}
+
+TEST(Partition, StripsAreBalanced) {
+  Fixture f;
+  const auto p = mesh::partition_strips(f.grid, 8);
+  EXPECT_LT(p.imbalance(), 1.05) << "equal-count strips must balance";
+}
+
+TEST(Partition, SinglePartHasNoHalo) {
+  Fixture f;
+  const auto p = mesh::partition_strips(f.grid, 1);
+  EXPECT_EQ(p.halo_columns[0], 0u);
+  EXPECT_EQ(p.owned_cells[0], f.grid.n_cells());
+}
+
+TEST(Partition, HaloGrowsSubLinearlyWithParts) {
+  // Strip halos are one column of nodes per internal boundary: roughly
+  // constant per rank as the strip count grows (until strips get thin).
+  Fixture f;
+  const auto p2 = mesh::partition_strips(f.grid, 2);
+  const auto p8 = mesh::partition_strips(f.grid, 8);
+  EXPECT_GT(p2.max_halo_columns(), 0u);
+  EXPECT_LT(p8.max_halo_columns(), 4 * p2.max_halo_columns());
+}
+
+TEST(Partition, BlocksCoverEveryCell) {
+  Fixture f;
+  const auto p = mesh::partition_blocks(f.grid, 3, 3);
+  EXPECT_EQ(p.n_parts, 9);
+  std::size_t total = 0;
+  for (auto c : p.owned_cells) total += c;
+  EXPECT_EQ(total, f.grid.n_cells());
+  // Central block owns cells; the disk's corners may be lean but the
+  // partition as a whole must not lose anything.
+  EXPECT_GT(p.owned_cells[4], 0u);
+}
+
+TEST(Partition, OwnedColumnsPartitionTheNodes) {
+  Fixture f;
+  const auto p = mesh::partition_blocks(f.grid, 2, 2);
+  std::size_t total = 0;
+  for (auto c : p.owned_columns) total += c;
+  EXPECT_EQ(total, f.grid.n_nodes());
+}
+
+TEST(Partition, HaloDisjointFromOwnedPerPart) {
+  // halo + owned columns per part never exceeds total columns.
+  Fixture f;
+  const auto p = mesh::partition_strips(f.grid, 4);
+  for (int part = 0; part < 4; ++part) {
+    EXPECT_LE(p.owned_columns[static_cast<std::size_t>(part)] +
+                  p.halo_columns[static_cast<std::size_t>(part)],
+              f.grid.n_nodes());
+  }
+}
+
+TEST(MultiGpu, HaloBytesFormula) {
+  // 100 columns x 21 levels x 2 dofs x 8 bytes.
+  EXPECT_DOUBLE_EQ(gpusim::halo_bytes(100, 21), 100.0 * 21 * 2 * 8);
+}
+
+TEST(MultiGpu, ScalingPointComposition) {
+  gpusim::NetworkModel net;
+  const auto single = gpusim::scaling_point(1, 3.0e-3, 0.0, net, 3.0e-3);
+  EXPECT_DOUBLE_EQ(single.total_time_s, 3.0e-3);
+  EXPECT_DOUBLE_EQ(single.efficiency, 1.0);
+
+  const double bytes = 1.0e6;
+  const auto multi = gpusim::scaling_point(16, 3.0e-3, bytes, net, 3.0e-3);
+  EXPECT_GT(multi.total_time_s, single.total_time_s);
+  EXPECT_LT(multi.efficiency, 1.0);
+  EXPECT_NEAR(multi.halo_time_s,
+              bytes / net.nic_bw_bytes_per_s +
+                  net.message_latency_s * net.neighbors,
+              1e-12);
+}
+
+TEST(ReportGenerator, ProducesAllSections) {
+  core::StudyConfig cfg;
+  cfg.n_cells = 16384;
+  cfg.sim.scale = 0.25;
+  const core::OptimizationStudy study(cfg);
+  const auto md = core::generate_markdown_report(study);
+  for (const char* needle :
+       {"# MiniMALI optimization study", "Table III", "Fig. 3", "Fig. 5",
+        "Table IV", "Table II", "Ablation", "Jacobian", "Residual",
+        "NVIDIA A100", "AMD MI250X"}) {
+    EXPECT_NE(md.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ReportGenerator, SectionsCanBeDisabled) {
+  core::StudyConfig cfg;
+  cfg.n_cells = 16384;
+  const core::OptimizationStudy study(cfg);
+  core::ReportOptions opts;
+  opts.include_ablation = false;
+  opts.include_launch_bounds = false;
+  const auto md = core::generate_markdown_report(study, opts);
+  EXPECT_EQ(md.find("Ablation"), std::string::npos);
+  EXPECT_EQ(md.find("LaunchBounds"), std::string::npos);
+  EXPECT_NE(md.find("Table III"), std::string::npos);
+}

@@ -1,0 +1,140 @@
+// Performance-portability analysis tests: roofline math, the time-oriented
+// model's efficiencies, the Pennycook Φ metric, the theoretical data-
+// movement calculator, and the table formatter.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/data_movement.hpp"
+#include "perf/portability_metric.hpp"
+#include "perf/report.hpp"
+#include "perf/roofline.hpp"
+#include "perf/time_oriented.hpp"
+
+using namespace mali::perf;
+
+TEST(Roofline, AttainableIsMinOfBounds) {
+  const Roofline r{"m", 10e12, 1.5e12};
+  EXPECT_DOUBLE_EQ(r.attainable(1.0), 1.5e12);
+  EXPECT_DOUBLE_EQ(r.attainable(100.0), 10e12);
+  EXPECT_DOUBLE_EQ(r.ridge_point(), 10.0 / 1.5);
+  EXPECT_TRUE(r.memory_bound(1.0));
+  EXPECT_FALSE(r.memory_bound(10.0));
+}
+
+TEST(Roofline, FractionOfRoof) {
+  const Roofline r{"m", 10e12, 1.0e12};
+  RooflinePoint p{"k", 2.0, 1000.0};  // 1000 GFLOP/s at AI 2 -> roof 2e12
+  EXPECT_NEAR(p.fraction_of_roof(r), 0.5, 1e-12);
+  EXPECT_NEAR(p.fraction_of_bw(r), 0.5, 1e-12);
+  RooflinePoint compute{"k", 100.0, 5000.0};  // roof = 10 TF
+  EXPECT_NEAR(compute.fraction_of_roof(r), 0.5, 1e-12);
+}
+
+TEST(TimeOriented, EfficienciesAndBounds) {
+  TimeOrientedPoint p;
+  p.bytes_moved = 2e9;
+  p.time_s = 4e-3;
+  p.min_bytes = 1e9;
+  p.peak_bw = 1e12;
+  EXPECT_DOUBLE_EQ(p.min_time_s(), 1e-3);
+  EXPECT_DOUBLE_EQ(p.e_time(), 0.25);
+  EXPECT_DOUBLE_EQ(p.e_dm(), 0.5);
+  EXPECT_DOUBLE_EQ(p.arch_bound_time_s(), 2e-3);
+}
+
+TEST(TimeOriented, PerfectKernelHasUnitEfficiencies) {
+  TimeOrientedPoint p;
+  p.min_bytes = p.bytes_moved = 3e9;
+  p.peak_bw = 1.5e12;
+  p.time_s = p.min_time_s();
+  EXPECT_DOUBLE_EQ(p.e_time(), 1.0);
+  EXPECT_DOUBLE_EQ(p.e_dm(), 1.0);
+}
+
+TEST(Phi, EqualEfficienciesPassThrough) {
+  EXPECT_DOUBLE_EQ(phi(std::vector<double>{0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(Phi, HarmonicMeanOfTwo) {
+  // Paper Table IV, e.g. baseline Jacobian e_time: 39% and 38% -> 39%
+  // (harmonic mean 0.3849...).
+  EXPECT_NEAR(phi(std::vector<double>{0.39, 0.38}), 0.3849, 1e-3);
+  // And optimized Residual e_DM: 100% on both platforms -> 100%.
+  EXPECT_DOUBLE_EQ(phi(std::vector<double>{1.0, 1.0}), 1.0);
+}
+
+TEST(Phi, DominatedByWorstPlatform) {
+  const double v = phi(std::vector<double>{0.9, 0.1});
+  EXPECT_LT(v, 0.5 * (0.9 + 0.1));  // below the arithmetic mean
+  EXPECT_GT(v, 0.1);
+  EXPECT_LT(v, 0.9);
+}
+
+TEST(Phi, UnsupportedPlatformZeroes) {
+  std::vector<PlatformEfficiency> e = {{"a", 0.8, true}, {"b", 0.9, false}};
+  EXPECT_EQ(phi(e), 0.0);
+  e[1].supported = true;
+  e[1].efficiency = 0.0;
+  EXPECT_EQ(phi(e), 0.0);
+  EXPECT_EQ(phi(std::vector<PlatformEfficiency>{}), 0.0);
+}
+
+TEST(Phi, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(phi(std::vector<double>{0.3, 0.7, 0.5}),
+                   phi(std::vector<double>{0.7, 0.5, 0.3}));
+}
+
+TEST(DataMovement, StokesResidArrayInventory) {
+  const auto arrays = stokes_fo_resid_arrays(8, 8, sizeof(double));
+  ASSERT_EQ(arrays.size(), 6u);
+  std::size_t outputs = 0;
+  for (const auto& a : arrays) outputs += a.is_output ? 1 : 0;
+  EXPECT_EQ(outputs, 1u);  // only Residual
+}
+
+TEST(DataMovement, ResidualMinBytesPerCell) {
+  // Ugrad 48 + mu 8 + force 16 + Residual 16 scalars (8B) plus wGradBF 192 +
+  // wBF 64 doubles = 88*8 + 256*8 = 2752 bytes per cell.
+  EXPECT_EQ(min_bytes_per_cell(stokes_fo_resid_arrays(8, 8, 8)), 2752u);
+}
+
+TEST(DataMovement, JacobianSixteenDerivativeScaling) {
+  const std::size_t res = min_bytes_per_cell(stokes_fo_resid_arrays(8, 8, 8));
+  const std::size_t jac =
+      min_bytes_per_cell(stokes_fo_resid_arrays(8, 8, 17 * 8));
+  // Scalar portion scales 17x; mesh-scalar portion is shared.
+  EXPECT_EQ(jac, 88u * 17u * 8u + 256u * 8u);
+  EXPECT_GT(static_cast<double>(jac) / static_cast<double>(res), 4.0);
+}
+
+TEST(DataMovement, WorksetScalesLinearlyInCells) {
+  EXPECT_EQ(stokes_fo_resid_min_bytes(1000, 8, 8, 8),
+            1000u * min_bytes_per_cell(stokes_fo_resid_arrays(8, 8, 8)));
+}
+
+TEST(Report, TableFormatsRows) {
+  Table t({"kernel", "time"});
+  t.add_row({"Jacobian", "5.4e-2"});
+  t.add_row({"Residual", "2.4e-3"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Jacobian"), std::string::npos);
+  EXPECT_NE(s.find("5.4e-2"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(Report, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), mali::Error);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt_sci(0.054), "5.4e-02");
+  EXPECT_EQ(fmt_pct(0.84), "84%");
+  EXPECT_EQ(fmt_pct(1.0), "100%");
+  EXPECT_EQ(fmt_speedup(1.54), "1.54x");
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+}

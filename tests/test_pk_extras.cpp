@@ -1,0 +1,194 @@
+// Tests for the extended pk layer: MDRangePolicy, reducers, scans, and
+// profiling regions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "portability/mdrange.hpp"
+#include "portability/timer.hpp"
+#include "portability/profiling.hpp"
+#include "portability/reductions.hpp"
+#include "portability/team_policy.hpp"
+#include "portability/view.hpp"
+
+namespace pk = mali::pk;
+
+TEST(MDRange, CoversFull2DSpace) {
+  pk::View<int, 2> hits("h", 7, 5);
+  pk::MDRangePolicy<2, pk::Serial> policy({7, 5});
+  EXPECT_EQ(policy.size(), 35u);
+  pk::parallel_for(policy, [&](int i, int j) { hits(i, j) += 1; });
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(hits(i, j), 1);
+  }
+}
+
+TEST(MDRange, ThreeDimensionalThreads) {
+  pk::View<int, 3> hits("h", 4, 3, 6);
+  pk::MDRangePolicy<3, pk::Threads> policy({4, 3, 6});
+  pk::parallel_for(policy, [&](int i, int j, int k) { hits(i, j, k) = i * 100 + j * 10 + k; });
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 6; ++k) {
+        EXPECT_EQ(hits(i, j, k), static_cast<int>(i * 100 + j * 10 + k));
+      }
+    }
+  }
+}
+
+TEST(MDRange, UnflattenRowMajor) {
+  pk::MDRangePolicy<3, pk::Serial> policy({2, 3, 4});
+  // Linear index 0 -> (0,0,0); index 1 -> (0,0,1) (last index fastest).
+  EXPECT_EQ(policy.unflatten(0), (std::array<std::size_t, 3>{0, 0, 0}));
+  EXPECT_EQ(policy.unflatten(1), (std::array<std::size_t, 3>{0, 0, 1}));
+  EXPECT_EQ(policy.unflatten(4), (std::array<std::size_t, 3>{0, 1, 0}));
+  EXPECT_EQ(policy.unflatten(12), (std::array<std::size_t, 3>{1, 0, 0}));
+  EXPECT_EQ(policy.unflatten(23), (std::array<std::size_t, 3>{1, 2, 3}));
+}
+
+TEST(Reducers, SumMinMax) {
+  const auto sum = pk::reduce<pk::Sum<long>, pk::Serial>(
+      "s", 1000, [](int i, long& p) { p += i; });
+  EXPECT_EQ(sum, 499500);
+
+  const auto mn = pk::reduce<pk::Min<double>, pk::Threads>(
+      "m", 100, [](int i, double& p) { p = (i - 37) * (i - 37); });
+  EXPECT_EQ(mn, 0.0);
+
+  const auto mx = pk::reduce<pk::Max<int>, pk::Threads>(
+      "M", 100, [](int i, int& p) { p = i % 13; });
+  EXPECT_EQ(mx, 12);
+}
+
+TEST(Reducers, EmptyRangeGivesIdentity) {
+  const auto sum = pk::reduce<pk::Sum<int>, pk::Serial>(
+      "s", 0, [](int, int& p) { p = 99; });
+  EXPECT_EQ(sum, 0);
+  const auto mn = pk::reduce<pk::Min<int>, pk::Serial>(
+      "m", 0, [](int, int& p) { p = -5; });
+  EXPECT_EQ(mn, std::numeric_limits<int>::max());
+}
+
+TEST(Scan, ExclusivePrefixSum) {
+  std::vector<int> in = {3, 1, 4, 1, 5, 9};
+  std::vector<int> out;
+  const int total = pk::exclusive_scan(in, out);
+  EXPECT_EQ(total, 23);
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 8, 9, 14}));
+}
+
+TEST(Scan, FunctorForm) {
+  // Classic compaction-offset use: each element contributes its count.
+  const std::vector<int> counts = {2, 0, 3, 1};
+  std::vector<int> offsets(4);
+  const int total = pk::parallel_scan<int>(
+      "offsets", 4, [&](int i, int& partial, bool is_final) {
+        if (is_final) offsets[static_cast<std::size_t>(i)] = partial;
+        partial += counts[static_cast<std::size_t>(i)];
+      });
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(offsets, (std::vector<int>{0, 2, 2, 5}));
+}
+
+TEST(Profiling, RegionsAccumulate) {
+  auto& prof = pk::Profiling::instance();
+  prof.clear();
+  for (int i = 0; i < 3; ++i) {
+    pk::ScopedRegion outer("assemble");
+    pk::ScopedRegion inner("viscosity");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto outer = prof.stats("assemble");
+  const auto inner = prof.stats("assemble.viscosity");
+  EXPECT_EQ(outer.calls, 3u);
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_GT(inner.total_s, 0.0);
+  EXPECT_GE(outer.total_s, inner.total_s * 0.5);
+  EXPECT_GE(outer.max_s, outer.mean_s());
+  EXPECT_EQ(prof.depth(), 0u);
+  prof.clear();
+  EXPECT_EQ(prof.stats("assemble").calls, 0u);
+}
+
+TEST(TeamPolicy, LeagueCoversAllTeams) {
+  std::vector<std::atomic<int>> hits(24);
+  pk::TeamPolicy<pk::Threads> policy(24, 4);
+  pk::parallel_for(policy, [&](const pk::TeamMember& member) {
+    EXPECT_EQ(member.league_size(), 24);
+    EXPECT_EQ(member.team_size(), 4);
+    EXPECT_EQ(member.team_rank(), 0);
+    hits[static_cast<std::size_t>(member.league_rank())].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TeamPolicy, NestedTeamForAndReduce) {
+  // Classic cell/qp shape: league over cells, team loop over qps.
+  constexpr int kCells = 10, kQps = 8;
+  std::vector<double> out(kCells, 0.0);
+  pk::TeamPolicy<pk::Serial> policy(kCells, kQps);
+  pk::parallel_for(policy, [&](const pk::TeamMember& member) {
+    double sum = 0.0;
+    pk::team_reduce(member, kQps,
+                    [&](int q, double& acc) {
+                      acc += static_cast<double>(member.league_rank() * q);
+                    },
+                    sum);
+    out[static_cast<std::size_t>(member.league_rank())] = sum;
+  });
+  for (int c = 0; c < kCells; ++c) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(c)], c * 28.0);  // 0+..+7
+  }
+}
+
+TEST(TeamPolicy, TeamForVisitsEveryIndex) {
+  pk::TeamPolicy<pk::Serial> policy(1, 8);
+  std::vector<int> seen;
+  pk::parallel_for(policy, [&](const pk::TeamMember& member) {
+    pk::team_for(member, 5, [&](int i) { seen.push_back(i); });
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Profiling, UnmatchedPopIsIgnored) {
+  auto& prof = pk::Profiling::instance();
+  prof.clear();
+  prof.pop_region();  // no-op, must not crash
+  EXPECT_EQ(prof.depth(), 0u);
+}
+
+TEST(Timers, TimerRegistryAccumulates) {
+  pk::TimerRegistry reg;
+  reg.add("assemble", 0.25);
+  reg.add("assemble", 0.75);
+  reg.add("solve", 1.5);
+  EXPECT_DOUBLE_EQ(reg.total("assemble"), 1.0);
+  EXPECT_EQ(reg.count("assemble"), 2u);
+  EXPECT_DOUBLE_EQ(reg.total("solve"), 1.5);
+  EXPECT_DOUBLE_EQ(reg.total("missing"), 0.0);
+  EXPECT_EQ(reg.count("missing"), 0u);
+  reg.clear();
+  EXPECT_EQ(reg.entries().size(), 0u);
+}
+
+TEST(Timers, ScopedTimerReports) {
+  pk::TimerRegistry reg;
+  {
+    pk::ScopedTimer t(reg, "region");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(reg.count("region"), 1u);
+  EXPECT_GT(reg.total("region"), 1e-3);
+}
+
+TEST(Timers, TimerMeasuresElapsed) {
+  pk::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double first = t.seconds();
+  EXPECT_GT(first, 1e-3);
+  t.reset();
+  EXPECT_LT(t.seconds(), first);
+}

@@ -1,0 +1,303 @@
+// Prismatic (WEDGE6) discretization tests: basis properties, the triangle
+// base grid, the prism geometry workset, and the StokesFOResid kernels run
+// on the 6-node topology (including the SFad<12> Jacobian path).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <set>
+
+#include "ad/sfad.hpp"
+#include "core/kernel_traces.hpp"
+#include "fem/prism_geometry.hpp"
+#include "fem/wedge6.hpp"
+#include "gpusim/exec_model.hpp"
+#include "mesh/tri_grid.hpp"
+#include "perf/data_movement.hpp"
+#include "physics/stokes_fo_resid.hpp"
+#include "portability/parallel.hpp"
+
+using namespace mali;
+using fem::Wedge6Basis;
+
+TEST(Wedge6, KroneckerAtNodes) {
+  const double nodes[6][3] = {{0, 0, -1}, {1, 0, -1}, {0, 1, -1},
+                              {0, 0, 1},  {1, 0, 1},  {0, 1, 1}};
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_NEAR(
+          Wedge6Basis::value(j, nodes[i][0], nodes[i][1], nodes[i][2]),
+          i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+class Wedge6RandomPoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(Wedge6RandomPoint, PartitionOfUnityAndGradients) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(0.05, 0.9);
+  const double xi = dist(rng) * 0.5;
+  const double eta = dist(rng) * (1.0 - xi) * 0.9;
+  const double zeta = 2.0 * dist(rng) - 1.0;
+  double sum = 0.0, g[3] = {0, 0, 0};
+  for (int k = 0; k < 6; ++k) {
+    sum += Wedge6Basis::value(k, xi, eta, zeta);
+    const auto gr = Wedge6Basis::gradient(k, xi, eta, zeta);
+    for (int d = 0; d < 3; ++d) g[d] += gr[d];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(g[d], 0.0, 1e-14);
+
+  // Gradient vs finite differences.
+  const double h = 1e-7;
+  for (int k = 0; k < 6; ++k) {
+    const auto gr = Wedge6Basis::gradient(k, xi, eta, zeta);
+    EXPECT_NEAR(gr[0],
+                (Wedge6Basis::value(k, xi + h, eta, zeta) -
+                 Wedge6Basis::value(k, xi - h, eta, zeta)) /
+                    (2 * h),
+                1e-7);
+    EXPECT_NEAR(gr[2],
+                (Wedge6Basis::value(k, xi, eta, zeta + h) -
+                 Wedge6Basis::value(k, xi, eta, zeta - h)) /
+                    (2 * h),
+                1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Wedge6RandomPoint, ::testing::Range(0, 6));
+
+TEST(WedgeQuadrature, WeightsSumToReferenceVolume) {
+  const auto qps = fem::gauss_wedge();
+  ASSERT_EQ(qps.size(), 6u);
+  double w = 0.0;
+  for (const auto& q : qps) w += q.weight;
+  EXPECT_NEAR(w, 1.0, 1e-14);  // triangle area 1/2 x interval length 2
+}
+
+TEST(WedgeQuadrature, IntegratesQuadraticsInPlane) {
+  // Midside rule is degree-2 exact on the triangle: int xi^2 over the unit
+  // triangle = 1/12; with the zeta extent of 2: 1/6.
+  const auto qps = fem::gauss_wedge();
+  double num = 0.0;
+  for (const auto& q : qps) num += q.weight * q.xi * q.xi;
+  EXPECT_NEAR(num, 1.0 / 6.0, 1e-14);
+}
+
+// ---- triangle grid ----
+
+class TriGridTest : public ::testing::Test {
+ protected:
+  mesh::IceGeometry geom{};
+  std::shared_ptr<mesh::QuadGrid> quads =
+      std::make_shared<mesh::QuadGrid>(geom, mesh::QuadGridConfig{150.0e3});
+  mesh::TriGrid tris{quads};
+};
+
+TEST_F(TriGridTest, TwoTrianglesPerQuad) {
+  EXPECT_EQ(tris.n_cells(), 2 * quads->n_cells());
+  EXPECT_EQ(tris.n_nodes(), quads->n_nodes());
+}
+
+TEST_F(TriGridTest, AllTrianglesCcwWithHalfQuadArea) {
+  const double half = 0.5 * quads->dx() * quads->dx();
+  for (std::size_t c = 0; c < tris.n_cells(); ++c) {
+    EXPECT_NEAR(tris.signed_area(c), half, 1e-6);
+  }
+}
+
+TEST_F(TriGridTest, TrianglePairCoversQuad) {
+  for (std::size_t q = 0; q < quads->n_cells(); ++q) {
+    std::set<std::size_t> quad_nodes, tri_nodes;
+    for (int k = 0; k < 4; ++k) quad_nodes.insert(quads->cell_node(q, k));
+    for (std::size_t t = 2 * q; t < 2 * q + 2; ++t) {
+      for (int k = 0; k < 3; ++k) tri_nodes.insert(tris.cell_node(t, k));
+    }
+    EXPECT_EQ(tri_nodes, quad_nodes);
+  }
+}
+
+// ---- prism geometry workset ----
+
+class PrismWorksetTest : public ::testing::Test {
+ protected:
+  PrismWorksetTest()
+      : quads(std::make_shared<mesh::QuadGrid>(geom,
+                                               mesh::QuadGridConfig{200.0e3})),
+        tris(quads),
+        ws(fem::build_prism_geometry(tris, geom, 4)) {}
+  mesh::IceGeometry geom{};
+  std::shared_ptr<mesh::QuadGrid> quads;
+  mesh::TriGrid tris;
+  fem::GeometryWorkset ws;
+};
+
+TEST_F(PrismWorksetTest, ShapesAndTopology) {
+  EXPECT_EQ(ws.num_nodes, 6);
+  EXPECT_EQ(ws.num_qps, 6);
+  EXPECT_EQ(ws.n_cells, tris.n_cells() * 4);
+  EXPECT_EQ(ws.n_basal_faces, tris.n_cells());
+  EXPECT_EQ(ws.face_nodes, 3);
+}
+
+TEST_F(PrismWorksetTest, PositiveJacobians) {
+  for (std::size_t c = 0; c < ws.n_cells; ++c) {
+    for (int q = 0; q < ws.num_qps; ++q) EXPECT_GT(ws.detJ(c, q), 0.0);
+  }
+}
+
+TEST_F(PrismWorksetTest, GradientsAnnihilateConstantsAndReproduceLinears) {
+  const double a[3] = {1.1, -0.7, 3.3};
+  for (std::size_t c = 0; c < ws.n_cells; c += 7) {
+    for (int q = 0; q < ws.num_qps; ++q) {
+      double g0[3] = {0, 0, 0}, gl[3] = {0, 0, 0};
+      for (int k = 0; k < 6; ++k) {
+        const double f = a[0] * ws.coords(c, k, 0) + a[1] * ws.coords(c, k, 1) +
+                         a[2] * ws.coords(c, k, 2);
+        for (int d = 0; d < 3; ++d) {
+          g0[d] += ws.gradBF(c, k, q, d);
+          gl[d] += f * ws.gradBF(c, k, q, d);
+        }
+      }
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_NEAR(g0[d], 0.0, 1e-12);
+        EXPECT_NEAR(gl[d], a[d], 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(PrismWorksetTest, PrismVolumesMatchHexCounterparts) {
+  // The two prisms of a quad column sum to the hex volume of the same
+  // column and layer (both discretize the same ice slab).
+  const auto qps = fem::gauss_wedge();
+  double total = 0.0;
+  for (std::size_t c = 0; c < ws.n_cells; ++c) {
+    for (int q = 0; q < ws.num_qps; ++q) {
+      total += ws.detJ(c, q) * qps[static_cast<std::size_t>(q)].weight;
+    }
+  }
+  // Compare against the area-integral of thickness (flat-ish columns).
+  double expected = 0.0;
+  for (std::size_t t = 0; t < tris.n_cells(); ++t) {
+    double cx = 0.0, cy = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      cx += tris.node_x(tris.cell_node(t, k)) / 3.0;
+      cy += tris.node_y(tris.cell_node(t, k)) / 3.0;
+    }
+    expected += tris.signed_area(t) *
+                std::max(geom.thickness(cx, cy), geom.config().min_thickness_m);
+  }
+  EXPECT_NEAR(total / expected, 1.0, 0.08);
+}
+
+// ---- kernels on the prism topology ----
+
+namespace {
+
+template <class ScalarT>
+struct PrismKernelData {
+  static constexpr std::size_t C = 10, N = 6, Q = 6;
+  pk::View<ScalarT, 4> Ugrad{"Ugrad", C, Q, 2, 3};
+  pk::View<ScalarT, 2> mu{"muLandIce", C, Q};
+  pk::View<ScalarT, 3> force{"force", C, Q, 2};
+  pk::View<double, 4> wGradBF{"wGradBF", C, N, Q, 3};
+  pk::View<double, 3> wBF{"wBF", C, N, Q};
+  pk::View<ScalarT, 3> Residual{"Residual", C, N, 2};
+
+  explicit PrismKernelData(unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t q = 0; q < Q; ++q) {
+        mu(c, q) = ScalarT(1.0 + 0.3 * dist(rng));
+        for (int v = 0; v < 2; ++v) {
+          force(c, q, v) = ScalarT(dist(rng));
+          for (int d = 0; d < 3; ++d) Ugrad(c, q, v, d) = ScalarT(dist(rng));
+        }
+        for (std::size_t k = 0; k < N; ++k) {
+          wBF(c, k, q) = dist(rng);
+          for (int d = 0; d < 3; ++d) wGradBF(c, k, q, d) = dist(rng);
+        }
+      }
+    }
+  }
+
+  physics::StokesFOResid<ScalarT> kernel() const {
+    physics::StokesFOResid<ScalarT> k;
+    k.Ugrad = Ugrad;
+    k.muLandIce = mu;
+    k.force = force;
+    k.wGradBF = wGradBF;
+    k.wBF = wBF;
+    k.Residual = Residual;
+    k.numNodes = N;
+    k.numQPs = Q;
+    return k;
+  }
+};
+
+}  // namespace
+
+TEST(PrismKernel, BaselineAndOptimizedAgreeOnSixNodes) {
+  using Fad12 = ad::SFad<double, 12>;
+  PrismKernelData<Fad12> data(77);
+  auto k = data.kernel();
+  pk::parallel_for("b", pk::RangePolicy<pk::Serial, physics::LandIce_3D_Tag>(
+                            data.C),
+                   k);
+  std::vector<double> base;
+  for (std::size_t c = 0; c < data.C; ++c) {
+    for (std::size_t n = 0; n < data.N; ++n) {
+      for (int v = 0; v < 2; ++v) {
+        base.push_back(data.Residual(c, n, v).val());
+        for (int l = 0; l < 12; ++l) base.push_back(data.Residual(c, n, v).dx(l));
+      }
+    }
+  }
+  pk::parallel_for(
+      "o",
+      pk::RangePolicy<pk::Serial, physics::LandIce_3D_Opt_Tag<6>>(data.C), k);
+  std::size_t i = 0;
+  for (std::size_t c = 0; c < data.C; ++c) {
+    for (std::size_t n = 0; n < data.N; ++n) {
+      for (int v = 0; v < 2; ++v) {
+        EXPECT_NEAR(data.Residual(c, n, v).val(), base[i++], 1e-13);
+        for (int l = 0; l < 12; ++l) {
+          EXPECT_NEAR(data.Residual(c, n, v).dx(l), base[i++], 1e-13);
+        }
+      }
+    }
+  }
+}
+
+TEST(PrismKernel, TraceMinBytesMatchClosedForm) {
+  for (auto kind : {core::KernelKind::kResidual, core::KernelKind::kJacobian}) {
+    const auto rec = core::record_kernel_trace(
+        kind, physics::KernelVariant::kOptimized, 2048, 6, 6);
+    const auto from_trace = gpusim::ExecModel::theoretical_min_bytes(rec, 2048);
+    const auto closed = 2048u * perf::min_bytes_per_cell(
+                                    perf::stokes_fo_resid_arrays(
+                                        6, 6, core::scalar_bytes(kind, 6)));
+    EXPECT_EQ(from_trace, closed) << core::to_string(kind);
+  }
+}
+
+TEST(PrismKernel, JacobianScalarIsThirteenDoubles) {
+  EXPECT_EQ(core::scalar_bytes(core::KernelKind::kJacobian, 6),
+            13u * sizeof(double));
+  EXPECT_EQ(core::scalar_bytes(core::KernelKind::kJacobian, 8),
+            17u * sizeof(double));
+  EXPECT_EQ(core::scalar_bytes(core::KernelKind::kResidual, 6),
+            sizeof(double));
+}
+
+TEST(PrismKernel, UnsupportedTopologyThrows) {
+  EXPECT_THROW(core::record_kernel_trace(core::KernelKind::kResidual,
+                                         physics::KernelVariant::kOptimized,
+                                         64, 4, 4),
+               mali::Error);
+}

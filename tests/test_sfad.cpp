@@ -1,0 +1,241 @@
+// AD correctness: SFad derivatives verified against central finite
+// differences across the operator and math-function set, plus DFad
+// cross-checks and the composite Glen's-law expression the physics uses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ad/dfad.hpp"
+#include "ad/scalar_traits.hpp"
+#include "ad/sfad.hpp"
+
+using mali::ad::DFad;
+using mali::ad::SFad;
+using Fad2 = SFad<double, 2>;
+
+namespace {
+
+/// d/dx f(x, y) by central differences.
+double fd_x(const std::function<double(double, double)>& f, double x, double y,
+            double h = 1e-6) {
+  return (f(x + h, y) - f(x - h, y)) / (2.0 * h);
+}
+double fd_y(const std::function<double(double, double)>& f, double x, double y,
+            double h = 1e-6) {
+  return (f(x, y + h) - f(x, y - h)) / (2.0 * h);
+}
+
+}  // namespace
+
+TEST(SFad, SeededConstruction) {
+  Fad2 x(3.0, 0);
+  EXPECT_EQ(x.val(), 3.0);
+  EXPECT_EQ(x.dx(0), 1.0);
+  EXPECT_EQ(x.dx(1), 0.0);
+}
+
+TEST(SFad, ConstantHasZeroDerivatives) {
+  Fad2 c(7.5);
+  EXPECT_EQ(c.val(), 7.5);
+  EXPECT_EQ(c.dx(0), 0.0);
+  EXPECT_EQ(c.dx(1), 0.0);
+}
+
+TEST(SFad, AssignScalarClearsDerivatives) {
+  Fad2 x(3.0, 0);
+  x = 2.0;
+  EXPECT_EQ(x.val(), 2.0);
+  EXPECT_EQ(x.dx(0), 0.0);
+}
+
+TEST(SFad, Seed) {
+  Fad2 x;
+  x.seed(4.0, 1);
+  EXPECT_EQ(x.val(), 4.0);
+  EXPECT_EQ(x.dx(0), 0.0);
+  EXPECT_EQ(x.dx(1), 1.0);
+}
+
+TEST(SFad, ComparisonOnValues) {
+  Fad2 a(1.0, 0), b(2.0, 1);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == Fad2(1.0, 1));  // value comparison, as in Sacado
+  EXPECT_TRUE(a != b);
+}
+
+TEST(SFad, UnaryNegation) {
+  Fad2 x(3.0, 0);
+  const Fad2 y = -x;
+  EXPECT_EQ(y.val(), -3.0);
+  EXPECT_EQ(y.dx(0), -1.0);
+}
+
+// ---- parameterized binary-operation derivative checks ----
+
+struct BinaryCase {
+  const char* name;
+  std::function<Fad2(const Fad2&, const Fad2&)> fad;
+  std::function<double(double, double)> val;
+};
+
+class SFadBinaryOp
+    : public ::testing::TestWithParam<std::tuple<BinaryCase, std::pair<double, double>>> {};
+
+TEST_P(SFadBinaryOp, MatchesFiniteDifferences) {
+  const auto& [op, xy] = GetParam();
+  const auto [xv, yv] = xy;
+  Fad2 x(xv, 0), y(yv, 1);
+  const Fad2 r = op.fad(x, y);
+  EXPECT_NEAR(r.val(), op.val(xv, yv), 1e-12) << op.name;
+  EXPECT_NEAR(r.dx(0), fd_x(op.val, xv, yv), 1e-5) << op.name << " d/dx";
+  EXPECT_NEAR(r.dx(1), fd_y(op.val, xv, yv), 1e-5) << op.name << " d/dy";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, SFadBinaryOp,
+    ::testing::Combine(
+        ::testing::Values(
+            BinaryCase{"add", [](const Fad2& a, const Fad2& b) { return a + b; },
+                       [](double a, double b) { return a + b; }},
+            BinaryCase{"sub", [](const Fad2& a, const Fad2& b) { return a - b; },
+                       [](double a, double b) { return a - b; }},
+            BinaryCase{"mul", [](const Fad2& a, const Fad2& b) { return a * b; },
+                       [](double a, double b) { return a * b; }},
+            BinaryCase{"div", [](const Fad2& a, const Fad2& b) { return a / b; },
+                       [](double a, double b) { return a / b; }},
+            BinaryCase{"composite",
+                       [](const Fad2& a, const Fad2& b) {
+                         return 2.0 * a * (3.0 * b + a) - b / a + 1.5;
+                       },
+                       [](double a, double b) {
+                         return 2.0 * a * (3.0 * b + a) - b / a + 1.5;
+                       }},
+            BinaryCase{"rational",
+                       [](const Fad2& a, const Fad2& b) {
+                         return (a * a + b * b) / (a * b + 4.0);
+                       },
+                       [](double a, double b) {
+                         return (a * a + b * b) / (a * b + 4.0);
+                       }}),
+        ::testing::Values(std::pair{1.3, 2.7}, std::pair{-0.8, 1.1},
+                          std::pair{4.0, -2.5}, std::pair{0.3, 0.9})));
+
+// ---- unary math functions ----
+
+struct UnaryCase {
+  const char* name;
+  std::function<Fad2(const Fad2&)> fad;
+  std::function<double(double)> val;
+};
+
+class SFadUnaryFn
+    : public ::testing::TestWithParam<std::tuple<UnaryCase, double>> {};
+
+TEST_P(SFadUnaryFn, MatchesFiniteDifferences) {
+  const auto& [fn, xv] = GetParam();
+  Fad2 x(xv, 0);
+  const Fad2 r = fn.fad(x);
+  EXPECT_NEAR(r.val(), fn.val(xv), 1e-12) << fn.name;
+  const double h = 1e-6;
+  const double fd = (fn.val(xv + h) - fn.val(xv - h)) / (2.0 * h);
+  EXPECT_NEAR(r.dx(0), fd, 2e-5) << fn.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fns, SFadUnaryFn,
+    ::testing::Combine(
+        ::testing::Values(
+            UnaryCase{"sqrt", [](const Fad2& a) { return sqrt(a); },
+                      [](double a) { return std::sqrt(a); }},
+            UnaryCase{"exp", [](const Fad2& a) { return exp(a); },
+                      [](double a) { return std::exp(a); }},
+            UnaryCase{"log", [](const Fad2& a) { return log(a); },
+                      [](double a) { return std::log(a); }},
+            UnaryCase{"pow-1/3",
+                      [](const Fad2& a) { return pow(a, -1.0 / 3.0); },
+                      [](double a) { return std::pow(a, -1.0 / 3.0); }},
+            UnaryCase{"fabs", [](const Fad2& a) { return fabs(a); },
+                      [](double a) { return std::fabs(a); }}),
+        ::testing::Values(0.4, 1.0, 2.7, 9.1)));
+
+TEST(SFad, CompoundAssignments) {
+  Fad2 x(2.0, 0), y(3.0, 1);
+  Fad2 a = x;
+  a += y;
+  EXPECT_EQ(a.val(), 5.0);
+  EXPECT_EQ(a.dx(0), 1.0);
+  EXPECT_EQ(a.dx(1), 1.0);
+  a *= x;  // a = (x+y)*x; da/dx = 2x + y
+  EXPECT_EQ(a.val(), 10.0);
+  EXPECT_NEAR(a.dx(0), 7.0, 1e-12);
+  EXPECT_NEAR(a.dx(1), 2.0, 1e-12);
+  a /= y;
+  EXPECT_NEAR(a.val(), 10.0 / 3.0, 1e-12);
+  a -= x;
+  EXPECT_NEAR(a.val(), 10.0 / 3.0 - 2.0, 1e-12);
+}
+
+TEST(SFad, GlenViscosityDerivativeMatchesFD) {
+  // mu(eps2) = 0.5 A^{-1/n} (eps2 + reg)^{(1-n)/(2n)} with eps2 = f(ux, uy).
+  const double A = 1e-16, n = 3.0, reg = 1e-10;
+  auto mu = [&](double ux, double uy) {
+    const double eps2 = ux * ux + 0.25 * uy * uy;
+    return 0.5 * std::pow(A, -1.0 / n) * std::pow(eps2 + reg, (1.0 - n) / (2.0 * n));
+  };
+  const double uxv = 3e-3, uyv = -1e-3;
+  Fad2 ux(uxv, 0), uy(uyv, 1);
+  const Fad2 eps2 = ux * ux + 0.25 * (uy * uy);
+  const Fad2 m = (0.5 * std::pow(A, -1.0 / n)) * pow(eps2 + reg, (1.0 - n) / (2.0 * n));
+  EXPECT_NEAR(m.val(), mu(uxv, uyv), std::abs(mu(uxv, uyv)) * 1e-12);
+  EXPECT_NEAR(m.dx(0), fd_x(mu, uxv, uyv, 1e-9), std::abs(m.dx(0)) * 1e-4);
+  EXPECT_NEAR(m.dx(1), fd_y(mu, uxv, uyv, 1e-9), std::abs(m.dx(1)) * 1e-4);
+}
+
+TEST(DFad, MatchesSFad) {
+  Fad2 xs(1.7, 0), ys(2.3, 1);
+  DFad<double> xd(2, 0, 1.7), yd(2, 1, 2.3);
+  const Fad2 rs = 2.0 * xs * ys + xs / ys - sqrt(xs * ys);
+  const DFad<double> rd =
+      DFad<double>(2.0) * xd * yd + xd / yd - sqrt(xd * yd);
+  EXPECT_NEAR(rs.val(), rd.val(), 1e-13);
+  EXPECT_NEAR(rs.dx(0), rd.dx(0), 1e-13);
+  EXPECT_NEAR(rs.dx(1), rd.dx(1), 1e-13);
+}
+
+TEST(DFad, MixedSizePromotion) {
+  DFad<double> x(3, 1, 2.0);
+  DFad<double> c(5.0);  // constant, no derivative storage
+  const DFad<double> r = x * c + c;
+  EXPECT_EQ(r.val(), 15.0);
+  EXPECT_EQ(r.dx(1), 5.0);
+  EXPECT_EQ(r.dx(0), 0.0);
+}
+
+TEST(ScalarTraits, Classification) {
+  static_assert(!mali::ad::is_fad_v<double>);
+  static_assert(mali::ad::is_fad_v<Fad2>);
+  static_assert(mali::ad::ScalarTraits<Fad2>::num_deriv == 2);
+  Fad2 x(3.5, 1);
+  EXPECT_EQ(mali::ad::value_of(x), 3.5);
+  EXPECT_EQ(mali::ad::value_of(4.25), 4.25);
+  EXPECT_EQ(mali::ad::ScalarTraits<Fad2>::dx(x, 1), 1.0);
+  EXPECT_EQ(mali::ad::ScalarTraits<double>::dx(3.0, 0), 0.0);
+}
+
+TEST(SFad, SixteenDerivativeJacobianWidth) {
+  // The paper's configuration: 16 derivative components per element.
+  using Fad16 = SFad<double, 16>;
+  static_assert(sizeof(Fad16) == 17 * sizeof(double),
+                "SFad<double,16> must be value + 16 derivatives");
+  Fad16 x(2.0, 7);
+  const Fad16 y = 3.0 * x * x;
+  EXPECT_EQ(y.val(), 12.0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(y.dx(i), i == 7 ? 12.0 : 0.0);
+  }
+}

@@ -1,0 +1,284 @@
+// mali — the MiniMALI command-line driver.
+//
+//   mali solve     [--dx-km F] [--layers N] [--steps N] [--variant NAME]
+//                  [--thermal] [--weertman] [--csv PATH] [--ppm PATH]
+//   mali study     [--cells N] [--scale F] [--out report.md]
+//   mali transport [--dx-km F] [--layers N] [--years F] [--ppm PATH]
+//   mali export-jacobian [--dx-km F] [--layers N] --out PATH.mtx
+//   mali archs
+//
+// Every subcommand exercises the public library API only.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report_generator.hpp"
+#include "core/study.hpp"
+#include "io/field_writer.hpp"
+#include "io/vtk_writer.hpp"
+#include "linalg/matrix_market.hpp"
+#include "linalg/semicoarsening_amg.hpp"
+#include "mpas/fv_transport.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+namespace {
+
+using namespace mali;
+
+/// Tiny flag parser: --key value and --key (boolean) forms.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+  [[nodiscard]] bool has(const std::string& k) const {
+    return values_.count(k) > 0;
+  }
+  [[nodiscard]] double num(const std::string& k, double dflt) const {
+    auto it = values_.find(k);
+    return it == values_.end() || it->second.empty() ? dflt
+                                                     : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string str(const std::string& k,
+                                const std::string& dflt = "") const {
+    auto it = values_.find(k);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+physics::StokesFOConfig problem_config(const Args& args) {
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = args.num("dx-km", 64.0) * 1e3;
+  cfg.n_layers = static_cast<int>(args.num("layers", 10));
+  if (args.has("thermal")) cfg.thermal_viscosity = true;
+  if (args.has("weertman")) cfg.sliding.law = physics::SlidingLaw::kWeertman;
+  if (args.has("workset")) {
+    cfg.workset_size = static_cast<std::size_t>(args.num("workset", 0));
+  }
+  const std::string variant = args.str("variant", "optimized");
+  const std::map<std::string, physics::KernelVariant> variants = {
+      {"baseline", physics::KernelVariant::kBaseline},
+      {"optimized", physics::KernelVariant::kOptimized},
+      {"loop-opt", physics::KernelVariant::kLoopOptOnly},
+      {"fused", physics::KernelVariant::kFusedOnly},
+      {"local-accum", physics::KernelVariant::kLocalAccumOnly},
+  };
+  const auto it = variants.find(variant);
+  MALI_CHECK_MSG(it != variants.end(), "unknown --variant: " + variant);
+  cfg.variant = it->second;
+  return cfg;
+}
+
+int cmd_solve(const Args& args) {
+  physics::StokesFOProblem problem(problem_config(args));
+  std::printf("mesh: %zu hexahedra, %zu dofs\n", problem.mesh().n_cells(),
+              problem.n_dofs());
+  linalg::SemicoarseningAmg amg(problem.extrusion_info());
+  nonlinear::NewtonConfig ncfg;
+  ncfg.max_iters = static_cast<int>(args.num("steps", 8));
+  ncfg.verbose = true;
+  nonlinear::NewtonSolver newton(ncfg);
+  auto U = problem.analytic_initial_guess();
+  const auto r = newton.solve(problem, amg, U);
+  std::printf("||F||: %.3e -> %.3e in %d steps (%zu GMRES iterations)\n",
+              r.initial_norm, r.residual_norm, r.iterations,
+              r.total_linear_iters);
+  std::printf("mean velocity: %.6f m/yr\n", problem.mean_velocity(U));
+
+  const auto& base = problem.mesh().base();
+  if (args.has("csv")) {
+    std::vector<double> u(base.n_nodes()), v(base.n_nodes());
+    const auto& msh = problem.mesh();
+    for (std::size_t col = 0; col < base.n_nodes(); ++col) {
+      const std::size_t n = msh.node_id(col, msh.levels() - 1);
+      u[col] = U[2 * n];
+      v[col] = U[2 * n + 1];
+    }
+    io::write_node_csv(args.str("csv"), base, {"u_surface", "v_surface"},
+                       {&u, &v});
+    std::printf("surface velocity written to %s\n", args.str("csv").c_str());
+  }
+  if (args.has("ppm")) {
+    const auto& msh = problem.mesh();
+    std::vector<double> speed(base.n_cells(), 0.0);
+    for (std::size_t c = 0; c < base.n_cells(); ++c) {
+      for (int k = 0; k < 4; ++k) {
+        const std::size_t n =
+            msh.node_id(base.cell_node(c, k), msh.levels() - 1);
+        speed[c] += 0.25 * std::hypot(U[2 * n], U[2 * n + 1]);
+      }
+    }
+    io::HeatmapConfig hm;
+    hm.log_scale = true;
+    hm.pixels_per_cell = 6;
+    io::write_heatmap_ppm(args.str("ppm"), base, speed, hm);
+    std::printf("speed map written to %s\n", args.str("ppm").c_str());
+  }
+  if (args.has("vtk")) {
+    std::vector<double> speed(problem.mesh().n_nodes());
+    for (std::size_t n = 0; n < speed.size(); ++n) {
+      speed[n] = std::hypot(U[2 * n], U[2 * n + 1]);
+    }
+    io::write_vtk(args.str("vtk"), problem.mesh(), {{"speed", &speed}},
+                  {{"velocity", &U}});
+    std::printf("ParaView snapshot written to %s\n", args.str("vtk").c_str());
+  }
+  return r.residual_norm < r.initial_norm ? 0 : 1;
+}
+
+int cmd_study(const Args& args) {
+  core::StudyConfig cfg;
+  cfg.n_cells = static_cast<std::size_t>(args.num("cells", 262144));
+  cfg.sim.scale = args.num("scale", 0.25);
+  const core::OptimizationStudy study(cfg);
+  const auto path = args.str("out", "mali_report.md");
+  core::write_markdown_report(study, path);
+  std::printf("study report written to %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_transport(const Args& args) {
+  mesh::IceGeometry geom;
+  const mesh::QuadGrid grid(geom, {args.num("dx-km", 100.0) * 1e3});
+  mpas::TransportConfig tcfg;
+  tcfg.flux = mpas::FluxScheme::kVanLeerMuscl;
+  tcfg.time = mpas::TimeScheme::kHeunRk2;
+  mpas::FvTransport fv(grid, tcfg);
+
+  std::vector<double> H(fv.n_cells()), smb(fv.n_cells());
+  std::vector<double> u(fv.n_cells(), 0.0), v(fv.n_cells(), 0.0);
+  for (std::size_t c = 0; c < fv.n_cells(); ++c) {
+    double x, y;
+    grid.cell_centroid(c, x, y);
+    H[c] = geom.thickness(x, y);
+    smb[c] = geom.surface_mass_balance(x, y);
+  }
+  const double years = args.num("years", 500.0);
+  const double dt = 5.0;
+  const double v0 = fv.volume(H);
+  for (double t = 0.0; t < years; t += dt) fv.step(H, u, v, smb, dt);
+  std::printf("SMB-only transport over %.0f yr: volume %.4e -> %.4e km^3 "
+              "(%+.2f%%)\n",
+              years, v0 / 1e9, fv.volume(H) / 1e9,
+              100.0 * (fv.volume(H) / v0 - 1.0));
+  if (args.has("ppm")) {
+    io::write_heatmap_ppm(args.str("ppm"), grid, H, {});
+    std::printf("thickness map written to %s\n", args.str("ppm").c_str());
+  }
+  return 0;
+}
+
+int cmd_export_jacobian(const Args& args) {
+  MALI_CHECK_MSG(args.has("out"), "export-jacobian requires --out PATH.mtx");
+  auto cfg = problem_config(args);
+  physics::StokesFOProblem problem(cfg);
+  const auto U = problem.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = problem.create_matrix();
+  problem.residual_and_jacobian(U, F, J);
+  linalg::write_matrix_market(args.str("out"), J);
+  linalg::write_matrix_market(args.str("out") + ".rhs", F);
+  std::printf("Jacobian (%zu dofs, %zu nnz) written to %s (+.rhs)\n",
+              J.n_rows(), J.nnz(), args.str("out").c_str());
+  return 0;
+}
+
+int cmd_launch_bounds(const Args& args) {
+  core::StudyConfig cfg;
+  cfg.n_cells = static_cast<std::size_t>(args.num("cells", 262144));
+  cfg.sim.scale = args.num("scale", 0.25);
+  const core::OptimizationStudy study(cfg);
+  const pk::LaunchConfig launch{
+      static_cast<unsigned>(args.num("max-threads", 0)),
+      static_cast<unsigned>(args.num("min-blocks", 0))};
+  std::printf("LaunchBounds<%u,%u> on the modeled MI250X GCD (%zu cells):\n",
+              launch.max_threads, launch.min_blocks, cfg.n_cells);
+  for (const auto kind :
+       {core::KernelKind::kJacobian, core::KernelKind::kResidual}) {
+    const auto dflt = study.simulate(study.mi250x_gcd(), kind,
+                                     physics::KernelVariant::kOptimized, {});
+    const auto sim = study.simulate(study.mi250x_gcd(), kind,
+                                    physics::KernelVariant::kOptimized,
+                                    launch);
+    std::printf(
+        "  %-8s  time %.3e s  arch VGPRs %3d  accum VGPRs %3d  occupancy "
+        "%4.0f%%  speedup vs default %.2fx\n",
+        core::to_string(kind), sim.time_s, sim.launch.alloc.arch_vgprs,
+        sim.launch.alloc.accum_vgprs, 100.0 * sim.launch.occupancy,
+        dflt.time_s / sim.time_s);
+  }
+  return 0;
+}
+
+int cmd_archs() {
+  for (const auto& a : {gpusim::make_a100(), gpusim::make_mi250x_gcd(),
+                        gpusim::make_pvc_stack()}) {
+    std::printf("%-22s  %.2f TB/s HBM, %.1f TF64, %3zu MB L2, %d %s, "
+                "wave %d\n",
+                a.name.c_str(), a.hbm_bw_bytes_per_s / 1e12,
+                a.fp64_flops / 1e12, a.l2_bytes >> 20, a.n_sm,
+                a.has_accum_vgprs ? "CUs" : "SMs/Xe", a.warp_size);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "mali <command> [flags]\n\n"
+      "commands:\n"
+      "  solve            velocity solve on the synthetic Antarctica\n"
+      "                   [--dx-km F] [--layers N] [--steps N]\n"
+      "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
+      "                   [--thermal] [--weertman] [--workset N]\n"
+      "                   [--csv PATH] [--ppm PATH]\n"
+      "  study            run the GPU optimization study -> markdown report\n"
+      "                   [--cells N] [--scale F] [--out PATH]\n"
+      "  transport        Eq. 2 thickness transport demo [--dx-km F]\n"
+      "                   [--years F] [--ppm PATH]\n"
+      "  export-jacobian  assemble and dump the Jacobian as MatrixMarket\n"
+      "                   --out PATH.mtx [--dx-km F] [--layers N]\n"
+      "  launch-bounds    evaluate a LaunchBounds<T,B> choice on the GCD\n"
+      "                   [--max-threads N] [--min-blocks N] [--cells N]\n"
+      "  archs            list the modeled GPU architectures\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "study") return cmd_study(args);
+    if (cmd == "transport") return cmd_transport(args);
+    if (cmd == "export-jacobian") return cmd_export_jacobian(args);
+    if (cmd == "launch-bounds") return cmd_launch_bounds(args);
+    if (cmd == "archs") return cmd_archs();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
