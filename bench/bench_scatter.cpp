@@ -1,0 +1,109 @@
+// Scatter-mode comparison: serial vs colored vs atomic element→global
+// scatter of the StokesFO residual and Jacobian on a 16 km-style workset.
+//
+// The paper's optimized kernels leave the assembly bottlenecked by a serial
+// scatter epilogue on many-core hosts; the colored mode parallelizes it with
+// a conflict-free cell coloring (no atomics), the atomic mode with lock-free
+// adds.  This bench isolates the scatter phase (fields staged once, scatter
+// repeated) and also reports the end-to-end per-phase assembly breakdown.
+//
+//   bench_scatter [--dx-km F] [--layers N] [--reps N]
+//
+// Thread count follows MALI_NUM_THREADS (default: hardware concurrency).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "perf/phase_report.hpp"
+#include "perf/report.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "portability/thread_pool.hpp"
+#include "portability/timer.hpp"
+
+using namespace mali;
+using physics::ScatterMode;
+
+namespace {
+
+double arg_num(int argc, char** argv, const std::string& key, double dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::atof(argv[i + 1]);
+  }
+  return dflt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  physics::StokesFOConfig cfg;
+  // Default: a reduced version of the paper's 16 km / 20-layer Antarctica
+  // workset that still stresses the scatter (use --dx-km 16 --layers 20 for
+  // the full thing on a large host).
+  cfg.dx_m = arg_num(argc, argv, "--dx-km", 64.0) * 1e3;
+  cfg.n_layers = static_cast<int>(arg_num(argc, argv, "--layers", 10));
+  const int reps = static_cast<int>(arg_num(argc, argv, "--reps", 5));
+
+  physics::StokesFOProblem problem(cfg);
+  const auto U = problem.analytic_initial_guess();
+  const std::size_t threads = pk::ThreadPool::instance().size();
+  std::printf(
+      "Scatter-mode comparison — %zu cells, %zu dofs, %d colors, %zu "
+      "threads, %d reps\n\n",
+      problem.mesh().n_cells(), problem.n_dofs(),
+      problem.workset_coloring(0).n_colors, threads, reps);
+
+  struct Row {
+    ScatterMode mode;
+    double resid_s = 0.0;
+    double jac_s = 0.0;
+  };
+  Row rows[] = {{ScatterMode::kSerial}, {ScatterMode::kColored},
+                {ScatterMode::kAtomic}};
+
+  std::vector<double> F;
+  auto J = problem.create_matrix();
+  for (auto& row : rows) {
+    problem.set_scatter_mode(row.mode);
+    // Warm-up (allocates field buffers, faults pages).
+    problem.residual(U, F);
+    problem.residual_and_jacobian(U, F, J);
+    problem.reset_phase_timers();
+    for (int r = 0; r < reps; ++r) problem.residual(U, F);
+    const double resid_scatter = problem.phase_timers().total("scatter");
+    problem.reset_phase_timers();
+    for (int r = 0; r < reps; ++r) problem.residual_and_jacobian(U, F, J);
+    const double jac_scatter = problem.phase_timers().total("scatter");
+    row.resid_s = resid_scatter / reps;
+    row.jac_s = jac_scatter / reps;
+  }
+
+  const double base_r = rows[0].resid_s;
+  const double base_j = rows[0].jac_s;
+  perf::Table t({"Scatter mode", "residual scatter (ms)", "speedup",
+                 "jacobian scatter (ms)", "speedup"});
+  for (const auto& row : rows) {
+    t.add_row({to_string(row.mode), perf::fmt(row.resid_s * 1e3, 4),
+               perf::fmt_speedup(base_r / row.resid_s),
+               perf::fmt(row.jac_s * 1e3, 4),
+               perf::fmt_speedup(base_j / row.jac_s)});
+  }
+  t.print(std::cout);
+
+  // End-to-end per-phase breakdown for the colored default.
+  problem.set_scatter_mode(ScatterMode::kColored);
+  problem.reset_phase_timers();
+  for (int r = 0; r < reps; ++r) problem.residual_and_jacobian(U, F, J);
+  std::printf("\nPer-phase Jacobian assembly breakdown (colored, %d reps):\n",
+              reps);
+  perf::print_phase_report(std::cout, problem.phase_timers());
+
+  std::printf(
+      "\nReading: with >=4 threads the colored scatter should beat the\n"
+      "serial epilogue on both evaluations; the atomic mode trades the\n"
+      "coloring's extra kernel launches for CAS traffic on shared rows.\n"
+      "(On a single hardware thread all three degrade to ~serial speed.)\n");
+  return 0;
+}

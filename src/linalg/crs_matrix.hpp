@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "portability/atomic.hpp"
 #include "portability/common.hpp"
 
 namespace mali::linalg {
@@ -45,6 +46,16 @@ class CrsMatrix {
     const std::size_t k = find(r, c);
     MALI_ASSERT(k != npos);
     vals_[k] += v;
+  }
+
+  /// Adds v at (r, c) with an atomic read-modify-write on the stored value —
+  /// the lock-free scatter path used when concurrent cells may share rows
+  /// (ScatterMode::kAtomic).  The graph itself is immutable, so only the
+  /// value update needs to be atomic.
+  void add_atomic(std::size_t r, std::size_t c, double v) {
+    const std::size_t k = find(r, c);
+    MALI_ASSERT(k != npos);
+    pk::atomic_add(&vals_[k], v);
   }
 
   /// Sets (r, c) = v; the entry must exist in the graph.

@@ -1,0 +1,147 @@
+#include "mesh/coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "mesh/extruded_mesh.hpp"
+#include "portability/common.hpp"
+
+namespace mali::mesh {
+
+namespace {
+
+/// Bucket the cells of `coloring` by color (counting sort keeps each class
+/// in ascending cell order — deterministic and cache-friendly).
+void bucket_by_color(CellColoring& coloring) {
+  const std::size_t count = coloring.cell_color.size();
+  const int n_colors = coloring.n_colors;
+  coloring.color_ptr.assign(static_cast<std::size_t>(n_colors) + 1, 0);
+  for (int c : coloring.cell_color) {
+    ++coloring.color_ptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (int k = 0; k < n_colors; ++k) {
+    coloring.color_ptr[static_cast<std::size_t>(k) + 1] +=
+        coloring.color_ptr[static_cast<std::size_t>(k)];
+  }
+  coloring.color_cells.resize(count);
+  std::vector<std::size_t> next(coloring.color_ptr.begin(),
+                                coloring.color_ptr.end() - 1);
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto color = static_cast<std::size_t>(coloring.cell_color[c]);
+    coloring.color_cells[next[color]++] = c;
+  }
+}
+
+}  // namespace
+
+CellColoring lattice_color_cells(const ExtrudedMesh& mesh, std::size_t c0,
+                                 std::size_t count) {
+  MALI_CHECK(c0 + count <= mesh.n_cells());
+  CellColoring coloring;
+  coloring.cell_color.assign(count, -1);
+  if (count == 0) {
+    coloring.color_ptr.assign(1, 0);
+    return coloring;
+  }
+
+  // Recover lattice indices from the base-cell centroids.  The base grid is
+  // a mask-compacted uniform lattice, so centroid differences are exact
+  // integer multiples of dx and the rounding below is safe.  The reference
+  // is base cell 0 of the whole mesh (not of the range), so colors of the
+  // same cell agree across workset subranges.
+  const QuadGrid& base = mesh.base();
+  const double inv_dx = 1.0 / base.dx();
+  double x_ref = 0.0, y_ref = 0.0;
+  base.cell_centroid(0, x_ref, y_ref);
+
+  int raw_color[8] = {};  // raw parity -> 1 if used
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t cell = c0 + c;
+    double x = 0.0, y = 0.0;
+    base.cell_centroid(mesh.base_cell_of(cell), x, y);
+    const long long ix = std::llround((x - x_ref) * inv_dx);
+    const long long iy = std::llround((y - y_ref) * inv_dx);
+    const long long layer = static_cast<long long>(mesh.layer_of(cell));
+    const int parity = static_cast<int>((ix & 1LL) | ((iy & 1LL) << 1) |
+                                        ((layer & 1LL) << 2));
+    coloring.cell_color[c] = parity;
+    raw_color[parity] = 1;
+  }
+
+  // Compact unused parities (a thin or single-layer range may use < 8) so
+  // every color class is non-empty.
+  int remap[8];
+  int n_colors = 0;
+  for (int p = 0; p < 8; ++p) remap[p] = raw_color[p] ? n_colors++ : -1;
+  coloring.n_colors = n_colors;
+  for (auto& c : coloring.cell_color) c = remap[c];
+
+  // Max node degree within the range (clique lower bound on the chromatic
+  // number — 8 at interior nodes, making the parity coloring optimal there).
+  std::unordered_map<std::size_t, std::size_t> node_degree;
+  node_degree.reserve(count * 2 + 1);
+  for (std::size_t c = 0; c < count; ++c) {
+    for (int k = 0; k < 8; ++k) {
+      const std::size_t deg = ++node_degree[mesh.cell_node(c0 + c, k)];
+      coloring.max_node_degree = std::max(coloring.max_node_degree, deg);
+    }
+  }
+
+  bucket_by_color(coloring);
+  return coloring;
+}
+
+CellColoring lattice_color_cells(const ExtrudedMesh& mesh) {
+  return lattice_color_cells(mesh, 0, mesh.n_cells());
+}
+
+CellColoring greedy_color_cells(const pk::View<std::size_t, 2>& cell_nodes,
+                                std::size_t c0, std::size_t count,
+                                int nodes_per_cell) {
+  MALI_CHECK(c0 + count <= cell_nodes.extent(0));
+  MALI_CHECK(nodes_per_cell > 0 &&
+             static_cast<std::size_t>(nodes_per_cell) <= cell_nodes.extent(1));
+  const auto N = static_cast<std::size_t>(nodes_per_cell);
+
+  CellColoring coloring;
+  coloring.cell_color.assign(count, -1);
+
+  // Per global node: the colors already claimed by incident (colored) cells.
+  // Node degree is tiny (≤ 8 for hexes), so a small inline vector per node
+  // is enough; an unordered_map keeps this local to the cell range without
+  // allocating for the whole mesh.
+  std::unordered_map<std::size_t, std::vector<int>> node_colors;
+  node_colors.reserve(count * N / 4 + 1);
+
+  std::vector<char> forbidden;  // scratch, indexed by color
+  int n_colors = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    forbidden.assign(static_cast<std::size_t>(n_colors), 0);
+    for (std::size_t k = 0; k < N; ++k) {
+      const auto it = node_colors.find(cell_nodes(c0 + c, k));
+      if (it == node_colors.end()) continue;
+      for (int used : it->second) forbidden[static_cast<std::size_t>(used)] = 1;
+    }
+    int color = 0;
+    while (color < n_colors && forbidden[static_cast<std::size_t>(color)]) {
+      ++color;
+    }
+    if (color == n_colors) ++n_colors;
+    coloring.cell_color[c] = color;
+    for (std::size_t k = 0; k < N; ++k) {
+      node_colors[cell_nodes(c0 + c, k)].push_back(color);
+    }
+  }
+  coloring.n_colors = n_colors;
+
+  for (const auto& [node, colors] : node_colors) {
+    coloring.max_node_degree =
+        std::max(coloring.max_node_degree, colors.size());
+  }
+
+  bucket_by_color(coloring);
+  return coloring;
+}
+
+}  // namespace mali::mesh

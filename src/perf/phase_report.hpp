@@ -1,0 +1,33 @@
+#pragma once
+// Per-phase assembly timing report: formats a pk::TimerRegistry (the
+// problem's evaluate/kernel/scatter phase timers) as the fixed-width table
+// the other perf reports use, so scatter-mode speedups are observable from
+// the CLI and the benches.
+
+#include <ostream>
+
+#include "perf/report.hpp"
+#include "portability/timer.hpp"
+
+namespace mali::perf {
+
+/// Builds a table of (phase, calls, total s, mean ms, share of total).
+[[nodiscard]] inline Table phase_table(const pk::TimerRegistry& reg) {
+  double grand = 0.0;
+  for (const auto& [name, e] : reg.entries()) grand += e.total;
+  Table t({"Phase", "calls", "total (s)", "mean (ms)", "share"});
+  for (const auto& [name, e] : reg.entries()) {
+    const double mean_ms =
+        e.count > 0 ? 1e3 * e.total / static_cast<double>(e.count) : 0.0;
+    t.add_row({name, std::to_string(e.count), fmt(e.total, 4),
+               fmt(mean_ms, 4), grand > 0.0 ? fmt_pct(e.total / grand) : "-"});
+  }
+  return t;
+}
+
+inline void print_phase_report(std::ostream& os,
+                               const pk::TimerRegistry& reg) {
+  phase_table(reg).print(os);
+}
+
+}  // namespace mali::perf

@@ -1,0 +1,156 @@
+#pragma once
+// Element→global scatter of the assembled residual/Jacobian.
+//
+// The FE scatter is the one assembly phase that cannot naively run in
+// parallel: neighbouring cells share nodes, so their element contributions
+// add into the same global rows.  Three strategies are provided, selected by
+// ScatterMode:
+//
+//  * kSerial  — the historical single-thread loop (reference semantics).
+//  * kColored — conflict-free parallelism: cells are greedily colored so no
+//               two cells of a color share a node (mesh/coloring.hpp); each
+//               color class runs as one parallel_for with plain updates.
+//               Deterministic: every global row receives its contributions
+//               in a fixed (color-major, then cell) order regardless of the
+//               thread count or schedule.
+//  * kAtomic  — lock-free parallelism over all cells at once using
+//               pk::atomic_add / CrsMatrix::add_atomic.  Race-free but the
+//               per-row addition order depends on thread interleaving, so
+//               results are reproducible only to FP-associativity.
+//
+// All three produce the same values up to floating-point reassociation;
+// tests/test_scatter_parallel.cpp pins the equivalence on both the Serial
+// and the thread-pool exec spaces.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ad/scalar_traits.hpp"
+#include "fem/dof_map.hpp"
+#include "linalg/crs_matrix.hpp"
+#include "mesh/coloring.hpp"
+#include "physics/eval_types.hpp"
+#include "portability/atomic.hpp"
+#include "portability/parallel.hpp"
+#include "portability/view.hpp"
+
+namespace mali::physics {
+
+enum class ScatterMode {
+  kSerial,   ///< single-thread reference loop
+  kColored,  ///< parallel over conflict-free color classes (deterministic)
+  kAtomic,   ///< parallel over all cells with atomic adds
+};
+
+[[nodiscard]] inline const char* to_string(ScatterMode m) {
+  switch (m) {
+    case ScatterMode::kSerial:
+      return "serial";
+    case ScatterMode::kColored:
+      return "colored";
+    case ScatterMode::kAtomic:
+      return "atomic";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline ScatterMode scatter_mode_from_string(
+    const std::string& s) {
+  if (s == "serial") return ScatterMode::kSerial;
+  if (s == "colored") return ScatterMode::kColored;
+  if (s == "atomic") return ScatterMode::kAtomic;
+  MALI_CHECK_MSG(false, "unknown scatter mode: " + s +
+                            " (expected serial|colored|atomic)");
+  return ScatterMode::kSerial;  // unreachable
+}
+
+namespace detail {
+
+/// Scatters one cell's element residual (and, for SFad scalars, its element
+/// Jacobian) into the global F vector / CRS matrix.  `Atomic` selects the
+/// lock-free update path; with Atomic = false the caller must guarantee the
+/// cell's rows are not concurrently updated (serial loop or color class).
+template <bool Atomic, class ScalarT>
+MALI_INLINE void scatter_cell(std::size_t c,
+                              const pk::View<std::size_t, 2>& cell_nodes,
+                              const pk::View<ScalarT, 3>& Residual,
+                              int num_nodes, double* MALI_RESTRICT F,
+                              linalg::CrsMatrix* J) {
+  for (int node = 0; node < num_nodes; ++node) {
+    const std::size_t gnode = cell_nodes(c, node);
+    for (int comp = 0; comp < 2; ++comp) {
+      const std::size_t row = fem::DofMap::dof(gnode, comp);
+      const ScalarT& R = Residual(c, node, comp);
+      if constexpr (Atomic) {
+        pk::atomic_add(&F[row], ad::value_of(R));
+      } else {
+        F[row] += ad::value_of(R);
+      }
+      if constexpr (ad::is_fad_v<ScalarT>) {
+        if (J != nullptr) {
+          for (int l = 0; l < kNumLocalDofs; ++l) {
+            const std::size_t col =
+                fem::DofMap::dof(cell_nodes(c, l / 2), l % 2);
+            if constexpr (Atomic) {
+              J->add_atomic(row, col, R.dx(l));
+            } else {
+              J->add(row, col, R.dx(l));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Scatter-adds the element residuals of cells [0, count) into F (and J for
+/// SFad scalars).  `coloring` must cover exactly the same local cell range
+/// and is only consulted for ScatterMode::kColored.  Exec selects the pk
+/// execution space for the parallel modes (the serial mode ignores it).
+template <class Exec = pk::DefaultExec, class ScalarT>
+void scatter_add(ScatterMode mode, const mesh::CellColoring& coloring,
+                 const pk::View<std::size_t, 2>& cell_nodes,
+                 const pk::View<ScalarT, 3>& Residual, std::size_t count,
+                 int num_nodes, std::vector<double>& F,
+                 linalg::CrsMatrix* J) {
+  MALI_CHECK(cell_nodes.extent(0) >= count);
+  double* Fp = F.data();
+  switch (mode) {
+    case ScatterMode::kSerial: {
+      for (std::size_t c = 0; c < count; ++c) {
+        detail::scatter_cell<false>(c, cell_nodes, Residual, num_nodes, Fp, J);
+      }
+      break;
+    }
+    case ScatterMode::kColored: {
+      MALI_CHECK_MSG(coloring.n_cells() == count,
+                     "coloring does not cover the cell range");
+      for (int k = 0; k < coloring.n_colors; ++k) {
+        const std::size_t* cells =
+            coloring.color_cells.data() +
+            coloring.color_ptr[static_cast<std::size_t>(k)];
+        pk::parallel_for(
+            "scatter_color", pk::RangePolicy<Exec>(coloring.color_size(k)),
+            [&, cells](int i) {
+              detail::scatter_cell<false>(cells[i], cell_nodes, Residual,
+                                          num_nodes, Fp, J);
+            });
+      }
+      break;
+    }
+    case ScatterMode::kAtomic: {
+      pk::parallel_for("scatter_atomic", pk::RangePolicy<Exec>(count),
+                       [&](int i) {
+                         detail::scatter_cell<true>(
+                             static_cast<std::size_t>(i), cell_nodes, Residual,
+                             num_nodes, Fp, J);
+                       });
+      break;
+    }
+  }
+}
+
+}  // namespace mali::physics

@@ -14,6 +14,7 @@
 #include "fem/workset.hpp"
 #include "linalg/crs_matrix.hpp"
 #include "linalg/semicoarsening_amg.hpp"
+#include "mesh/coloring.hpp"
 #include "mesh/extruded_mesh.hpp"
 #include "mesh/ice_geometry.hpp"
 #include "nonlinear/newton.hpp"
@@ -21,6 +22,8 @@
 #include "physics/eval_types.hpp"
 #include "physics/flow_law.hpp"
 #include "physics/manufactured.hpp"
+#include "physics/scatter.hpp"
+#include "portability/timer.hpp"
 #include "portability/view.hpp"
 
 namespace mali::physics {
@@ -50,6 +53,11 @@ struct StokesFOConfig {
   bool thermal_viscosity = false;
   /// Basal sliding law (the paper's test uses the linear default).
   SlidingConfig sliding{};
+  /// Element→global scatter strategy (see physics/scatter.hpp).  The colored
+  /// default parallelizes the assembly epilogue while keeping a fixed,
+  /// thread-count-independent summation order; results differ from kSerial
+  /// only by FP reassociation (pinned to ≤1e-13 relative by the tests).
+  ScatterMode scatter = ScatterMode::kColored;
   /// Manufactured-solution verification mode: constant viscosity, analytic
   /// forcing, the exact field imposed on every boundary node, no friction.
   MmsConfig mms{};
@@ -99,6 +107,27 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   }
   [[nodiscard]] KernelVariant variant() const noexcept { return cfg_.variant; }
   void set_variant(KernelVariant v) noexcept { cfg_.variant = v; }
+  [[nodiscard]] ScatterMode scatter_mode() const noexcept {
+    return cfg_.scatter;
+  }
+  void set_scatter_mode(ScatterMode m) noexcept { cfg_.scatter = m; }
+
+  /// Node-sharing cell coloring of workset w (computed once at construction;
+  /// used by the colored scatter and exposed for tests/benches).
+  [[nodiscard]] const mesh::CellColoring& workset_coloring(
+      std::size_t w) const {
+    return workset_ranges_.at(w).coloring;
+  }
+  [[nodiscard]] std::size_t n_worksets() const noexcept {
+    return workset_ranges_.size();
+  }
+
+  /// Accumulated per-phase assembly timings ("evaluate", "kernel",
+  /// "scatter"), reported via perf::phase_table.
+  [[nodiscard]] const pk::TimerRegistry& phase_timers() const noexcept {
+    return phase_timers_;
+  }
+  void reset_phase_timers() { phase_timers_.clear(); }
 
   /// Extrusion structure for the semicoarsening AMG preconditioner.
   [[nodiscard]] linalg::ExtrusionInfo extrusion_info() const;
@@ -158,6 +187,8 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
     pk::View<std::size_t, 1> face_cell_local;  ///< (F_w) cell - c0
     pk::View<double, 3> face_wBF;              ///< (F_w, 4, Qf)
     pk::View<double, 1> face_beta;             ///< (F_w)
+    /// Conflict-free cell coloring of [c0, c0 + count) for parallel scatter.
+    mesh::CellColoring coloring;
   };
   std::vector<WorksetRange> workset_ranges_;
 
@@ -181,6 +212,8 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   double dirichlet_scale_ = 1.0;
   /// Imposed Dirichlet values (zero except in MMS mode).
   std::vector<double> dirichlet_values_;
+  /// Per-phase assembly wall-clock (evaluate / kernel / scatter).
+  pk::TimerRegistry phase_timers_;
 
   template <class ScalarT>
   FieldSet<ScalarT>& fields();

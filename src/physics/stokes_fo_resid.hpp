@@ -111,6 +111,7 @@ class StokesFOResid {
   MALI_KERNEL_FUNCTION void operator()(
       const LandIce_3D_Opt_Tag<NumNodes>& /*tag*/, const int& cell) const {
     static constexpr std::size_t num_nodes = LandIce_3D_Opt_Tag<NumNodes>::num_nodes;
+    MALI_ASSERT(num_nodes == numNodes);  // tag must match the runtime field
     ScalarT res0[num_nodes] = {};
     ScalarT res1[num_nodes] = {};
 
@@ -153,6 +154,7 @@ class StokesFOResid {
       const int& cell) const {
     static constexpr std::size_t num_nodes =
         LandIce_3D_LoopOptOnly_Tag<NumNodes>::num_nodes;
+    MALI_ASSERT(num_nodes == numNodes);  // tag must match the runtime field
     for (std::size_t node = 0; node < num_nodes; ++node) {
       Residual(cell, node, 0) = ScalarT(0.);
       Residual(cell, node, 1) = ScalarT(0.);
@@ -230,7 +232,14 @@ class StokesFOResid {
   MALI_KERNEL_FUNCTION
   void operator()(const LandIce_3D_LocalAccumOnly_Tag& /*tag*/,
                   const int& cell) const {
-    constexpr int kMaxNodes = 8;
+    constexpr unsigned int kMaxNodes = 8;
+    // `numNodes` is a runtime field but the local accumulators are fixed at
+    // kMaxNodes: without this guard a larger element (e.g. a higher-order
+    // hex) would silently overrun the stack arrays.  The other ablations
+    // carry the node count in their tag type, so only this variant needs a
+    // runtime check (regression-tested in test_kernels.cpp).
+    MALI_CHECK_MSG(numNodes <= kMaxNodes,
+                   "LandIce_3D_LocalAccumOnly_Tag supports at most 8 nodes");
     ScalarT res0[kMaxNodes] = {};
     ScalarT res1[kMaxNodes] = {};
     if (cond) {

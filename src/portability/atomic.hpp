@@ -1,0 +1,35 @@
+#pragma once
+// pk::atomic_add — the pk-layer analog of Kokkos::atomic_add.
+//
+// On the CPU backends this lowers to std::atomic_ref (C++20): integral types
+// use native fetch_add; floating-point types use a compare-exchange loop,
+// which is what Kokkos emits for doubles on architectures without a native
+// FP atomic.  Relaxed ordering is correct for scatter-add accumulation: the
+// parallel_for's completion barrier (the thread-pool join) provides the
+// release/acquire edge before anyone reads the results.
+
+#include <atomic>
+#include <type_traits>
+
+#include "portability/common.hpp"
+
+namespace mali::pk {
+
+template <class T>
+MALI_INLINE void atomic_add(T* addr, T val) noexcept {
+  static_assert(std::is_arithmetic_v<T>,
+                "atomic_add supports arithmetic types only");
+  std::atomic_ref<T> ref(*addr);
+  if constexpr (std::is_integral_v<T>) {
+    ref.fetch_add(val, std::memory_order_relaxed);
+  } else {
+    T expected = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(expected, expected + val,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+      // expected reloaded by compare_exchange_weak on failure.
+    }
+  }
+}
+
+}  // namespace mali::pk

@@ -86,4 +86,42 @@ void parallel_reduce(const std::string& label, std::size_t n, const Functor& f,
   parallel_reduce(label, RangePolicy<>(n), f, result);
 }
 
+// ---------------------------------------------------------------------------
+// Determinism contract
+// ---------------------------------------------------------------------------
+// The threaded parallel_reduce above merges thread-local partials in
+// completion order, so across runs (or thread counts) results agree with the
+// serial reduction only to FP-associativity — a relative error of order
+// n * eps on well-conditioned sums.  Callers needing bitwise-stable results
+// (CI reference comparisons, reproducibility studies) should use
+// parallel_reduce_deterministic: it partitions the range into *fixed-size*
+// chunks, reduces each chunk in ascending index order, and merges the chunk
+// partials serially in chunk order.  The summation tree then depends only on
+// (n, chunk) — never on the thread count or schedule — so repeated runs are
+// bitwise identical on any machine with the same FP semantics.
+
+/// Bitwise-reproducible sum-reduction: functor signature `void(int, Value&)`.
+/// `chunk` fixes the reduction tree; 0 picks a default of 1024.
+template <class Functor, class Value>
+void parallel_reduce_deterministic(const std::string& /*label*/, std::size_t n,
+                                   const Functor& f, Value& result,
+                                   std::size_t chunk = 0) {
+  if (chunk == 0) chunk = 1024;
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  std::vector<Value> partials(n_chunks, Value{});
+  ThreadPool::instance().parallel_range(
+      0, n_chunks, [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t c = cb; c < ce; ++c) {
+          Value local{};
+          const std::size_t b = c * chunk;
+          const std::size_t e = std::min(n, b + chunk);
+          for (std::size_t i = b; i < e; ++i) f(static_cast<int>(i), local);
+          partials[c] = local;
+        }
+      });
+  Value total{};
+  for (const Value& p : partials) total += p;  // fixed merge order
+  result = total;
+}
+
 }  // namespace mali::pk

@@ -1,11 +1,21 @@
 #include "portability/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mali::pk {
 
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool(std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  static ThreadPool pool([] {
+    // MALI_NUM_THREADS overrides the hardware concurrency — used by the
+    // scatter bench and the sanitizer CI to exercise real parallelism even
+    // on small containers (mirrors OMP_NUM_THREADS / KOKKOS_NUM_THREADS).
+    if (const char* env = std::getenv("MALI_NUM_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }());
   return pool;
 }
 

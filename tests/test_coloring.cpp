@@ -1,0 +1,197 @@
+// Property tests for the cell colorings that back the parallel assembly
+// scatter: totality (every cell gets exactly one color), conflict-freedom
+// (no two cells of a color share a global node — checked exhaustively), the
+// lattice-parity color-count bound (colors == max node degree == 8 on the
+// structured extrusions), and run-to-run stability.  The generic greedy
+// coloring is covered as the arbitrary-connectivity fallback.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mesh/coloring.hpp"
+#include "mesh/extruded_mesh.hpp"
+#include "mesh/ice_geometry.hpp"
+#include "mesh/quad_grid.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+using namespace mali;
+using mesh::CellColoring;
+using mesh::greedy_color_cells;
+using mesh::lattice_color_cells;
+
+namespace {
+
+/// The assembled connectivity of a coarse Antarctica problem.
+physics::StokesFOProblem coarse_problem(std::size_t workset_size = 0) {
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 4;
+  cfg.workset_size = workset_size;
+  return physics::StokesFOProblem(cfg);
+}
+
+/// Exhaustive validity check: every cell colored exactly once, classes
+/// partition the range, and no two cells of one color share a node.
+void expect_valid_coloring(const CellColoring& col,
+                           const pk::View<std::size_t, 2>& cell_nodes,
+                           std::size_t c0, std::size_t count, int N) {
+  ASSERT_EQ(col.n_cells(), count);
+  ASSERT_EQ(col.color_ptr.size(), static_cast<std::size_t>(col.n_colors) + 1);
+  ASSERT_EQ(col.color_cells.size(), count);
+
+  // Exactly one color per cell, in range.
+  for (std::size_t c = 0; c < count; ++c) {
+    ASSERT_GE(col.cell_color[c], 0);
+    ASSERT_LT(col.cell_color[c], col.n_colors);
+  }
+
+  // The classes partition [0, count) and agree with cell_color.
+  std::vector<int> seen(count, 0);
+  for (int k = 0; k < col.n_colors; ++k) {
+    EXPECT_GT(col.color_size(k), 0u) << "empty color class " << k;
+    for (std::size_t i = col.color_ptr[static_cast<std::size_t>(k)];
+         i < col.color_ptr[static_cast<std::size_t>(k) + 1]; ++i) {
+      const std::size_t c = col.color_cells[i];
+      ASSERT_LT(c, count);
+      ++seen[c];
+      EXPECT_EQ(col.cell_color[c], k);
+    }
+  }
+  for (std::size_t c = 0; c < count; ++c) {
+    EXPECT_EQ(seen[c], 1) << "cell " << c << " appears in != 1 class";
+  }
+
+  // Conflict-freedom, exhaustively: within each color, each global node is
+  // touched by at most one cell.
+  for (int k = 0; k < col.n_colors; ++k) {
+    std::set<std::size_t> nodes_in_color;
+    for (std::size_t i = col.color_ptr[static_cast<std::size_t>(k)];
+         i < col.color_ptr[static_cast<std::size_t>(k) + 1]; ++i) {
+      const std::size_t c = col.color_cells[i];
+      for (int n = 0; n < N; ++n) {
+        const std::size_t gnode = cell_nodes(c0 + c, static_cast<std::size_t>(n));
+        EXPECT_TRUE(nodes_in_color.insert(gnode).second)
+            << "color " << k << " has two cells sharing node " << gnode;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Coloring, ValidOnExtrudedAntarcticaMesh) {
+  auto p = coarse_problem();
+  const auto& ws = p.workset();
+  // Both the lattice-parity coloring (what assembly uses) and the generic
+  // greedy fallback must be conflict-free on the full mesh.
+  const auto lat = lattice_color_cells(p.mesh());
+  expect_valid_coloring(lat, ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
+  const auto grd = greedy_color_cells(ws.cell_nodes, ws.num_nodes);
+  expect_valid_coloring(grd, ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
+}
+
+TEST(Coloring, ColorCountBoundedByNodeDegree) {
+  auto p = coarse_problem();
+  const auto col = lattice_color_cells(p.mesh());
+  // Max node degree is a lower bound on the chromatic number (cells sharing
+  // a node form a clique).  On an extruded hex mesh at most 8 hexes meet at
+  // a node, and the parity coloring meets that bound exactly: it is optimal.
+  EXPECT_GE(static_cast<std::size_t>(col.n_colors), col.max_node_degree);
+  EXPECT_LE(col.n_colors, 8);
+  EXPECT_EQ(col.max_node_degree, 8u);
+  EXPECT_EQ(static_cast<std::size_t>(col.n_colors), col.max_node_degree);
+}
+
+TEST(Coloring, StableAcrossRepeatedRuns) {
+  auto p = coarse_problem();
+  const auto& ws = p.workset();
+  const auto a = greedy_color_cells(ws.cell_nodes, ws.num_nodes);
+  const auto b = greedy_color_cells(ws.cell_nodes, ws.num_nodes);
+  EXPECT_EQ(a.n_colors, b.n_colors);
+  EXPECT_EQ(a.cell_color, b.cell_color);
+  EXPECT_EQ(a.color_ptr, b.color_ptr);
+  EXPECT_EQ(a.color_cells, b.color_cells);
+
+  const auto la = lattice_color_cells(p.mesh());
+  const auto lb = lattice_color_cells(p.mesh());
+  EXPECT_EQ(la.n_colors, lb.n_colors);
+  EXPECT_EQ(la.cell_color, lb.cell_color);
+  EXPECT_EQ(la.color_ptr, lb.color_ptr);
+  EXPECT_EQ(la.color_cells, lb.color_cells);
+}
+
+TEST(Coloring, WorksetSubrangesAreValid) {
+  const std::size_t ws_size = 64;
+  auto p = coarse_problem(ws_size);
+  const auto& ws = p.workset();
+  ASSERT_GT(p.n_worksets(), 1u) << "test needs multiple worksets";
+  std::size_t covered = 0;
+  for (std::size_t w = 0; w < p.n_worksets(); ++w) {
+    const auto& col = p.workset_coloring(w);
+    const std::size_t c0 = w * ws_size;
+    expect_valid_coloring(col, ws.cell_nodes, c0, col.n_cells(),
+                          ws.num_nodes);
+    covered += col.n_cells();
+  }
+  EXPECT_EQ(covered, ws.n_cells);
+}
+
+TEST(Coloring, SingleCellAndDisjointCells) {
+  // One cell: one color.  Disjoint cells (no shared nodes): also one color.
+  pk::View<std::size_t, 2> one("cn", 1, 8);
+  for (std::size_t k = 0; k < 8; ++k) one(0, k) = k;
+  const auto c1 = greedy_color_cells(one, 8);
+  EXPECT_EQ(c1.n_colors, 1);
+  EXPECT_EQ(c1.max_node_degree, 1u);
+
+  pk::View<std::size_t, 2> disjoint("cn", 4, 8);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t k = 0; k < 8; ++k) disjoint(c, k) = c * 8 + k;
+  }
+  const auto cd = greedy_color_cells(disjoint, 8);
+  EXPECT_EQ(cd.n_colors, 1);
+  EXPECT_EQ(cd.color_size(0), 4u);
+}
+
+TEST(Coloring, ChainOfSharedNodesNeedsTwoColors) {
+  // 1D chain of "elements" sharing an endpoint node: classic 2-coloring.
+  const std::size_t n = 17;
+  pk::View<std::size_t, 2> chain("cn", n, 2);
+  for (std::size_t c = 0; c < n; ++c) {
+    chain(c, 0) = c;
+    chain(c, 1) = c + 1;
+  }
+  const auto col = greedy_color_cells(chain, 2);
+  EXPECT_EQ(col.n_colors, 2);
+  for (std::size_t c = 0; c < n; ++c) {
+    EXPECT_EQ(col.cell_color[c], static_cast<int>(c % 2));
+  }
+}
+
+TEST(Coloring, ExtrudedMeshExpectedEightColors) {
+  // The structured extrusion colors with exactly 2x2x2 = 8 parity colors
+  // wherever the base grid is at least 2 cells wide in each direction.
+  auto p = coarse_problem();
+  const auto col = lattice_color_cells(p.mesh());
+  EXPECT_EQ(col.n_colors, 8);
+  // Workset subranges agree with the whole-mesh colors on the shared cells
+  // (the parity reference is global), modulo the compaction remap.
+  const auto head = lattice_color_cells(p.mesh(), 0, p.mesh().n_cells() / 2);
+  for (std::size_t c = 0; c < head.n_cells(); ++c) {
+    EXPECT_EQ(head.cell_color[c], col.cell_color[c]) << "cell " << c;
+  }
+}
+
+TEST(Coloring, LatticeSingleLayerUsesFourColors) {
+  // A 1-layer extrusion only has the four horizontal parities.
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 1;
+  physics::StokesFOProblem p(cfg);
+  const auto col = lattice_color_cells(p.mesh());
+  EXPECT_EQ(col.n_colors, 4);
+  const auto& ws = p.workset();
+  expect_valid_coloring(col, ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
+}

@@ -203,6 +203,124 @@ TEST(Kernel, StressSymmetryBetweenComponents) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Non-default node counts.  numNodes is a runtime field: the tag-templated
+// variants carry the count in their type, the runtime variants must honor
+// it, and LocalAccumOnly (fixed kMaxNodes = 8 accumulators) must refuse
+// larger elements instead of silently overrunning its stack arrays.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VarNodeData {
+  std::size_t C, N, Q;
+  pk::View<double, 4> Ugrad;
+  pk::View<double, 2> mu;
+  pk::View<double, 3> force;
+  pk::View<double, 4> wGradBF;
+  pk::View<double, 3> wBF;
+  pk::View<double, 3> Residual;
+
+  VarNodeData(std::size_t c, std::size_t n, std::size_t q, unsigned seed)
+      : C(c),
+        N(n),
+        Q(q),
+        Ugrad("Ugrad", C, Q, 2, 3),
+        mu("mu", C, Q),
+        force("force", C, Q, 2),
+        wGradBF("wGradBF", C, N, Q, 3),
+        wBF("wBF", C, N, Q),
+        Residual("Residual", C, N, 2) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::size_t cc = 0; cc < C; ++cc) {
+      for (std::size_t qq = 0; qq < Q; ++qq) {
+        mu(cc, qq) = 1.0 + 0.5 * dist(rng);
+        for (int v = 0; v < 2; ++v) {
+          force(cc, qq, v) = dist(rng);
+          for (int d = 0; d < 3; ++d) Ugrad(cc, qq, v, d) = dist(rng);
+        }
+        for (std::size_t k = 0; k < N; ++k) {
+          wBF(cc, k, qq) = 0.5 + 0.1 * dist(rng);
+          for (int d = 0; d < 3; ++d) wGradBF(cc, k, qq, d) = dist(rng);
+        }
+      }
+    }
+  }
+
+  StokesFOResid<double> kernel() const {
+    StokesFOResid<double> k;
+    k.Ugrad = Ugrad;
+    k.muLandIce = mu;
+    k.force = force;
+    k.wGradBF = wGradBF;
+    k.wBF = wBF;
+    k.Residual = Residual;
+    k.numNodes = static_cast<unsigned>(N);
+    k.numQPs = static_cast<unsigned>(Q);
+    k.cond = false;
+    return k;
+  }
+
+  template <class Tag>
+  std::vector<double> run() const {
+    auto k = kernel();
+    Residual.fill(-999.0);
+    pk::parallel_for("k", pk::RangePolicy<pk::Serial, Tag>(C), k);
+    std::vector<double> out;
+    for (std::size_t cc = 0; cc < C; ++cc) {
+      for (std::size_t n = 0; n < N; ++n) {
+        for (int v = 0; v < 2; ++v) out.push_back(Residual(cc, n, v));
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+TEST(KernelNodeCounts, AblationVariantsAgreeWithFourNodes) {
+  // A 4-node element (e.g. a degenerate prism workset) is within every
+  // variant's capacity; all must agree with the baseline.
+  VarNodeData data(8, 4, 8, 77u);
+  const auto base = data.run<physics::LandIce_3D_Tag>();
+  const auto opt = data.run<physics::LandIce_3D_Opt_Tag<4>>();
+  const auto loop = data.run<physics::LandIce_3D_LoopOptOnly_Tag<4>>();
+  const auto fused = data.run<physics::LandIce_3D_FusedOnly_Tag>();
+  const auto local = data.run<physics::LandIce_3D_LocalAccumOnly_Tag>();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double s = std::max(1.0, std::abs(base[i]));
+    EXPECT_NEAR(opt[i], base[i], 1e-13 * s);
+    EXPECT_NEAR(loop[i], base[i], 1e-13 * s);
+    EXPECT_NEAR(fused[i], base[i], 1e-13 * s);
+    EXPECT_NEAR(local[i], base[i], 1e-13 * s);
+  }
+}
+
+TEST(KernelNodeCounts, LocalAccumOnlyRejectsMoreThanEightNodes) {
+  // Regression: kMaxNodes = 8 is hardcoded while numNodes is runtime —
+  // before the guard this overran res0/res1 on the stack.
+  VarNodeData data(4, 12, 8, 78u);
+  EXPECT_THROW((data.run<physics::LandIce_3D_LocalAccumOnly_Tag>()),
+               mali::Error);
+}
+
+TEST(KernelNodeCounts, RuntimeBoundVariantsHandleTwelveNodes) {
+  // The baseline/fused variants carry runtime bounds and the Opt tag is
+  // templated on the count, so a 12-node element is fine for all of them.
+  VarNodeData data(4, 12, 8, 79u);
+  const auto base = data.run<physics::LandIce_3D_Tag>();
+  const auto fused = data.run<physics::LandIce_3D_FusedOnly_Tag>();
+  const auto opt = data.run<physics::LandIce_3D_Opt_Tag<12>>();
+  const auto loop = data.run<physics::LandIce_3D_LoopOptOnly_Tag<12>>();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double s = std::max(1.0, std::abs(base[i]));
+    EXPECT_NEAR(fused[i], base[i], 1e-13 * s);
+    EXPECT_NEAR(opt[i], base[i], 1e-13 * s);
+    EXPECT_NEAR(loop[i], base[i], 1e-13 * s);
+  }
+}
+
 TEST(Kernel, JacobianValueEqualsResidual) {
   // The SFad evaluation's values must equal the double evaluation exactly.
   KernelFixtureData<double> rd(29);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
@@ -99,6 +100,86 @@ TEST(ParallelReduce, SumThreads) {
   pk::parallel_reduce("s", pk::RangePolicy<pk::Threads>(1000),
                       [](int i, long& acc) { acc += i; }, sum);
   EXPECT_EQ(sum, 499500);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract for reductions.
+//
+// The threaded parallel_reduce merges thread-local partials in completion
+// order, so its result is reproducible only to FP-associativity relative to
+// the serial reduction — that tolerance contract is pinned here.  For
+// bitwise-reproducible CI runs, parallel_reduce_deterministic fixes the
+// reduction tree with a chunk size independent of the thread schedule.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// An ill-conditioned-enough summand: wide dynamic range so reassociation is
+// visible at the ulp level but bounded.
+double summand(int i) {
+  return std::sin(0.1 * i) * std::exp2((i % 64) - 32);
+}
+
+}  // namespace
+
+TEST(ParallelReduce, ThreadedMatchesSerialToAssociativityTolerance) {
+  const std::size_t n = 100000;
+  double serial = 0.0, threaded = 0.0;
+  auto f = [](int i, double& acc) { acc += summand(i); };
+  pk::parallel_reduce("s", pk::RangePolicy<pk::Serial>(n), f, serial);
+  pk::parallel_reduce("t", pk::RangePolicy<pk::Threads>(n), f, threaded);
+  // Contract: agreement to ~n*eps *relative to the sum's condition* Σ|x_i|
+  // — NOT bitwise, and NOT relative to the (cancellation-shrunk) result;
+  // the partition of the range into thread chunks is schedule-dependent.
+  double abs_scale = 0.0;
+  pk::parallel_reduce(
+      "a", pk::RangePolicy<pk::Serial>(n),
+      [](int i, double& acc) { acc += std::abs(summand(i)); }, abs_scale);
+  const double tol = 1e-12 * std::max(1.0, abs_scale);
+  EXPECT_NEAR(threaded, serial, tol);
+}
+
+TEST(ParallelReduceDeterministic, BitwiseReproducibleAcrossRuns) {
+  const std::size_t n = 100000;
+  auto f = [](int i, double& acc) { acc += summand(i); };
+  double first = 0.0;
+  pk::parallel_reduce_deterministic("d", n, f, first, 512);
+  for (int rep = 0; rep < 10; ++rep) {
+    double again = 0.0;
+    pk::parallel_reduce_deterministic("d", n, f, again, 512);
+    EXPECT_EQ(again, first) << "rep " << rep;  // bitwise, not approximate
+  }
+}
+
+TEST(ParallelReduceDeterministic, MatchesSerialToTolerance) {
+  const std::size_t n = 50000;
+  auto f = [](int i, double& acc) { acc += summand(i); };
+  double serial = 0.0, det = 0.0;
+  pk::parallel_reduce("s", pk::RangePolicy<pk::Serial>(n), f, serial);
+  pk::parallel_reduce_deterministic("d", n, f, det);
+  double abs_scale = 0.0;
+  pk::parallel_reduce(
+      "a", pk::RangePolicy<pk::Serial>(n),
+      [](int i, double& acc) { acc += std::abs(summand(i)); }, abs_scale);
+  EXPECT_NEAR(det, serial, 1e-12 * std::max(1.0, abs_scale));
+}
+
+TEST(ParallelReduceDeterministic, ExactForIntegers) {
+  const std::size_t n = 12345;
+  long sum = 0;
+  pk::parallel_reduce_deterministic(
+      "i", n, [](int i, long& acc) { acc += i; }, sum, 128);
+  EXPECT_EQ(sum, static_cast<long>(n) * (static_cast<long>(n) - 1) / 2);
+}
+
+TEST(ParallelReduceDeterministic, HandlesEmptyAndTinyRanges) {
+  double sum = 1.0;
+  pk::parallel_reduce_deterministic(
+      "e", 0, [](int, double& acc) { acc += 1.0; }, sum);
+  EXPECT_EQ(sum, 0.0);
+  pk::parallel_reduce_deterministic(
+      "one", 1, [](int i, double& acc) { acc += i + 3.0; }, sum);
+  EXPECT_EQ(sum, 3.0);
 }
 
 TEST(LaunchBounds, CompileTimeToRuntime) {

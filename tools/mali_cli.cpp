@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "core/report_generator.hpp"
 #include "core/study.hpp"
+#include "perf/phase_report.hpp"
 #include "io/field_writer.hpp"
 #include "io/vtk_writer.hpp"
 #include "linalg/matrix_market.hpp"
@@ -83,6 +86,9 @@ physics::StokesFOConfig problem_config(const Args& args) {
   const auto it = variants.find(variant);
   MALI_CHECK_MSG(it != variants.end(), "unknown --variant: " + variant);
   cfg.variant = it->second;
+  // Element→global scatter strategy (serial | colored | atomic).
+  cfg.scatter =
+      physics::scatter_mode_from_string(args.str("scatter", "colored"));
   return cfg;
 }
 
@@ -101,6 +107,13 @@ int cmd_solve(const Args& args) {
               r.initial_norm, r.residual_norm, r.iterations,
               r.total_linear_iters);
   std::printf("mean velocity: %.6f m/yr\n", problem.mean_velocity(U));
+  if (args.has("phases")) {
+    std::printf("per-phase assembly breakdown (%s scatter):\n",
+                physics::to_string(problem.scatter_mode()));
+    std::ostringstream os;
+    perf::print_phase_report(os, problem.phase_timers());
+    std::fputs(os.str().c_str(), stdout);
+  }
 
   const auto& base = problem.mesh().base();
   if (args.has("csv")) {
@@ -246,6 +259,7 @@ void usage() {
       "  solve            velocity solve on the synthetic Antarctica\n"
       "                   [--dx-km F] [--layers N] [--steps N]\n"
       "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
+      "                   [--scatter serial|colored|atomic] [--phases]\n"
       "                   [--thermal] [--weertman] [--workset N]\n"
       "                   [--csv PATH] [--ppm PATH]\n"
       "  study            run the GPU optimization study -> markdown report\n"
