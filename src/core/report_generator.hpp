@@ -16,6 +16,8 @@ struct ReportOptions {
   bool include_time_oriented = true;  ///< Fig. 5 section
   bool include_portability = true;    ///< Table IV section
   bool include_ablation = true;       ///< extension section
+  /// Assembled-SpMV vs matrix-free modeled bytes per GMRES iteration.
+  bool include_jacobian_apply = true;
 };
 
 /// Renders the study results as markdown.

@@ -55,27 +55,36 @@ void invert_small(std::vector<double>& a, int n) {
 
 }  // namespace
 
-void BlockJacobiPreconditioner::compute(const CrsMatrix& A) {
-  const std::size_t n = A.n_rows();
-  MALI_CHECK_MSG(n % static_cast<std::size_t>(bs_) == 0,
+void BlockJacobiPreconditioner::invert_blocks(std::vector<double>&& blocks,
+                                              std::size_t n_rows) {
+  MALI_CHECK_MSG(n_rows % static_cast<std::size_t>(bs_) == 0,
                  "matrix size not divisible by block size");
-  n_blocks_ = n / static_cast<std::size_t>(bs_);
-  inv_blocks_.assign(n_blocks_ * static_cast<std::size_t>(bs_ * bs_), 0.0);
+  MALI_CHECK(blocks.size() == n_rows * static_cast<std::size_t>(bs_));
+  n_blocks_ = n_rows / static_cast<std::size_t>(bs_);
+  inv_blocks_ = std::move(blocks);
 
   std::vector<double> block(static_cast<std::size_t>(bs_ * bs_));
   for (std::size_t b = 0; b < n_blocks_; ++b) {
-    for (int i = 0; i < bs_; ++i) {
-      for (int j = 0; j < bs_; ++j) {
-        block[static_cast<std::size_t>(i * bs_ + j)] =
-            A.get(b * static_cast<std::size_t>(bs_) + static_cast<std::size_t>(i),
-                  b * static_cast<std::size_t>(bs_) + static_cast<std::size_t>(j));
-      }
-    }
+    const std::size_t off = b * static_cast<std::size_t>(bs_ * bs_);
+    std::copy(inv_blocks_.begin() + static_cast<std::ptrdiff_t>(off),
+              inv_blocks_.begin() +
+                  static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(bs_ * bs_)),
+              block.begin());
     invert_small(block, bs_);
     std::copy(block.begin(), block.end(),
-              inv_blocks_.begin() +
-                  static_cast<std::ptrdiff_t>(b * static_cast<std::size_t>(bs_ * bs_)));
+              inv_blocks_.begin() + static_cast<std::ptrdiff_t>(off));
   }
+}
+
+void BlockJacobiPreconditioner::compute(const CrsMatrix& A) {
+  compute(AssembledOperator(A));
+}
+
+void BlockJacobiPreconditioner::compute(const LinearOperator& A) {
+  std::vector<double> blocks;
+  MALI_CHECK_MSG(A.block_diagonal(bs_, blocks),
+                 "block-Jacobi: operator cannot extract the block diagonal");
+  invert_blocks(std::move(blocks), A.rows());
 }
 
 void BlockJacobiPreconditioner::apply(const std::vector<double>& r,

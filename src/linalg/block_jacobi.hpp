@@ -19,7 +19,10 @@ class BlockJacobiPreconditioner final : public Preconditioner {
   explicit BlockJacobiPreconditioner(int block_size = 2)
       : bs_(block_size) {}
 
+  using Preconditioner::compute;
   void compute(const CrsMatrix& A) override;
+  /// Uses LinearOperator::block_diagonal, so this works matrix-free.
+  void compute(const LinearOperator& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;
   [[nodiscard]] const char* name() const override { return "block-jacobi"; }
@@ -27,6 +30,9 @@ class BlockJacobiPreconditioner final : public Preconditioner {
   [[nodiscard]] int block_size() const noexcept { return bs_; }
 
  private:
+  /// Inverts the row-major bs x bs blocks in-place (n_rows * bs entries).
+  void invert_blocks(std::vector<double>&& blocks, std::size_t n_rows);
+
   int bs_;
   std::size_t n_blocks_ = 0;
   /// Inverted diagonal blocks, row-major per block.

@@ -7,10 +7,21 @@
 
 namespace mali::linalg {
 
-GmresResult Gmres::solve(const CrsMatrix& A, const Preconditioner& M,
+namespace {
+// Happy-breakdown threshold for the Arnoldi normalization: after modified
+// Gram–Schmidt, a candidate vector whose norm has dropped below this
+// fraction of its pre-orthogonalization norm is numerically inside the
+// current Krylov space.  Dividing through by that near-zero norm would
+// inject noise amplified by ~1/eps; instead the subspace is declared
+// A-invariant and the (then exact) least-squares solution is taken.
+constexpr double kBreakdownTol = 1.0e-14;
+}  // namespace
+
+GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
                          const std::vector<double>& b,
                          std::vector<double>& x) const {
-  const std::size_t n = A.n_rows();
+  const std::size_t n = A.rows();
+  MALI_CHECK_MSG(A.cols() == n, "GMRES requires a square operator");
   MALI_CHECK(b.size() == n);
   if (x.size() != n) x.assign(n, 0.0);
 
@@ -53,17 +64,25 @@ GmresResult Gmres::solve(const CrsMatrix& A, const Preconditioner& M,
       Z[j].resize(n);
       M.apply(V[j], Z[j]);
       A.apply(Z[j], w);
+      const double wnorm0 = norm2(w);  // pre-orthogonalization norm
       H[j].assign(j + 2, 0.0);
       for (std::size_t i = 0; i <= j; ++i) {
         H[j][i] = dot(w, V[i]);
         axpy(-H[j][i], V[i], w);
       }
       H[j][j + 1] = norm2(w);
-      if (H[j][j + 1] > 0.0) {
+      // Happy breakdown: the candidate basis vector lies (numerically) in
+      // the span of V[0..j] — the Krylov space is A-invariant and the
+      // least-squares problem is solved exactly by the current basis.  Do
+      // NOT normalize by the near-zero remainder; close the subspace and
+      // exit the Arnoldi loop after folding this column into the rotations.
+      const bool breakdown =
+          wnorm0 == 0.0 || H[j][j + 1] <= kBreakdownTol * wnorm0;
+      if (breakdown) {
+        H[j][j + 1] = 0.0;
+      } else {
         V[j + 1] = w;
         scale(1.0 / H[j][j + 1], V[j + 1]);
-      } else {
-        V[j + 1].assign(n, 0.0);  // lucky breakdown
       }
 
       // Apply previous Givens rotations to the new column.
@@ -88,8 +107,9 @@ GmresResult Gmres::solve(const CrsMatrix& A, const Preconditioner& M,
         std::printf("  gmres iter %4zu  rel res %.3e\n", total_iters + 1,
                     result.rel_residual);
       }
-      if (result.rel_residual < cfg_.rel_tol) {
+      if (breakdown || result.rel_residual < cfg_.rel_tol) {
         ++j;
+        ++total_iters;
         break;
       }
     }

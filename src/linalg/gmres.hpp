@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
 
 namespace mali::linalg {
@@ -33,9 +34,18 @@ class Gmres {
   explicit Gmres(GmresConfig cfg = {}) : cfg_(cfg) {}
 
   /// Solves A x = b with right preconditioning; x is the initial guess on
-  /// entry and the solution on exit.
-  GmresResult solve(const CrsMatrix& A, const Preconditioner& M,
+  /// entry and the solution on exit.  A is any LinearOperator — the
+  /// assembled CRS matrix and the matrix-free Jacobian apply go through the
+  /// same code path.
+  GmresResult solve(const LinearOperator& A, const Preconditioner& M,
                     const std::vector<double>& b, std::vector<double>& x) const;
+
+  /// Convenience overload for assembled matrices.
+  GmresResult solve(const CrsMatrix& A, const Preconditioner& M,
+                    const std::vector<double>& b,
+                    std::vector<double>& x) const {
+    return solve(AssembledOperator(A), M, b, x);
+  }
 
   [[nodiscard]] const GmresConfig& config() const noexcept { return cfg_; }
 

@@ -7,11 +7,12 @@
 
 namespace mali::linalg {
 
-KrylovResult ConjugateGradient::solve(const CrsMatrix& A,
+KrylovResult ConjugateGradient::solve(const LinearOperator& A,
                                       const Preconditioner& M,
                                       const std::vector<double>& b,
                                       std::vector<double>& x) const {
-  const std::size_t n = A.n_rows();
+  const std::size_t n = A.rows();
+  MALI_CHECK_MSG(A.cols() == n, "CG requires a square operator");
   MALI_CHECK(b.size() == n);
   if (x.size() != n) x.assign(n, 0.0);
 
@@ -56,10 +57,11 @@ KrylovResult ConjugateGradient::solve(const CrsMatrix& A,
   return result;
 }
 
-KrylovResult BiCgStab::solve(const CrsMatrix& A, const Preconditioner& M,
+KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
                              const std::vector<double>& b,
                              std::vector<double>& x) const {
-  const std::size_t n = A.n_rows();
+  const std::size_t n = A.rows();
+  MALI_CHECK_MSG(A.cols() == n, "BiCGStab requires a square operator");
   MALI_CHECK(b.size() == n);
   if (x.size() != n) x.assign(n, 0.0);
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
 
 namespace mali::linalg {
@@ -27,9 +28,14 @@ struct KrylovResult {
 class ConjugateGradient {
  public:
   explicit ConjugateGradient(KrylovConfig cfg = {}) : cfg_(cfg) {}
-  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+  KrylovResult solve(const LinearOperator& A, const Preconditioner& M,
                      const std::vector<double>& b,
                      std::vector<double>& x) const;
+  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const {
+    return solve(AssembledOperator(A), M, b, x);
+  }
 
  private:
   KrylovConfig cfg_;
@@ -39,9 +45,14 @@ class ConjugateGradient {
 class BiCgStab {
  public:
   explicit BiCgStab(KrylovConfig cfg = {}) : cfg_(cfg) {}
-  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+  KrylovResult solve(const LinearOperator& A, const Preconditioner& M,
                      const std::vector<double>& b,
                      std::vector<double>& x) const;
+  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const {
+    return solve(AssembledOperator(A), M, b, x);
+  }
 
  private:
   KrylovConfig cfg_;

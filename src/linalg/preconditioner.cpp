@@ -18,6 +18,18 @@ void JacobiPreconditioner::compute(const CrsMatrix& A) {
   }
 }
 
+void JacobiPreconditioner::compute(const LinearOperator& A) {
+  std::vector<double> d;
+  MALI_CHECK_MSG(A.diagonal(d), "Jacobi: operator cannot extract diagonal");
+  const std::size_t n = A.rows();
+  MALI_CHECK(d.size() == n);
+  inv_diag_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    MALI_CHECK_MSG(d[r] != 0.0, "Jacobi: zero diagonal");
+    inv_diag_[r] = 1.0 / d[r];
+  }
+}
+
 void JacobiPreconditioner::apply(const std::vector<double>& r,
                                  std::vector<double>& z) const {
   z.resize(r.size());

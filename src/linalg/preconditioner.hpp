@@ -7,15 +7,32 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 
 namespace mali::linalg {
 
 /// Applies z = M^{-1} r.  `compute` must be called after matrix values
 /// change (the graph is fixed).
+///
+/// Preconditioners may be computed either from an assembled CrsMatrix (the
+/// classic entry point) or from a LinearOperator.  The operator overload
+/// defaults to unwrapping `A.matrix()` when one exists; preconditioners
+/// that only need the (block) diagonal override it to use the operator's
+/// diagonal extraction, so they also work on matrix-free operators.
 class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
   virtual void compute(const CrsMatrix& A) = 0;
+  /// Computes the preconditioner from an operator.  The default requires an
+  /// assembled matrix behind the operator and fails loudly otherwise —
+  /// matrix-dependent preconditioners (SGS, ILU, AMG) cannot run
+  /// matrix-free.
+  virtual void compute(const LinearOperator& A) {
+    MALI_CHECK_MSG(A.matrix() != nullptr,
+                   "preconditioner requires an assembled matrix but the "
+                   "operator is matrix-free");
+    compute(*A.matrix());
+  }
   virtual void apply(const std::vector<double>& r,
                      std::vector<double>& z) const = 0;
   [[nodiscard]] virtual const char* name() const = 0;
@@ -24,7 +41,9 @@ class Preconditioner {
 /// Identity (no preconditioning) — the Krylov baseline.
 class IdentityPreconditioner final : public Preconditioner {
  public:
+  using Preconditioner::compute;
   void compute(const CrsMatrix&) override {}
+  void compute(const LinearOperator&) override {}
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override {
     z = r;
@@ -34,7 +53,10 @@ class IdentityPreconditioner final : public Preconditioner {
 
 class JacobiPreconditioner final : public Preconditioner {
  public:
+  using Preconditioner::compute;
   void compute(const CrsMatrix& A) override;
+  /// Uses LinearOperator::diagonal, so this works matrix-free.
+  void compute(const LinearOperator& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;
   [[nodiscard]] const char* name() const override { return "jacobi"; }
@@ -47,6 +69,7 @@ class JacobiPreconditioner final : public Preconditioner {
 class SymGaussSeidelPreconditioner final : public Preconditioner {
  public:
   explicit SymGaussSeidelPreconditioner(int sweeps = 1) : sweeps_(sweeps) {}
+  using Preconditioner::compute;  // operator form: requires A.matrix()
   void compute(const CrsMatrix& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;
@@ -61,6 +84,7 @@ class SymGaussSeidelPreconditioner final : public Preconditioner {
 /// Zero-fill incomplete LU factorization on the matrix graph.
 class Ilu0Preconditioner final : public Preconditioner {
  public:
+  using Preconditioner::compute;  // operator form: requires A.matrix()
   void compute(const CrsMatrix& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;

@@ -48,6 +48,7 @@ class SemicoarseningAmg final : public Preconditioner {
  public:
   SemicoarseningAmg(ExtrusionInfo info, AmgConfig cfg = {});
 
+  using Preconditioner::compute;  // operator form: requires A.matrix()
   void compute(const CrsMatrix& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;

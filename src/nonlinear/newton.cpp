@@ -15,7 +15,11 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
 
   NewtonResult result;
   std::vector<double> F(n), F_trial(n), rhs(n), dU(n), U_trial(n);
-  linalg::CrsMatrix J = problem.create_matrix();
+  const bool matrix_free =
+      cfg_.jacobian == linalg::JacobianMode::kMatrixFree;
+  // Matrix-free mode never creates the global matrix — that is the point.
+  linalg::CrsMatrix J;
+  if (!matrix_free) J = problem.create_matrix();
   const linalg::Gmres gmres(cfg_.gmres);
 
   problem.residual(U, F);
@@ -31,14 +35,33 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
       break;
     }
 
-    J.set_zero();
-    problem.residual_and_jacobian(U, F, J);
-    M.compute(J);
+    std::unique_ptr<linalg::LinearOperator> op;
+    if (matrix_free) {
+      // JFNK-style step with the exact element tangent: linearize the
+      // problem's operator at U and build the preconditioner from its
+      // diagonal extraction.
+      op = problem.jacobian_operator(U);
+      MALI_CHECK_MSG(op != nullptr,
+                     "matrix-free Newton requires the problem to provide a "
+                     "jacobian_operator");
+      M.compute(*op);
+      // Re-evaluate F at U *after* linearizing: forming the operator may
+      // refresh problem state the residual depends on (the FO problem
+      // recomputes its Dirichlet row scale, exactly as assembled
+      // residual_and_jacobian does), and GMRES needs F consistent with J.
+      problem.residual(U, F);
+      fnorm = linalg::norm2(F);
+    } else {
+      J.set_zero();
+      problem.residual_and_jacobian(U, F, J);
+      M.compute(J);
+    }
 
     // Solve J dU = -F.
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -F[i];
     std::fill(dU.begin(), dU.end(), 0.0);
-    const auto lin = gmres.solve(J, M, rhs, dU);
+    const auto lin = matrix_free ? gmres.solve(*op, M, rhs, dU)
+                                 : gmres.solve(J, M, rhs, dU);
     result.total_linear_iters += lin.iterations;
 
     // Damped update with backtracking on ||F||.

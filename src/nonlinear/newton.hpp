@@ -10,6 +10,7 @@
 
 #include "linalg/crs_matrix.hpp"
 #include "linalg/gmres.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
 
 namespace mali::nonlinear {
@@ -28,6 +29,15 @@ class NonlinearProblem {
                                      linalg::CrsMatrix& J) = 0;
   /// A zero matrix with the Jacobian's sparsity.
   [[nodiscard]] virtual linalg::CrsMatrix create_matrix() const = 0;
+  /// The Jacobian linearized at U as an abstract operator for the
+  /// matrix-free (JFNK) Newton path.  Problems that cannot provide one
+  /// return nullptr (the default) — the solver then refuses
+  /// JacobianMode::kMatrixFree.
+  [[nodiscard]] virtual std::unique_ptr<linalg::LinearOperator>
+  jacobian_operator(const std::vector<double>& U) {
+    (void)U;
+    return nullptr;
+  }
 };
 
 struct NewtonConfig {
@@ -38,6 +48,10 @@ struct NewtonConfig {
   bool line_search = true;
   bool verbose = false;
   linalg::GmresConfig gmres{};  ///< linear tol 1e-6, per the paper
+  /// Jacobian representation: assembled CRS (default) or the problem's
+  /// matrix-free operator (no global matrix is ever created; the
+  /// preconditioner is computed from the operator's diagonal extraction).
+  linalg::JacobianMode jacobian = linalg::JacobianMode::kAssembled;
 };
 
 struct NewtonResult {

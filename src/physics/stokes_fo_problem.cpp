@@ -7,7 +7,9 @@
 #include "fem/hex8.hpp"
 #include "fem/quadrature.hpp"
 #include "physics/evaluators.hpp"
+#include "physics/matrix_free_operator.hpp"
 #include "physics/stokes_fo_resid.hpp"
+#include "physics/stokes_jacobian_apply.hpp"
 #include "portability/parallel.hpp"
 
 namespace mali::physics {
@@ -122,6 +124,19 @@ StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
         flow_factor_(c, q) = paterson_budd_A(geom_.temperature(x, y, sigma));
       }
     });
+  }
+
+  // Reference HEX8 gradients + quadrature weights for the matrix-free
+  // tangent kernel (which rebuilds the cell geometry in registers).
+  ref_grad_ = pk::View<double, 3>("ref_grad", Q, N, 3);
+  qp_weights_ = pk::View<double, 1>("qp_weights", Q);
+  for (int q = 0; q < Q; ++q) {
+    const auto& qp = qps[static_cast<std::size_t>(q)];
+    qp_weights_(q) = qp.weight;
+    for (int k = 0; k < N; ++k) {
+      const auto grad = fem::Hex8Basis::gradient(k, qp.xi, qp.eta, qp.zeta);
+      for (int d = 0; d < 3; ++d) ref_grad_(q, k, d) = grad[d];
+    }
   }
 
   // Reference QUAD4 basis values at the face quadrature points.
@@ -291,10 +306,8 @@ template void StokesFOProblem::run_resid_kernel<ResidualEval>(KernelVariant);
 template void StokesFOProblem::run_resid_kernel<JacobianEval>(KernelVariant);
 
 template <class EvalT>
-void StokesFOProblem::assemble_workset(std::size_t w,
-                                       const pk::View<double, 1>& Uview,
-                                       std::vector<double>& F,
-                                       linalg::CrsMatrix* J) {
+void StokesFOProblem::evaluate_workset(std::size_t w,
+                                       const pk::View<double, 1>& Uview) {
   using ScalarT = typename EvalT::ScalarT;
   const WorksetRange& range = workset_ranges_[w];
   const std::size_t cnt = range.count;
@@ -388,8 +401,27 @@ void StokesFOProblem::assemble_workset(std::size_t w,
                      friction);
   }
   phase_timers_.add("kernel", phase_timer.seconds());
-  phase_timer.reset();
+}
 
+template void StokesFOProblem::evaluate_workset<ResidualEval>(
+    std::size_t, const pk::View<double, 1>&);
+template void StokesFOProblem::evaluate_workset<JacobianEval>(
+    std::size_t, const pk::View<double, 1>&);
+
+template <class EvalT>
+void StokesFOProblem::assemble_workset(std::size_t w,
+                                       const pk::View<double, 1>& Uview,
+                                       std::vector<double>& F,
+                                       linalg::CrsMatrix* J) {
+  using ScalarT = typename EvalT::ScalarT;
+  evaluate_workset<EvalT>(w, Uview);
+
+  const WorksetRange& range = workset_ranges_[w];
+  const std::size_t cnt = range.count;
+  auto& f = fields<ScalarT>();
+  const auto cell_nodes = ws_.cell_nodes.window(range.c0, cnt);
+
+  pk::Timer phase_timer;
   // Scatter: element residuals/Jacobians into the global F / CRS matrix,
   // parallelized per the configured ScatterMode (rows are shared between
   // cells, so the parallel modes rely on the coloring or on atomics).
@@ -453,6 +485,155 @@ void StokesFOProblem::residual_and_jacobian(const std::vector<double>& U,
                                             linalg::CrsMatrix& J) {
   J.set_zero();
   assemble<JacobianEval>(U, F, &J);
+}
+
+template <class Exec>
+void StokesFOProblem::apply_jacobian(const std::vector<double>& U,
+                                     const std::vector<double>& x,
+                                     std::vector<double>& y) {
+  MALI_CHECK(U.size() == n_dofs());
+  MALI_CHECK(x.size() == n_dofs());
+  MALI_CHECK_MSG(&x != &y, "apply_jacobian: aliased in/out");
+
+  const std::size_t ws_size =
+      workset_ranges_.empty() ? ws_.n_cells : workset_ranges_.front().count;
+  if (!tangent_.allocated() || tangent_.extent(0) < ws_size) {
+    tangent_ = pk::View<double, 3>("tangent", ws_size, ws_.num_nodes, 2);
+  }
+
+  pk::View<double, 1> Uview("U", U.size());
+  std::copy(U.begin(), U.end(), Uview.data());
+  pk::View<double, 1> Xview("X", x.size());
+  std::copy(x.begin(), x.end(), Xview.data());
+
+  y.assign(n_dofs(), 0.0);
+  for (const WorksetRange& range : workset_ranges_) {
+    const std::size_t cnt = range.count;
+    const auto cell_nodes = ws_.cell_nodes.window(range.c0, cnt);
+    const auto coords = ws_.coords.window(range.c0, cnt);
+    pk::View<double, 2> flow_factor;
+    if (flow_factor_.allocated()) {
+      flow_factor = flow_factor_.window(range.c0, cnt);
+    }
+
+    // Fused tangent: gather + in-register geometry + Ugrad + viscosity +
+    // stress, accumulating only the directional derivative.
+    StokesFOTangent tangent;
+    tangent.cell_nodes = cell_nodes;
+    tangent.coords = coords;
+    tangent.flow_factor = flow_factor;
+    tangent.U = Uview;
+    tangent.X = Xview;
+    tangent.ref_grad = ref_grad_;
+    tangent.qp_weight = qp_weights_;
+    tangent.Tangent = tangent_;
+    tangent.glen_A = cfg_.constants.glen_A;
+    tangent.glen_n = cfg_.constants.glen_n;
+    tangent.eps_reg2 = cfg_.constants.eps_reg2;
+    tangent.constant_mu = cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0;
+    tangent.numNodes = ws_.num_nodes;
+    tangent.numQPs = ws_.num_qps;
+    pk::parallel_for("jacobian_tangent", pk::RangePolicy<Exec>(cnt), tangent);
+
+    // Basal sliding tangent (adds into Tangent); serial over faces, as in
+    // the assembled chain.
+    if (!cfg_.mms.enabled) {
+      BasalFrictionTangent friction;
+      friction.face_cell_local = range.face_cell_local;
+      friction.face_wBF = range.face_wBF;
+      friction.face_beta = range.face_beta;
+      friction.face_BF = face_BF_;
+      friction.cell_nodes = cell_nodes;
+      friction.U = Uview;
+      friction.X = Xview;
+      friction.Tangent = tangent_;
+      friction.faceQPs = static_cast<unsigned>(ws_.face_qps);
+      friction.sliding = cfg_.sliding;
+      pk::parallel_for(
+          "basal_friction_tangent",
+          pk::RangePolicy<pk::Serial>(range.face_cell_local.size()), friction);
+    }
+
+    // Scatter the per-cell tangent into y, reusing the colored/atomic
+    // machinery (double path: no matrix).
+    scatter_add<Exec>(cfg_.scatter, range.coloring, cell_nodes, tangent_, cnt,
+                      ws_.num_nodes, y, nullptr);
+  }
+
+  // Dirichlet rows act exactly like the assembled scaled identity rows.
+  for (std::size_t d : dof_map_->dirichlet_dofs()) {
+    y[d] = dirichlet_scale_ * x[d];
+  }
+}
+
+template void StokesFOProblem::apply_jacobian<pk::Serial>(
+    const std::vector<double>&, const std::vector<double>&,
+    std::vector<double>&);
+template void StokesFOProblem::apply_jacobian<pk::Threads>(
+    const std::vector<double>&, const std::vector<double>&,
+    std::vector<double>&);
+
+std::vector<double> StokesFOProblem::jacobian_block_diagonal(
+    const std::vector<double>& U) {
+  MALI_CHECK(U.size() == n_dofs());
+  const std::size_t ws_size =
+      workset_ranges_.empty() ? ws_.n_cells : workset_ranges_.front().count;
+  auto& f = fields<JacobianEval::ScalarT>();
+  f.allocate(ws_size, ws_.num_nodes, ws_.num_qps);
+
+  pk::View<double, 1> Uview("U", U.size());
+  std::copy(U.begin(), U.end(), Uview.data());
+
+  // One 2x2 block per node (dof = 2*node + comp): 2 * n_dofs doubles.
+  std::vector<double> blocks(2 * n_dofs(), 0.0);
+  const int N = ws_.num_nodes;
+  for (std::size_t w = 0; w < workset_ranges_.size(); ++w) {
+    evaluate_workset<JacobianEval>(w, Uview);
+    const WorksetRange& range = workset_ranges_[w];
+    for (std::size_t c = 0; c < range.count; ++c) {
+      for (int node = 0; node < N; ++node) {
+        const std::size_t gnode = ws_.cell_nodes(range.c0 + c, node);
+        for (int r = 0; r < 2; ++r) {
+          const auto& R = f.Residual(c, node, r);
+          for (int col = 0; col < 2; ++col) {
+            blocks[gnode * 4 + static_cast<std::size_t>(r * 2 + col)] +=
+                R.dx(2 * node + col);
+          }
+        }
+      }
+    }
+  }
+
+  // Dirichlet scale from the mean interior |diagonal|, as in the assembled
+  // path; then Dirichlet-node blocks become scale * I (their rows are
+  // scaled identity rows in the assembled matrix).
+  double mean_diag = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < n_dofs(); ++r) {
+    if (dof_map_->is_dirichlet_dof(r)) continue;
+    const std::size_t node = r / 2;
+    const std::size_t comp = r % 2;
+    mean_diag += std::abs(blocks[node * 4 + comp * 2 + comp]);
+    ++count;
+  }
+  if (count > 0 && mean_diag > 0.0) {
+    dirichlet_scale_ = mean_diag / static_cast<double>(count);
+  }
+  for (std::size_t d : dof_map_->dirichlet_dofs()) {
+    const std::size_t node = d / 2;
+    const std::size_t comp = d % 2;
+    blocks[node * 4 + comp * 2 + 0] = 0.0;
+    blocks[node * 4 + comp * 2 + 1] = 0.0;
+    blocks[node * 4 + comp * 2 + comp] = dirichlet_scale_;
+  }
+  return blocks;
+}
+
+std::unique_ptr<linalg::LinearOperator> StokesFOProblem::jacobian_operator(
+    const std::vector<double>& U) {
+  auto op = std::make_unique<MatrixFreeStokesOperator>(*this);
+  op->linearize(U);
+  return op;
 }
 
 double StokesFOProblem::mean_velocity(const std::vector<double>& U) const {

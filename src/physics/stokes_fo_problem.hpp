@@ -13,6 +13,7 @@
 #include "fem/dof_map.hpp"
 #include "fem/workset.hpp"
 #include "linalg/crs_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/semicoarsening_amg.hpp"
 #include "mesh/coloring.hpp"
 #include "mesh/extruded_mesh.hpp"
@@ -61,6 +62,9 @@ struct StokesFOConfig {
   /// Manufactured-solution verification mode: constant viscosity, analytic
   /// forcing, the exact field imposed on every boundary node, no friction.
   MmsConfig mms{};
+  /// Jacobian representation for the Newton solve: assembled CRS (default)
+  /// or the matrix-free per-element tangent apply (no global matrix).
+  linalg::JacobianMode jacobian = linalg::JacobianMode::kAssembled;
 };
 
 /// Per-evaluation-type field storage (double for Residual, SFad<double,16>
@@ -90,6 +94,35 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
                              std::vector<double>& F,
                              linalg::CrsMatrix& J) override;
   [[nodiscard]] linalg::CrsMatrix create_matrix() const override;
+  /// Matrix-free Jacobian operator linearized at U (see
+  /// physics/matrix_free_operator.hpp); used by the JFNK Newton path.
+  [[nodiscard]] std::unique_ptr<linalg::LinearOperator> jacobian_operator(
+      const std::vector<double>& U) override;
+
+  // ---- matrix-free Jacobian ----
+
+  /// y = J(U) x via the fused per-element SFad<1> tangent kernel — no
+  /// global matrix is formed.  Exec selects the pk execution space for the
+  /// tangent evaluation and the scatter (the configured ScatterMode's
+  /// colored/atomic machinery is reused verbatim).  Dirichlet rows act as
+  /// y[d] = dirichlet_scale() * x[d], matching the assembled scaled
+  /// identity rows.  x and y must be distinct.
+  template <class Exec = pk::DefaultExec>
+  void apply_jacobian(const std::vector<double>& U,
+                      const std::vector<double>& x, std::vector<double>& y);
+
+  /// Per-node 2x2 diagonal blocks of J(U) (row-major, n_nodes blocks →
+  /// 2 * n_dofs doubles), extracted from the SFad<16> element Jacobian
+  /// without assembling the global matrix.  Also refreshes the Dirichlet
+  /// row scale from the mean interior diagonal, exactly as the assembled
+  /// path does, and writes scale * I into Dirichlet-node blocks.
+  [[nodiscard]] std::vector<double> jacobian_block_diagonal(
+      const std::vector<double>& U);
+
+  /// Scale applied to Dirichlet rows (see dirichlet_scale_ below).
+  [[nodiscard]] double dirichlet_scale() const noexcept {
+    return dirichlet_scale_;
+  }
 
   // ---- accessors ----
   [[nodiscard]] const StokesFOConfig& config() const noexcept { return cfg_; }
@@ -180,6 +213,13 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   void assemble_workset(std::size_t w, const pk::View<double, 1>& Uview,
                         std::vector<double>& F, linalg::CrsMatrix* J);
 
+  /// Runs the element chain (gather → Ugrad → viscosity → force →
+  /// StokesFOResid → basal friction) for workset w, leaving the element
+  /// residuals staged in fields<ScalarT>().Residual — the pre-scatter part
+  /// of assemble_workset, shared with the block-diagonal extraction.
+  template <class EvalT>
+  void evaluate_workset(std::size_t w, const pk::View<double, 1>& Uview);
+
   /// Per-workset cell range plus the basal faces owned by the range.
   struct WorksetRange {
     std::size_t c0 = 0;
@@ -201,6 +241,12 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   pk::View<double, 3> force_passive_;  ///< (C, Q, 2) rho*g*grad(s) at qps
   pk::View<double, 2> face_BF_;        ///< (4, Qf) reference face basis
   pk::View<double, 2> flow_factor_;    ///< (C, Q) A(T), thermal mode only
+
+  // Reference element data for the matrix-free tangent kernel, which
+  // recomputes cell geometry in registers from nodal coords (built once).
+  pk::View<double, 3> ref_grad_;    ///< (Q, N, 3) dN_k/d(xi,eta,zeta)
+  pk::View<double, 1> qp_weights_;  ///< (Q)
+  pk::View<double, 3> tangent_;     ///< (ws, N, 2) per-cell J_e x_e scratch
 
   FieldSet<ResidualEval::ScalarT> res_fields_;
   FieldSet<JacobianEval::ScalarT> jac_fields_;

@@ -1,0 +1,245 @@
+#pragma once
+// Matrix-free Blatter–Pattyn Jacobian apply:  v ↦ J(U)·v  per element, with
+// no global matrix ever formed.
+//
+// The assembled path streams the CRS Jacobian (nnz·(value + column index)
+// plus the row pointer) through GMRES every iteration — the dominant
+// steady-state HBM traffic in the paper's time-oriented model.  The tangent
+// kernel below replaces that stream with a fused per-cell evaluation that
+// reads only the solution, the direction, the connectivity, and the nodal
+// coordinates, and *recomputes* the cell geometry (Jacobian of the
+// isoparametric map, its inverse, the physical basis gradients) in
+// registers instead of streaming the precomputed wGradBF/wBF arrays.  That
+// classic trade-FLOPs-for-bytes step is what makes the modeled
+// bytes/GMRES-iteration strictly smaller than the assembled SpMV (see
+// perf/data_movement.hpp).
+//
+// Differentiation: one-directional forward AD.  Each nodal value is seeded
+// as SFad<double,1>{ U_l, dx(0) = x_l }, so after running the *same*
+// residual arithmetic as the assembled chain (GatherSolution →
+// VelocityGradient → ViscosityFO → StokesFOResid stress terms →
+// BasalFrictionResid), the element residual's dx(0) IS the element tangent
+// (J_e · x_e).  The passive body force drops out (zero derivative), and the
+// geometry recomputation replicates fem/cell_geometry.cpp operation for
+// operation, so the physical gradients are bitwise identical to the stored
+// gradBF/wGradBF.  Agreement with the assembled SpMV is therefore limited
+// only by FP reassociation of the derivative accumulation — pinned by
+// tests/test_operator_equivalence.cpp (see the tolerance contract there).
+//
+// The per-cell tangent is written to a plain double Tangent(C, N, 2) view
+// and scattered into the global result with PR 1's scatter_add (serial /
+// colored / atomic — the double path, J == nullptr), reusing the coloring
+// machinery verbatim.
+
+#include <cstddef>
+
+#include "ad/sfad.hpp"
+#include "physics/flow_law.hpp"
+#include "portability/common.hpp"
+#include "portability/view.hpp"
+
+namespace mali::physics {
+
+namespace detail {
+
+/// 3x3 inverse + determinant — the same cofactor expansion, in the same
+/// order, as fem/cell_geometry.cpp's invert3 (bitwise-identical results).
+MALI_INLINE double tangent_invert3(const double m[3][3], double inv[3][3]) {
+  const double det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+                     m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+                     m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  const double inv_det = 1.0 / det;
+  inv[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+  inv[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+  inv[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+  inv[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+  inv[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+  inv[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+  inv[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+  inv[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+  inv[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+  return det;
+}
+
+}  // namespace detail
+
+/// Fused per-cell tangent of the interior FO Stokes residual.  Writes (does
+/// not accumulate into) Tangent(cell, node, comp) = (J_e · x_e)(node, comp)
+/// for the stress part of the residual; the passive force term contributes
+/// nothing to the Jacobian.
+struct StokesFOTangent {
+  using Fad = ad::SFad<double, 1>;
+  static constexpr int kMaxNodes = 8;
+
+  // Cell-range inputs (windowed to the workset by the caller).
+  pk::View<std::size_t, 2> cell_nodes;  ///< (C, N)
+  pk::View<double, 3> coords;           ///< (C, N, 3)
+  pk::View<double, 2> flow_factor;      ///< (C, Q) optional A(T) field
+  // Global vectors.
+  pk::View<double, 1> U;  ///< linearization state (2 dofs/node)
+  pk::View<double, 1> X;  ///< direction
+  // Reference element data (shared across cells; stays in cache).
+  pk::View<double, 3> ref_grad;   ///< (Q, N, 3) dN_k/d(xi,eta,zeta)
+  pk::View<double, 1> qp_weight;  ///< (Q)
+  // Output.
+  pk::View<double, 3> Tangent;  ///< (C, N, 2)
+
+  double glen_A = 1.0e-16;
+  double glen_n = 3.0;
+  double eps_reg2 = 1.0e-10;
+  /// > 0: constant-viscosity bypass (the MMS linear operator).
+  double constant_mu = 0.0;
+  int numNodes = 8;
+  int numQPs = 8;
+
+  MALI_KERNEL_FUNCTION void operator()(const int& cell) const {
+    const int N = numNodes;
+    const int Q = numQPs;
+    MALI_ASSERT(N <= kMaxNodes);
+
+    // Gather state + direction: one SFad<1> per nodal dof, value = U,
+    // derivative seed = x (tangent direction).
+    Fad Ul[kMaxNodes][2];
+    double xn[kMaxNodes][3];
+    for (int k = 0; k < N; ++k) {
+      const std::size_t gnode = cell_nodes(cell, k);
+      for (int comp = 0; comp < 2; ++comp) {
+        const std::size_t dof = 2 * gnode + static_cast<std::size_t>(comp);
+        Ul[k][comp] = Fad(U(dof));
+        Ul[k][comp].fastAccessDx(0) = X(dof);
+      }
+      for (int d = 0; d < 3; ++d) xn[k][d] = coords(cell, k, d);
+    }
+
+    const bool thermal = flow_factor.allocated();
+    const double coeff0 =
+        constant_mu > 0.0 ? 0.0 : 0.5 * std::pow(glen_A, -1.0 / glen_n);
+    const double expo = (1.0 - glen_n) / (2.0 * glen_n);
+
+    double res0[kMaxNodes] = {};
+    double res1[kMaxNodes] = {};
+
+    for (int qp = 0; qp < Q; ++qp) {
+      // ---- in-register geometry (replicates fem/cell_geometry.cpp) ----
+      double J[3][3] = {};
+      for (int k = 0; k < N; ++k) {
+        for (int i = 0; i < 3; ++i) {
+          for (int j = 0; j < 3; ++j) {
+            J[i][j] += xn[k][i] * ref_grad(qp, k, j);
+          }
+        }
+      }
+      double Jinv[3][3];
+      const double det = detail::tangent_invert3(J, Jinv);
+      const double w = qp_weight(qp) * det;
+      // Physical basis gradients g[k][d] == gradBF(c, k, qp, d).
+      double g[kMaxNodes][3];
+      for (int k = 0; k < N; ++k) {
+        for (int d = 0; d < 3; ++d) {
+          double s = 0.0;
+          for (int j = 0; j < 3; ++j) s += Jinv[j][d] * ref_grad(qp, k, j);
+          g[k][d] = s;
+        }
+      }
+
+      // ---- velocity gradient (same contraction as VelocityGradient) ----
+      Fad Ugrad[2][3];
+      for (int comp = 0; comp < 2; ++comp) {
+        for (int d = 0; d < 3; ++d) {
+          Fad acc(0.0);
+          for (int k = 0; k < N; ++k) acc += Ul[k][comp] * g[k][d];
+          Ugrad[comp][d] = acc;
+        }
+      }
+
+      // ---- Glen's-law viscosity (same formula as ViscosityFO) ----
+      Fad mu;
+      if (constant_mu > 0.0) {
+        mu = Fad(constant_mu);
+      } else {
+        const double coeff =
+            thermal ? 0.5 * std::pow(flow_factor(cell, qp), -1.0 / glen_n)
+                    : coeff0;
+        const Fad& ux = Ugrad[0][0];
+        const Fad& uy = Ugrad[0][1];
+        const Fad& uz = Ugrad[0][2];
+        const Fad& vx = Ugrad[1][0];
+        const Fad& vy = Ugrad[1][1];
+        const Fad& vz = Ugrad[1][2];
+        const Fad eps2 = ux * ux + vy * vy + ux * vy +
+                         0.25 * ((uy + vx) * (uy + vx) + uz * uz + vz * vz);
+        mu = coeff * pow(eps2 + eps_reg2, expo);
+      }
+
+      // ---- stress terms (same formulas as StokesFOResid) ----
+      const Fad strs00 = 2.0 * mu * (2.0 * Ugrad[0][0] + Ugrad[1][1]);
+      const Fad strs11 = 2.0 * mu * (2.0 * Ugrad[1][1] + Ugrad[0][0]);
+      const Fad strs01 = mu * (Ugrad[1][0] + Ugrad[0][1]);
+      const Fad strs02 = mu * Ugrad[0][2];
+      const Fad strs12 = mu * Ugrad[1][2];
+
+      // Accumulate only the directional derivative; wGradBF == g * w.
+      for (int k = 0; k < N; ++k) {
+        res0[k] += strs00.dx(0) * (g[k][0] * w) +
+                   strs01.dx(0) * (g[k][1] * w) + strs02.dx(0) * (g[k][2] * w);
+        res1[k] += strs01.dx(0) * (g[k][0] * w) +
+                   strs11.dx(0) * (g[k][1] * w) + strs12.dx(0) * (g[k][2] * w);
+      }
+      // Body force: passive (independent of U) — zero tangent, skipped.
+    }
+
+    for (int k = 0; k < N; ++k) {
+      Tangent(cell, k, 0) = res0[k];
+      Tangent(cell, k, 1) = res1[k];
+    }
+  }
+};
+
+/// Tangent of the basal sliding residual: accumulates d/dx of
+/// friction(u)·u · wBF into the Tangent view of layer-0 cells.  Face-local
+/// node k is cell-local node k (bottom face), exactly as in
+/// BasalFrictionResid.  Run serially over faces, mirroring the assembled
+/// chain (multiple faces never share a cell, but the serial order keeps the
+/// accumulation deterministic and identical to the assembled path).
+struct BasalFrictionTangent {
+  using Fad = ad::SFad<double, 1>;
+
+  pk::View<std::size_t, 1> face_cell_local;  ///< (F) cell index in Tangent
+  pk::View<double, 3> face_wBF;              ///< (F, 4, Qf)
+  pk::View<double, 1> face_beta;             ///< (F)
+  pk::View<double, 2> face_BF;               ///< (4, Qf) reference values
+  pk::View<std::size_t, 2> cell_nodes;       ///< (C, N) windowed
+  pk::View<double, 1> U;                     ///< global state
+  pk::View<double, 1> X;                     ///< global direction
+  pk::View<double, 3> Tangent;               ///< (C, N, 2), accumulated
+  unsigned int faceQPs = 4;
+  SlidingConfig sliding{};
+
+  MALI_KERNEL_FUNCTION void operator()(const int& face) const {
+    const std::size_t cell = face_cell_local(face);
+    Fad Ul[4][2];
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t gnode = cell_nodes(cell, k);
+      for (int comp = 0; comp < 2; ++comp) {
+        const std::size_t dof = 2 * gnode + static_cast<std::size_t>(comp);
+        Ul[k][comp] = Fad(U(dof));
+        Ul[k][comp].fastAccessDx(0) = X(dof);
+      }
+    }
+    for (unsigned int qp = 0; qp < faceQPs; ++qp) {
+      Fad uq(0.0), vq(0.0);
+      for (int k = 0; k < 4; ++k) {
+        uq += Ul[k][0] * face_BF(k, qp);
+        vq += Ul[k][1] * face_BF(k, qp);
+      }
+      const Fad friction = friction_factor(sliding, face_beta(face), uq, vq);
+      for (int k = 0; k < 4; ++k) {
+        const double w = face_wBF(face, k, qp);
+        Tangent(cell, k, 0) += (friction * uq).dx(0) * w;
+        Tangent(cell, k, 1) += (friction * vq).dx(0) * w;
+      }
+    }
+  }
+};
+
+}  // namespace mali::physics

@@ -1,7 +1,8 @@
 // Randomized property tests: SFad evaluated on random expression trees
 // against DFad and central finite differences; Krylov solvers on random
 // diagonally-dominant systems against a dense LU reference; cache-simulator
-// traffic bounds on random access traces.
+// traffic bounds on random access traces; the LinearOperator interface
+// (assembled and matrix-free implementations) on random sizes/directions.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +16,9 @@
 #include "gpusim/cache_sim.hpp"
 #include "linalg/gmres.hpp"
 #include "linalg/krylov.hpp"
+#include "linalg/linear_operator.hpp"
+#include "physics/matrix_free_operator.hpp"
+#include "physics/stokes_fo_problem.hpp"
 
 using namespace mali;
 
@@ -251,6 +255,122 @@ TEST_P(SolverFuzz, GmresAndBicgstabMatchDenseLu) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
                          ::testing::Values(5u, 17u, 91u, 123u));
+
+// ---- LinearOperator interface on random systems and directions ----
+
+class OperatorFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OperatorFuzz, AssembledOperatorIsTransparent) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::size_t> size(4, 120);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Even sizes: dofs pair into 2x2 blocks for block_diagonal.
+    const std::size_t n = size(rng) * 2;
+    const auto sys = random_dd_system(rng, n, 0.2);
+    const linalg::AssembledOperator op(sys.A);
+    ASSERT_EQ(op.rows(), n);
+    ASSERT_EQ(op.cols(), n);
+    ASSERT_EQ(op.matrix(), &sys.A);
+
+    // apply == CrsMatrix::apply, bitwise (same kernel underneath).
+    std::vector<double> x(n), y_op(n), y_mat(n);
+    for (auto& v : x) v = uni(rng);
+    op.apply(x, y_op);
+    sys.A.apply(x, y_mat);
+    EXPECT_EQ(y_op, y_mat);
+
+    // Zero direction -> exactly zero.
+    std::fill(x.begin(), x.end(), 0.0);
+    op.apply(x, y_op);
+    for (const double v : y_op) EXPECT_EQ(v, 0.0);
+
+    // Aliased in/out is rejected, not silently corrupted.
+    EXPECT_THROW(op.apply(y_op, y_op), Error);
+
+    // diagonal / block_diagonal report the matrix entries.
+    std::vector<double> d;
+    ASSERT_TRUE(op.diagonal(d));
+    ASSERT_EQ(d.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(d[i], sys.dense[i][i]);
+    }
+    std::vector<double> blocks;
+    ASSERT_TRUE(op.block_diagonal(2, blocks));
+    ASSERT_EQ(blocks.size(), 2 * n);
+    for (std::size_t blk = 0; blk < n / 2; ++blk) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          EXPECT_EQ(blocks[blk * 4 + r * 2 + c],
+                    sys.dense[2 * blk + r][2 * blk + c]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OperatorFuzz, OperatorSolveMatchesMatrixSolve) {
+  // The CrsMatrix GMRES overload must be a zero-cost shim over the
+  // operator path: identical inputs give identical iterates.
+  std::mt19937 rng(GetParam() + 1000);
+  const auto sys = random_dd_system(rng, 80, 0.15);
+  linalg::Ilu0Preconditioner M;
+  M.compute(sys.A);
+  const linalg::Gmres gmres({1e-12, 2000, 30});
+
+  std::vector<double> x_mat, x_op;
+  const auto r_mat = gmres.solve(sys.A, M, sys.b, x_mat);
+  const linalg::AssembledOperator op(sys.A);
+  const auto r_op =
+      gmres.solve(static_cast<const linalg::LinearOperator&>(op), M, sys.b,
+                  x_op);
+  ASSERT_TRUE(r_mat.converged);
+  ASSERT_TRUE(r_op.converged);
+  EXPECT_EQ(r_mat.iterations, r_op.iterations);
+  EXPECT_EQ(x_mat, x_op);
+}
+
+TEST_P(OperatorFuzz, MatrixFreeStokesRandomDirections) {
+  // The matrix-free FO Stokes operator on a tiny MMS mesh: random
+  // directions reproduce the assembled SpMV (reassociation budget relative
+  // to the row magnitude, as pinned in test_operator_equivalence), zero
+  // maps to zero, aliasing throws.
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = 320.0e3;
+  cfg.n_layers = 3;
+  cfg.mms.enabled = true;
+  physics::StokesFOProblem p(cfg);
+  const auto U = p.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = p.create_matrix();
+  p.residual_and_jacobian(U, F, J);
+  const auto op = p.jacobian_operator(U);
+
+  std::mt19937 rng(GetParam() + 2000);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  const std::size_t n = p.n_dofs();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(n), y_asm(n), y_mf;
+    for (auto& v : x) v = uni(rng);
+    J.apply(x, y_asm);
+    op->apply(x, y_mf);
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t k = J.row_ptr()[r]; k < J.row_ptr()[r + 1]; ++k) {
+        s += std::abs(J.values()[k]) * std::abs(x[J.cols()[k]]);
+      }
+      ASSERT_NEAR(y_asm[r], y_mf[r], 1e-11 * std::max(1.0, s)) << "row " << r;
+    }
+  }
+
+  std::vector<double> zero(n, 0.0), y;
+  op->apply(zero, y);
+  for (const double v : y) EXPECT_EQ(v, 0.0);
+  EXPECT_THROW(op->apply(zero, zero), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorFuzz,
+                         ::testing::Values(7u, 29u, 71u));
 
 // ---- cache-simulator traffic bounds on random traces ----
 

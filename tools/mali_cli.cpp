@@ -23,8 +23,11 @@
 #include "perf/phase_report.hpp"
 #include "io/field_writer.hpp"
 #include "io/vtk_writer.hpp"
+#include "linalg/block_jacobi.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/matrix_market.hpp"
 #include "linalg/semicoarsening_amg.hpp"
+#include "perf/data_movement.hpp"
 #include "mpas/fv_transport.hpp"
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
@@ -89,24 +92,59 @@ physics::StokesFOConfig problem_config(const Args& args) {
   // Element→global scatter strategy (serial | colored | atomic).
   cfg.scatter =
       physics::scatter_mode_from_string(args.str("scatter", "colored"));
+  // Jacobian representation (assembled | matrix-free).
+  cfg.jacobian =
+      linalg::jacobian_mode_from_string(args.str("jacobian", "assembled"));
   return cfg;
+}
+
+/// Modeled HBM traffic of one Jacobian apply (y = J x) in both modes, per
+/// perf::JacobianApplyModel — the bytes a GMRES iteration streams.
+void print_jacobian_apply_model(physics::StokesFOProblem& problem) {
+  perf::JacobianApplyModel m;
+  m.n_rows = problem.n_dofs();
+  m.nnz = problem.create_matrix().nnz();  // graph only, never assembled
+  m.n_cells = problem.mesh().n_cells();
+  m.n_nodes = problem.mesh().n_nodes();
+  m.num_nodes = problem.workset().num_nodes;
+  m.n_basal_faces =
+      problem.config().mms.enabled ? 0 : problem.mesh().base().n_cells();
+  const double asm_b = static_cast<double>(m.assembled_stream_bytes());
+  const double mf_b = static_cast<double>(m.matrix_free_stream_bytes());
+  std::printf("modeled bytes per GMRES iteration (operator apply only):\n");
+  std::printf("  assembled SpMV  %10.3f MB  (min %10.3f MB)\n", asm_b / 1e6,
+              m.assembled_min_bytes() / 1e6);
+  std::printf("  matrix-free     %10.3f MB  (min %10.3f MB)  %.2fx less\n",
+              mf_b / 1e6, m.matrix_free_min_bytes() / 1e6, asm_b / mf_b);
 }
 
 int cmd_solve(const Args& args) {
   physics::StokesFOProblem problem(problem_config(args));
-  std::printf("mesh: %zu hexahedra, %zu dofs\n", problem.mesh().n_cells(),
-              problem.n_dofs());
-  linalg::SemicoarseningAmg amg(problem.extrusion_info());
+  const bool matrix_free =
+      problem.config().jacobian == linalg::JacobianMode::kMatrixFree;
+  std::printf("mesh: %zu hexahedra, %zu dofs (%s Jacobian)\n",
+              problem.mesh().n_cells(), problem.n_dofs(),
+              linalg::to_string(problem.config().jacobian));
+  // The semicoarsening AMG needs the assembled matrix; the matrix-free path
+  // preconditions with the 2x2 per-node blocks the operator extracts.
+  std::unique_ptr<linalg::Preconditioner> M;
+  if (matrix_free) {
+    M = std::make_unique<linalg::BlockJacobiPreconditioner>(2);
+  } else {
+    M = std::make_unique<linalg::SemicoarseningAmg>(problem.extrusion_info());
+  }
   nonlinear::NewtonConfig ncfg;
   ncfg.max_iters = static_cast<int>(args.num("steps", 8));
   ncfg.verbose = true;
+  ncfg.jacobian = problem.config().jacobian;
   nonlinear::NewtonSolver newton(ncfg);
   auto U = problem.analytic_initial_guess();
-  const auto r = newton.solve(problem, amg, U);
+  const auto r = newton.solve(problem, *M, U);
   std::printf("||F||: %.3e -> %.3e in %d steps (%zu GMRES iterations)\n",
               r.initial_norm, r.residual_norm, r.iterations,
               r.total_linear_iters);
   std::printf("mean velocity: %.6f m/yr\n", problem.mean_velocity(U));
+  print_jacobian_apply_model(problem);
   if (args.has("phases")) {
     std::printf("per-phase assembly breakdown (%s scatter):\n",
                 physics::to_string(problem.scatter_mode()));
@@ -260,6 +298,7 @@ void usage() {
       "                   [--dx-km F] [--layers N] [--steps N]\n"
       "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
       "                   [--scatter serial|colored|atomic] [--phases]\n"
+      "                   [--jacobian assembled|matrix-free]\n"
       "                   [--thermal] [--weertman] [--workset N]\n"
       "                   [--csv PATH] [--ppm PATH]\n"
       "  study            run the GPU optimization study -> markdown report\n"
