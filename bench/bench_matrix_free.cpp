@@ -12,6 +12,9 @@
 //   bench_matrix_free [--dx-km F] [--layers N] [--reps N]
 //
 // Thread count follows MALI_NUM_THREADS (default: hardware concurrency).
+// See bench_amg_matrix_free for the preconditioner side of the story:
+// block-Jacobi vs the operator-probed semicoarsening AMG on this same
+// matrix-free operator.
 
 #include <cstdio>
 #include <cstdlib>

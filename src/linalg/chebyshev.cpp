@@ -1,0 +1,129 @@
+#include "linalg/chebyshev.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+void ChebyshevSmoother::compute(const CrsMatrix& A) {
+  mat_ = &A;
+  op_ = nullptr;
+  const std::size_t n = A.n_rows();
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = A.diagonal(i);
+  finish_setup(std::move(diag));
+}
+
+void ChebyshevSmoother::compute(const LinearOperator& A) {
+  // Prefer the assembled matrix when the operator wraps one: the matrix
+  // outlives transient wrapper objects (AssembledOperator is routinely a
+  // temporary), whereas keeping &A would dangle after this call.
+  if (A.matrix() != nullptr) {
+    compute(*A.matrix());
+    return;
+  }
+  std::vector<double> diag;
+  MALI_CHECK_MSG(A.diagonal(diag),
+                 "ChebyshevSmoother: operator provides neither a diagonal "
+                 "nor an assembled matrix");
+  compute(A, std::move(diag));
+}
+
+void ChebyshevSmoother::compute(const LinearOperator& A,
+                                std::vector<double> diag) {
+  MALI_CHECK(diag.size() == A.rows());
+  op_ = &A;
+  mat_ = nullptr;
+  finish_setup(std::move(diag));
+}
+
+void ChebyshevSmoother::apply_op(const std::vector<double>& x,
+                                 std::vector<double>& y) const {
+  if (op_ != nullptr) {
+    op_->apply(x, y);
+  } else {
+    mat_->apply(x, y);
+  }
+}
+
+void ChebyshevSmoother::finish_setup(std::vector<double> diag) {
+  const std::size_t n = diag.size();
+  inv_diag_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MALI_CHECK_MSG(diag[i] != 0.0, "ChebyshevSmoother: zero diagonal entry");
+    inv_diag_[i] = 1.0 / diag[i];
+  }
+
+  // Power iteration on D^{-1} A for the dominant eigenvalue.  Deterministic
+  // pseudo-random start so repeated computes give identical smoothers.
+  std::vector<double> v(n), w(n);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  double nrm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    v[i] = static_cast<double>(s >> 11) * 0x1.0p-53 - 0.5;
+    nrm += v[i] * v[i];
+  }
+  nrm = std::sqrt(nrm);
+  MALI_CHECK(n > 0 && nrm > 0.0);
+  for (auto& x : v) x /= nrm;
+
+  double lambda = 1.0;
+  for (int it = 0; it < cfg_.power_iters; ++it) {
+    apply_op(v, w);
+    double wn = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] *= inv_diag_[i];
+      wn += w[i] * w[i];
+    }
+    wn = std::sqrt(wn);
+    if (!(wn > 0.0) || !std::isfinite(wn)) break;  // degenerate operator
+    lambda = wn;  // ||D^{-1}A v|| with ||v|| = 1
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / wn;
+  }
+  if (!std::isfinite(lambda) || lambda <= 0.0) lambda = 1.0;
+
+  lmax_ = cfg_.boost * lambda;
+  lmin_ = cfg_.lower_frac * lmax_;
+}
+
+void ChebyshevSmoother::apply(const std::vector<double>& r,
+                              std::vector<double>& z) const {
+  MALI_CHECK_MSG(!inv_diag_.empty(), "ChebyshevSmoother: compute() not called");
+  const std::size_t n = inv_diag_.size();
+  MALI_CHECK(r.size() == n);
+
+  // Standard three-term Chebyshev recurrence on the interval [lmin, lmax]
+  // of D^{-1} A (Saad, Iterative Methods, alg. 12.1), starting from z = 0.
+  const double theta = 0.5 * (lmax_ + lmin_);
+  const double delta = 0.5 * (lmax_ - lmin_);
+  const double sigma = theta / delta;
+
+  d_.resize(n);
+  z.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    d_[i] = inv_diag_[i] * r[i] / theta;
+    z[i] = d_[i];
+  }
+
+  double rho = 1.0 / sigma;
+  for (int k = 1; k < cfg_.degree; ++k) {
+    apply_op(z, tmp_);
+    res_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) res_[i] = r[i] - tmp_[i];
+    const double rho_new = 1.0 / (2.0 * sigma - rho);
+    const double c1 = rho_new * rho;
+    const double c2 = 2.0 * rho_new / delta;
+    for (std::size_t i = 0; i < n; ++i) {
+      d_[i] = c1 * d_[i] + c2 * inv_diag_[i] * res_[i];
+      z[i] += d_[i];
+    }
+    rho = rho_new;
+  }
+}
+
+}  // namespace mali::linalg

@@ -114,23 +114,39 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
       }
     }
 
-    // Solve the j x j triangular system and update x += sum y_i Z_i.
+    // Solve the j x j triangular system and update x += sum y_i Z_i.  A
+    // zero pivot means the operator annihilated part of the Krylov basis
+    // (e.g. a singular operator whose range the basis left): the direction
+    // contributes nothing to the least-squares fit, so take y = 0 there and
+    // report the breakdown through the result instead of aborting.
     std::vector<double> y(j, 0.0);
     for (std::size_t ii = j; ii-- > 0;) {
+      if (H[ii][ii] == 0.0) {
+        result.breakdown = true;
+        result.reason = "singular Hessenberg pivot (rank-deficient Krylov "
+                        "space)";
+        y[ii] = 0.0;
+        continue;
+      }
       double acc = g[ii];
       for (std::size_t k = ii + 1; k < j; ++k) acc -= H[k][ii] * y[k];
-      MALI_CHECK_MSG(H[ii][ii] != 0.0, "GMRES: singular Hessenberg");
       y[ii] = acc / H[ii][ii];
     }
     for (std::size_t ii = 0; ii < j; ++ii) axpy(y[ii], Z[ii], x);
 
-    if (result.rel_residual < cfg_.rel_tol) {
+    if (result.rel_residual < cfg_.rel_tol || result.breakdown) {
       // Confirm with the true residual (restart otherwise).
       A.apply(x, r);
       for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
       result.rel_residual = norm2(r) / bnorm;
       if (result.rel_residual < 10.0 * cfg_.rel_tol) {
         result.converged = true;
+        return result;
+      }
+      if (result.breakdown) {
+        // The Krylov space is exhausted and the residual did not converge
+        // — restarting cannot make progress.  Return the (unconverged)
+        // true residual instead of burning the iteration budget.
         return result;
       }
     }

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
@@ -24,6 +25,14 @@ struct GmresResult {
   bool converged = false;
   std::size_t iterations = 0;
   double rel_residual = 0.0;  ///< final ||b - Ax|| / ||b||
+  /// Set when the Krylov space was exhausted without convergence (e.g. a
+  /// singular Hessenberg pivot from an operator that annihilates the basis)
+  /// — the solver returns with the true residual instead of cycling to the
+  /// iteration cap or aborting; `reason` names the failed invariant.  The
+  /// benign happy breakdown (exact convergence inside a cycle) does NOT set
+  /// this flag.
+  bool breakdown = false;
+  std::string reason;
   /// Per-iteration (preconditioned) relative residual estimates — the
   /// convergence monitor solvers like Belos expose.
   std::vector<double> history;

@@ -7,6 +7,22 @@
 
 namespace mali::linalg {
 
+namespace {
+
+/// ||b - A x|| / ||b|| recomputed from scratch — breakdown exits report
+/// this instead of whatever the recurrence last produced.
+double true_rel_residual(const LinearOperator& A, const std::vector<double>& b,
+                         const std::vector<double>& x, double bnorm,
+                         std::vector<double>& scratch) {
+  A.apply(x, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    scratch[i] = b[i] - scratch[i];
+  }
+  return norm2(scratch) / bnorm;
+}
+
+}  // namespace
+
 KrylovResult ConjugateGradient::solve(const LinearOperator& A,
                                       const Preconditioner& M,
                                       const std::vector<double>& b,
@@ -31,10 +47,23 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
   p = z;
   double rz = dot(r, z);
 
+  auto fail = [&](const char* reason) {
+    result.breakdown = true;
+    result.reason = reason;
+    result.rel_residual = true_rel_residual(A, b, x, bnorm, Ap);
+    result.converged = result.rel_residual < cfg_.rel_tol;
+    return result;
+  };
+
   for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
     A.apply(p, Ap);
     const double pAp = dot(p, Ap);
-    MALI_CHECK_MSG(pAp > 0.0, "CG: matrix is not positive definite");
+    // Negative (or zero, or NaN) curvature: the operator is not positive
+    // definite, so the CG recurrences are meaningless from here on.  Report
+    // the breakdown instead of aborting the process.
+    if (!(pAp > 0.0)) {
+      return fail("indefinite operator: p^T A p <= 0");
+    }
     const double alpha = rz / pAp;
     axpy(alpha, p, x);
     axpy(-alpha, Ap, r);
@@ -50,6 +79,11 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
     }
     M.apply(r, z);
     const double rz_new = dot(r, z);
+    if (rz_new == 0.0 || !std::isfinite(rz_new)) {
+      // r != 0 but z^T r vanished: the preconditioner is not SPD on this
+      // residual and beta would be 0/0 or garbage.
+      return fail("preconditioner breakdown: z^T r == 0 with r != 0");
+    }
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
@@ -80,9 +114,21 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
   r0 = r;
   double rho = 1.0, alpha = 1.0, omega = 1.0;
 
+  // Every breakdown path reports the *true* residual at the current x —
+  // the recurrence r is stale (or x just moved) at these exits.
+  auto fail = [&](const char* reason) {
+    result.breakdown = true;
+    result.reason = reason;
+    result.rel_residual = true_rel_residual(A, b, x, bnorm, t);
+    result.converged = result.rel_residual < cfg_.rel_tol;
+    return result;
+  };
+
   for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
     const double rho_new = dot(r0, r);
-    if (rho_new == 0.0) break;  // breakdown
+    if (rho_new == 0.0) {
+      return fail("breakdown: (r0, r) == 0");
+    }
     if (it == 0) {
       p = r;
     } else {
@@ -96,7 +142,9 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
     M.apply(p, phat);
     A.apply(phat, v);
     const double r0v = dot(r0, v);
-    if (r0v == 0.0) break;
+    if (r0v == 0.0) {
+      return fail("breakdown: (r0, A M^{-1} p) == 0");
+    }
     alpha = rho / r0v;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
 
@@ -111,7 +159,12 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
     M.apply(s, shat);
     A.apply(shat, t);
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0) {
+      // Commit the alpha half-step (it is what the true residual reflects)
+      // before reporting.
+      axpy(alpha, phat, x);
+      return fail("breakdown: ||A M^{-1} s|| == 0");
+    }
     omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * phat[i] + omega * shat[i];
@@ -126,7 +179,9 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
       result.converged = true;
       return result;
     }
-    if (omega == 0.0) break;
+    if (omega == 0.0) {
+      return fail("breakdown: omega == 0 (stabilizer stalled)");
+    }
   }
   return result;
 }

@@ -2,8 +2,17 @@
 // Additional Krylov solvers: preconditioned conjugate gradients (for the
 // SPD systems that arise in diagnostic solves) and BiCGStab (a low-memory
 // alternative to restarted GMRES for the nonsymmetric Jacobians).
+//
+// Failure contract: on well-formed inputs (square operator, size-consistent
+// right-hand side) `solve()` never aborts the process.  Algorithmic
+// breakdowns — indefinite operators in CG, the classic BiCGStab
+// orthogonality breakdowns — are reported through `KrylovResult`: the
+// `breakdown` flag is set, `reason` names the failed invariant, and
+// `rel_residual` is the *true* relative residual ||b - A x|| / ||b|| at the
+// returned iterate (never a stale recurrence value).
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
@@ -22,6 +31,12 @@ struct KrylovResult {
   bool converged = false;
   std::size_t iterations = 0;
   double rel_residual = 0.0;
+  /// True when the iteration stopped on an algorithmic breakdown (e.g. CG
+  /// on an indefinite operator, BiCGStab orthogonality collapse) rather
+  /// than convergence or the iteration cap; `reason` says which.  A
+  /// breakdown at an already-converged iterate still sets `converged`.
+  bool breakdown = false;
+  std::string reason;
 };
 
 /// Preconditioned conjugate gradients; requires A SPD and M SPD.

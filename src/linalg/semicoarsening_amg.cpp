@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 
+#include "linalg/operator_probing.hpp"
 #include "portability/common.hpp"
 
 namespace mali::linalg {
@@ -56,6 +58,34 @@ SemicoarseningAmg::SemicoarseningAmg(ExtrusionInfo info, AmgConfig cfg)
 }
 
 void SemicoarseningAmg::compute(const CrsMatrix& A) {
+  fine_op_ = nullptr;
+  probe_applies_ = 0;
+  build_hierarchy(CrsMatrix(A));
+  setup_smoothers();
+}
+
+void SemicoarseningAmg::compute(const LinearOperator& A) {
+  if (A.matrix() != nullptr) {
+    compute(*A.matrix());
+    return;
+  }
+  // Matrix-free: reconstruct the fine matrix by colored probing — a
+  // constant 27 * dofs_per_node operator applies on the extruded lattice —
+  // then reuse the assembled hierarchy build verbatim.
+  fine_op_ = nullptr;
+  const StructuredProbing probing(info_);
+  CrsMatrix probed = probing.probe(A);
+  probe_applies_ = probing.n_probes();
+  build_hierarchy(std::move(probed));
+  // With the Chebyshev smoother the fine level stays fully matrix-free:
+  // level-0 smoothing and residuals go through the live operator (it must
+  // outlive every apply() until the next compute()); the probed matrix is
+  // then only streamed once per setup, during the Galerkin build.
+  if (cfg_.smoother == AmgSmoother::kChebyshev) fine_op_ = &A;
+  setup_smoothers();
+}
+
+void SemicoarseningAmg::build_hierarchy(CrsMatrix A_fine) {
   levels_.clear();
   use_direct_coarse_ = false;
 
@@ -70,7 +100,7 @@ void SemicoarseningAmg::compute(const CrsMatrix& A) {
   MALI_CHECK(col_x.size() == n_columns && col_y.size() == n_columns);
 
   levels_.emplace_back();
-  levels_.back().A = A;
+  levels_.back().A = std::move(A_fine);
 
   for (int l = 0; l + 1 < cfg_.max_levels; ++l) {
     Level& fine = levels_.back();
@@ -149,9 +179,6 @@ void SemicoarseningAmg::compute(const CrsMatrix& A) {
     }
   }
 
-  // Smoothers on every level; direct solve on the coarsest if small enough.
-  for (auto& lvl : levels_) lvl.smoother.compute(lvl.A);
-
   const CrsMatrix& Ac = levels_.back().A;
   const std::size_t coarse_n = Ac.n_rows();
   if (coarse_n <= cfg_.coarse_max_dofs) {
@@ -166,6 +193,40 @@ void SemicoarseningAmg::compute(const CrsMatrix& A) {
       }
     }
     coarse_lu_.factor(std::move(dense));
+  }
+}
+
+void SemicoarseningAmg::setup_smoothers() {
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    Level& lvl = levels_[l];
+    if (cfg_.smoother == AmgSmoother::kChebyshev) {
+      auto cheb = std::make_unique<ChebyshevSmoother>(cfg_.cheb);
+      if (l == 0 && fine_op_ != nullptr) {
+        // Matrix-free fine level: operator applies + probed diagonal only.
+        const std::size_t n = lvl.A.n_rows();
+        std::vector<double> diag(n);
+        for (std::size_t i = 0; i < n; ++i) diag[i] = lvl.A.diagonal(i);
+        cheb->compute(*fine_op_, std::move(diag));
+      } else {
+        cheb->compute(lvl.A);
+      }
+      lvl.smoother = std::move(cheb);
+    } else {
+      auto sgs = std::make_unique<SymGaussSeidelPreconditioner>(
+          cfg_.pre_sweeps);
+      sgs->compute(lvl.A);
+      lvl.smoother = std::move(sgs);
+    }
+  }
+}
+
+void SemicoarseningAmg::level_apply(std::size_t l,
+                                    const std::vector<double>& x,
+                                    std::vector<double>& y) const {
+  if (l == 0 && fine_op_ != nullptr) {
+    fine_op_->apply(x, y);
+  } else {
+    levels_[l].A.apply(x, y);
   }
 }
 
@@ -187,11 +248,11 @@ void SemicoarseningAmg::vcycle(std::size_t l, const std::vector<double>& r,
   }
 
   // Pre-smooth.
-  lvl.smoother.apply(r, z);
+  lvl.smoother->apply(r, z);
 
   // Residual and restriction (P^T = sum over aggregate members).
   lvl.tmp.resize(n);
-  lvl.A.apply(z, lvl.tmp);
+  level_apply(l, z, lvl.tmp);
   lvl.r.resize(n);
   for (std::size_t i = 0; i < n; ++i) lvl.r[i] = r[i] - lvl.tmp[i];
   lvl.rc.assign(lvl.n_coarse, 0.0);
@@ -202,11 +263,11 @@ void SemicoarseningAmg::vcycle(std::size_t l, const std::vector<double>& r,
   vcycle(l + 1, lvl.rc, lvl.zc);
   for (std::size_t i = 0; i < n; ++i) z[i] += lvl.zc[lvl.agg[i]];
 
-  // Post-smooth: one more SGS pass on the residual equation.
-  lvl.A.apply(z, lvl.tmp);
+  // Post-smooth: one more smoother pass on the residual equation.
+  level_apply(l, z, lvl.tmp);
   for (std::size_t i = 0; i < n; ++i) lvl.r[i] = r[i] - lvl.tmp[i];
   lvl.z.resize(n);
-  lvl.smoother.apply(lvl.r, lvl.z);
+  lvl.smoother->apply(lvl.r, lvl.z);
   for (std::size_t i = 0; i < n; ++i) z[i] += lvl.z[i];
 }
 

@@ -10,18 +10,35 @@
 // column has collapsed to a single node, then switches to 2x2 horizontal
 // aggregation of columns — exactly the structure-exploiting strategy of the
 // paper's preconditioner.  Galerkin coarse operators (A_c = P^T A P with
-// piecewise-constant P), symmetric Gauss–Seidel smoothing, and a dense LU
-// coarse solve complete the V-cycle.
+// piecewise-constant P), symmetric Gauss–Seidel or Chebyshev smoothing, and
+// a dense LU coarse solve complete the V-cycle.
+//
+// The preconditioner is consumable from either side of the Jacobian split:
+//  * compute(const CrsMatrix&) — the classic assembled path;
+//  * compute(const LinearOperator&) — unwraps A.matrix() when one exists;
+//    otherwise the fine matrix is *probed* from operator applies via the
+//    structure-aware coloring of linalg::StructuredProbing (a constant
+//    27 * dofs_per_node applies), and the usual Galerkin hierarchy is built
+//    on the probed matrix.  With the Chebyshev smoother the fine level then
+//    stays fully matrix-free: level-0 smoothing and residuals run through
+//    the operator, and the probed matrix is only streamed during setup.
+// See DESIGN.md §10 for the operator-probing contract.
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "linalg/chebyshev.hpp"
 #include "linalg/crs_matrix.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/preconditioner.hpp"
 
 namespace mali::linalg {
+
+enum class AmgSmoother {
+  kSgs,        ///< symmetric Gauss–Seidel (needs the level matrix)
+  kChebyshev,  ///< diagonal + operator applies only (matrix-free capable)
+};
 
 struct AmgConfig {
   int max_levels = 12;
@@ -29,10 +46,21 @@ struct AmgConfig {
   int pre_sweeps = 1;
   int post_sweeps = 1;
   int coarse_sgs_sweeps = 40;  ///< fallback if the coarsest level stays large
+  AmgSmoother smoother = AmgSmoother::kSgs;
+  ChebyshevConfig cheb{};  ///< Chebyshev smoother parameters
 };
 
-/// Mesh structure the semicoarsening needs: which column and vertical level
-/// each node belongs to, plus column coordinates for the horizontal phase.
+/// Mesh structure the semicoarsening (and the operator probing) needs:
+/// which column and vertical level each node belongs to, plus column
+/// coordinates for the horizontal phase.
+///
+/// Layout contract: node ids follow the extruded layout
+///   node = column * levels + level
+/// (levels fastest within a column — exactly mesh::ExtrudedMesh::node_id),
+/// dofs are grouped per node as dof = node * dofs_per_node + component, and
+/// column_x/column_y place each column on a dx-spaced lattice (holes from
+/// the ice mask are fine; duplicate lattice sites are not).  Both the
+/// hierarchy build and StructuredProbing rely on this contract.
 struct ExtrusionInfo {
   std::size_t n_nodes = 0;
   std::size_t levels = 0;            ///< vertical levels per column
@@ -40,16 +68,19 @@ struct ExtrusionInfo {
   std::vector<double> column_x;      ///< per column
   std::vector<double> column_y;
   double dx = 1.0;                   ///< horizontal spacing
-  /// node id -> (column, level); defaults to the extruded layout
-  /// node = column * levels + level.
 };
 
 class SemicoarseningAmg final : public Preconditioner {
  public:
   SemicoarseningAmg(ExtrusionInfo info, AmgConfig cfg = {});
 
-  using Preconditioner::compute;  // operator form: requires A.matrix()
   void compute(const CrsMatrix& A) override;
+  /// Operator form: unwraps A.matrix() when assembled; probes the fine
+  /// matrix from operator applies otherwise (see StructuredProbing).  When
+  /// the Chebyshev smoother is configured the operator is also kept for
+  /// matrix-free level-0 smoothing/residuals — it must then outlive every
+  /// subsequent apply() until the next compute().
+  void compute(const LinearOperator& A) override;
   void apply(const std::vector<double>& r,
              std::vector<double>& z) const override;
   [[nodiscard]] const char* name() const override {
@@ -62,23 +93,53 @@ class SemicoarseningAmg final : public Preconditioner {
   [[nodiscard]] std::size_t level_dofs(std::size_t l) const {
     return levels_[l].A.n_rows();
   }
+  [[nodiscard]] std::size_t level_nnz(std::size_t l) const {
+    return levels_[l].A.nnz();
+  }
+
+  /// Operator applies the last compute() spent probing the fine matrix
+  /// (0 on the assembled path).
+  [[nodiscard]] std::size_t probe_applies() const noexcept {
+    return probe_applies_;
+  }
+  /// True when level-0 smoothing/residuals go through the live operator
+  /// instead of the probed matrix.
+  [[nodiscard]] bool fine_matrix_free() const noexcept {
+    return fine_op_ != nullptr;
+  }
+  /// The fine-level matrix the hierarchy was built on (assembled copy or
+  /// probed reconstruction).
+  [[nodiscard]] const CrsMatrix& fine_matrix() const {
+    MALI_CHECK_MSG(!levels_.empty(), "AMG: compute() not called");
+    return levels_.front().A;
+  }
 
  private:
   struct Level {
     CrsMatrix A;
     std::vector<std::size_t> agg;  ///< fine dof -> coarse dof (next level)
     std::size_t n_coarse = 0;
-    SymGaussSeidelPreconditioner smoother;
+    std::unique_ptr<Preconditioner> smoother;
     // scratch for the V-cycle
     mutable std::vector<double> r, z, rc, zc, tmp;
   };
 
+  void build_hierarchy(CrsMatrix A_fine);
+  void setup_smoothers();
+  /// y = A_l x, through the live operator on a matrix-free fine level.
+  void level_apply(std::size_t l, const std::vector<double>& x,
+                   std::vector<double>& y) const;
   void vcycle(std::size_t l, const std::vector<double>& r,
               std::vector<double>& z) const;
 
   ExtrusionInfo info_;
   AmgConfig cfg_;
   std::vector<Level> levels_;
+
+  /// Live operator for matrix-free level-0 work (Chebyshev + probed path
+  /// only); nullptr on the assembled path.  Not owned.
+  const LinearOperator* fine_op_ = nullptr;
+  std::size_t probe_applies_ = 0;
 
   // Dense LU coarse solve.
   DenseLu coarse_lu_;

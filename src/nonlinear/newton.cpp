@@ -63,6 +63,21 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
     const auto lin = matrix_free ? gmres.solve(*op, M, rhs, dU)
                                  : gmres.solve(J, M, rhs, dU);
     result.total_linear_iters += lin.iterations;
+    // Record (instead of silently ignoring) inner solves that missed their
+    // tolerance; the inexact step is still attempted — the line search
+    // below is the safety net — but callers can see the failure.
+    if (!lin.converged) {
+      ++result.linear_failures;
+      result.any_linear_failure = true;
+      if (cfg_.verbose) {
+        std::printf(
+            "newton step %2d  WARNING: linear solve failed (%zu iters, rel "
+            "res %.2e%s%s)\n",
+            it + 1, lin.iterations, lin.rel_residual,
+            lin.breakdown ? ", breakdown: " : "",
+            lin.breakdown ? lin.reason.c_str() : "");
+      }
+    }
 
     // Damped update with backtracking on ||F||.
     double damping = 1.0;
@@ -76,6 +91,18 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
         break;
       }
       damping *= 0.5;
+    }
+    // Damping bottomed out without a decrease: the direction is not a
+    // descent direction for ||F|| (bad linear solve or bad linearization).
+    if (cfg_.line_search && damping <= cfg_.min_damping &&
+        trial_norm >= fnorm) {
+      result.line_search_stalled = true;
+      if (cfg_.verbose) {
+        std::printf(
+            "newton step %2d  WARNING: line search stalled at damping %.4f "
+            "(||F|| %.3e -> %.3e)\n",
+            it + 1, damping, fnorm, trial_norm);
+      }
     }
 
     U = U_trial;

@@ -60,6 +60,18 @@ struct NewtonResult {
   double residual_norm = 0.0;
   double initial_norm = 0.0;
   std::size_t total_linear_iters = 0;
+  /// Newton steps whose inner linear solve did NOT reach its tolerance
+  /// (GMRES hit the iteration cap or broke down).  The step is still taken
+  /// — an inexact Newton direction is often usable — but the failure is
+  /// recorded here instead of being silently ignored.
+  int linear_failures = 0;
+  /// True iff linear_failures > 0 at exit (convenience flag).
+  bool any_linear_failure = false;
+  /// True when the backtracking line search bottomed out at min_damping
+  /// without finding a residual decrease on some step — the classic sign of
+  /// a bad Newton direction (e.g. from a failed linear solve) or a
+  /// non-descent linearization.
+  bool line_search_stalled = false;
   std::vector<double> history;  ///< ||F|| after each step
 };
 

@@ -128,4 +128,91 @@ struct JacobianApplyModel {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Operator-probed MDSC-AMG data movement: what making the production
+// preconditioner consumable by the matrix-free path costs and saves.
+//
+// Setup pays a constant number of probe operator applies (27 * dofs/node on
+// the extruded lattice) plus one stream of each level's CRS matrix for the
+// Galerkin build; that cost is amortized over every GMRES iteration of the
+// Newton step.  Per V-cycle, each level streams its matrix once per
+// smoother sweep and once per residual — except a matrix-free fine level
+// (Chebyshev smoother), where level-0 work runs through the operator apply
+// and the probed matrix is never streamed after setup.
+// ---------------------------------------------------------------------------
+
+/// Byte model for the probed-AMG setup and V-cycle on the FO Stokes mesh.
+struct AmgCycleModel {
+  /// Bytes of one fine operator apply (JacobianApplyModel::
+  /// matrix_free_stream_bytes(), or assembled_stream_bytes() when the fine
+  /// operator is an assembled SpMV).
+  std::size_t fine_apply_bytes = 0;
+  std::size_t probe_applies = 0;       ///< colored probe applies at setup
+  std::vector<std::size_t> level_rows; ///< dofs per level (0 = fine)
+  std::vector<std::size_t> level_nnz;  ///< CRS nonzeros per level
+  int pre_sweeps = 1;
+  int post_sweeps = 1;
+  /// Operator applies per Chebyshev smoother application (SGS streams the
+  /// level matrix twice per sweep instead).
+  int cheb_degree = 3;
+  /// True when level-0 smoothing/residuals run through the live operator
+  /// (probed + Chebyshev mode) instead of streaming the probed matrix.
+  bool fine_matrix_free = false;
+  static constexpr std::size_t kIdx = sizeof(std::size_t);
+  static constexpr std::size_t kVal = sizeof(double);
+
+  /// One CRS stream of level l (values + columns + row pointer + in/out
+  /// vectors) — the SpMV traffic a smoother sweep or residual pays.
+  [[nodiscard]] std::size_t level_stream_bytes(std::size_t l) const {
+    return level_nnz[l] * (kVal + kIdx) + (level_rows[l] + 1) * kIdx +
+           2 * level_rows[l] * kVal;
+  }
+
+  /// Bytes one application of level l's smoother moves.
+  [[nodiscard]] std::size_t smoother_bytes(std::size_t l) const {
+    const std::size_t apply =
+        (l == 0 && fine_matrix_free) ? fine_apply_bytes
+                                     : level_stream_bytes(l);
+    if (fine_matrix_free) {
+      // Chebyshev: degree operator applies + the diagonal/vector work.
+      return static_cast<std::size_t>(cheb_degree) * apply +
+             3 * level_rows[l] * kVal;
+    }
+    // SGS: forward + backward sweep each stream the matrix once.
+    return 2 * apply;
+  }
+
+  /// Bytes one apply of level l pays for the residual r = b - A z.
+  [[nodiscard]] std::size_t residual_bytes(std::size_t l) const {
+    return (l == 0 && fine_matrix_free) ? fine_apply_bytes
+                                        : level_stream_bytes(l);
+  }
+
+  /// Setup traffic: the probe applies plus one Galerkin stream per level
+  /// (each coarse matrix is built by streaming the finer one once).
+  [[nodiscard]] std::size_t setup_bytes() const {
+    std::size_t b = probe_applies * fine_apply_bytes;
+    for (std::size_t l = 0; l < level_nnz.size(); ++l) {
+      b += level_stream_bytes(l);
+    }
+    return b;
+  }
+
+  /// One V-cycle: per non-coarsest level, pre/post smoothing plus two
+  /// residual computations and the (vector-sized) transfer traffic; the
+  /// coarsest level is one matrix stream (dense solve or SGS fallback on a
+  /// level sized coarse_max_dofs, negligible either way).
+  [[nodiscard]] std::size_t vcycle_bytes() const {
+    if (level_nnz.empty()) return 0;
+    std::size_t b = 0;
+    for (std::size_t l = 0; l + 1 < level_nnz.size(); ++l) {
+      b += static_cast<std::size_t>(pre_sweeps + post_sweeps) *
+               smoother_bytes(l) +
+           2 * residual_bytes(l) + 4 * level_rows[l] * kVal;
+    }
+    b += level_stream_bytes(level_nnz.size() - 1);
+    return b;
+  }
+};
+
 }  // namespace mali::perf

@@ -281,6 +281,37 @@ TEST(GmresBreakdown, SurvivesRestartBoundary) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Newton linear-failure recording on the real problem.
+// ---------------------------------------------------------------------------
+
+TEST(Jfnk, RecordsLinearFailuresWhenGmresBudgetIsCrippled) {
+  // Two GMRES iterations per Newton step cannot reach 1e-6 on the FO
+  // Jacobian under block-Jacobi: every inner solve misses its tolerance.
+  // The step is still attempted (inexact Newton), but each failure must be
+  // recorded — previously lin.converged was dropped on the floor.
+  StokesFOProblem p(mms_config(linalg::JacobianMode::kMatrixFree));
+  linalg::BlockJacobiPreconditioner M(2);
+  nonlinear::NewtonConfig ncfg;
+  ncfg.jacobian = linalg::JacobianMode::kMatrixFree;
+  ncfg.max_iters = 2;
+  ncfg.gmres.max_iters = 2;
+  const nonlinear::NewtonSolver newton(ncfg);
+  std::vector<double> U(p.n_dofs(), 0.0);
+  const auto r = newton.solve(p, M, U);
+  EXPECT_GE(r.linear_failures, 1);
+  EXPECT_TRUE(r.any_linear_failure);
+  EXPECT_EQ(r.linear_failures, r.iterations);
+}
+
+TEST(Jfnk, HealthyRunRecordsNoFailures) {
+  const auto out = run_mms(linalg::JacobianMode::kMatrixFree);
+  ASSERT_TRUE(out.newton.converged);
+  EXPECT_EQ(out.newton.linear_failures, 0);
+  EXPECT_FALSE(out.newton.any_linear_failure);
+  EXPECT_FALSE(out.newton.line_search_stalled);
+}
+
 TEST(GmresBreakdown, MatrixPathStillAgrees) {
   // The CrsMatrix overload routes through the same operator code path; a
   // diagonal CRS with repeated eigenvalues must behave identically.

@@ -83,14 +83,28 @@ TEST(ConjugateGradient, FiniteTerminationOnSmallSystem) {
   EXPECT_LE(r.iterations, 13u);
 }
 
-TEST(ConjugateGradient, RejectsIndefiniteMatrix) {
+// An indefinite operator must NOT abort the run: the solver reports the
+// breakdown (p^T A p <= 0) through the result and returns the true residual
+// of whatever iterate it had.  (test_krylov_failures exercises the full
+// failure-contract matrix.)
+TEST(ConjugateGradient, ReportsBreakdownOnIndefiniteMatrix) {
   std::vector<std::size_t> rp{0, 1, 2}, cols{0, 1};
   CrsMatrix A(rp, cols);
   A.set(0, 0, 1.0);
   A.set(1, 1, -1.0);  // indefinite
   IdentityPreconditioner M;
   std::vector<double> b = {1.0, 1.0}, x;
-  EXPECT_THROW(ConjugateGradient().solve(A, M, b, x), mali::Error);
+  KrylovResult r;
+  EXPECT_NO_THROW(r = ConjugateGradient().solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_FALSE(r.reason.empty());
+  // The reported residual is the true ||b - A x|| / ||b|| at exit.
+  std::vector<double> Ax;
+  A.apply(x, Ax);
+  const double true_rel =
+      std::hypot(b[0] - Ax[0], b[1] - Ax[1]) / std::hypot(b[0], b[1]);
+  EXPECT_NEAR(r.rel_residual, true_rel, 1e-14);
 }
 
 TEST(BiCgStab, SolvesNonsymmetricSystem) {

@@ -95,12 +95,45 @@ physics::StokesFOConfig problem_config(const Args& args) {
   // Jacobian representation (assembled | matrix-free).
   cfg.jacobian =
       linalg::jacobian_mode_from_string(args.str("jacobian", "assembled"));
+  // Manufactured-solution mode (verification runs and the AMG equivalence
+  // checks use it).
+  if (args.has("mms")) cfg.mms.enabled = true;
   return cfg;
 }
 
-/// Modeled HBM traffic of one Jacobian apply (y = J x) in both modes, per
-/// perf::JacobianApplyModel — the bytes a GMRES iteration streams.
-void print_jacobian_apply_model(physics::StokesFOProblem& problem) {
+/// The preconditioner named by --precond.  All three are consumable from
+/// both Jacobian modes: the AMG probes the fine matrix from operator
+/// applies on the matrix-free path.  The default SGS smoother runs on the
+/// probed matrix, reproducing the assembled+AMG GMRES counts exactly;
+/// --smoother chebyshev keeps level 0 fully matrix-free instead (operator
+/// applies + probed diagonal, the probed matrix never streamed after
+/// setup) at a modest iteration-count premium.
+std::unique_ptr<linalg::Preconditioner> make_preconditioner(
+    const Args& args, const physics::StokesFOProblem& problem) {
+  const std::string precond = args.str("precond", "amg");
+  if (precond == "jacobi") {
+    return std::make_unique<linalg::JacobiPreconditioner>();
+  }
+  if (precond == "block-jacobi") {
+    return std::make_unique<linalg::BlockJacobiPreconditioner>(2);
+  }
+  MALI_CHECK_MSG(precond == "amg", "unknown --precond: " + precond +
+                                       " (jacobi | block-jacobi | amg)");
+  linalg::AmgConfig acfg;
+  const std::string smoother = args.str("smoother", "sgs");
+  if (smoother == "chebyshev") {
+    acfg.smoother = linalg::AmgSmoother::kChebyshev;
+  } else {
+    MALI_CHECK_MSG(smoother == "sgs", "unknown --smoother: " + smoother +
+                                          " (sgs | chebyshev)");
+  }
+  return std::make_unique<linalg::SemicoarseningAmg>(problem.extrusion_info(),
+                                                     acfg);
+}
+
+/// perf::JacobianApplyModel filled in from the problem's mesh/graph sizes.
+perf::JacobianApplyModel jacobian_apply_model(
+    physics::StokesFOProblem& problem) {
   perf::JacobianApplyModel m;
   m.n_rows = problem.n_dofs();
   m.nnz = problem.create_matrix().nnz();  // graph only, never assembled
@@ -109,6 +142,13 @@ void print_jacobian_apply_model(physics::StokesFOProblem& problem) {
   m.num_nodes = problem.workset().num_nodes;
   m.n_basal_faces =
       problem.config().mms.enabled ? 0 : problem.mesh().base().n_cells();
+  return m;
+}
+
+/// Modeled HBM traffic of one Jacobian apply (y = J x) in both modes, per
+/// perf::JacobianApplyModel — the bytes a GMRES iteration streams.
+void print_jacobian_apply_model(physics::StokesFOProblem& problem) {
+  const perf::JacobianApplyModel m = jacobian_apply_model(problem);
   const double asm_b = static_cast<double>(m.assembled_stream_bytes());
   const double mf_b = static_cast<double>(m.matrix_free_stream_bytes());
   std::printf("modeled bytes per GMRES iteration (operator apply only):\n");
@@ -118,6 +158,30 @@ void print_jacobian_apply_model(physics::StokesFOProblem& problem) {
               mf_b / 1e6, m.matrix_free_min_bytes() / 1e6, asm_b / mf_b);
 }
 
+/// Modeled probe-setup and V-cycle traffic of the semicoarsening AMG, per
+/// perf::AmgCycleModel — what the operator-probed preconditioner costs at
+/// setup and what each application streams.
+void print_amg_cycle_model(physics::StokesFOProblem& problem,
+                           const linalg::SemicoarseningAmg& amg,
+                           bool matrix_free) {
+  const perf::JacobianApplyModel j = jacobian_apply_model(problem);
+  perf::AmgCycleModel m;
+  m.fine_apply_bytes = matrix_free ? j.matrix_free_stream_bytes()
+                                   : j.assembled_stream_bytes();
+  m.probe_applies = amg.probe_applies();
+  m.fine_matrix_free = amg.fine_matrix_free();
+  for (std::size_t l = 0; l < amg.n_levels(); ++l) {
+    m.level_rows.push_back(amg.level_dofs(l));
+    m.level_nnz.push_back(amg.level_nnz(l));
+  }
+  std::printf(
+      "modeled AMG traffic (%zu levels, %s fine level):\n"
+      "  setup  %10.3f MB  (%zu probe applies + Galerkin streams)\n"
+      "  V-cycle %9.3f MB per application\n",
+      amg.n_levels(), m.fine_matrix_free ? "matrix-free" : "assembled",
+      m.setup_bytes() / 1e6, m.probe_applies, m.vcycle_bytes() / 1e6);
+}
+
 int cmd_solve(const Args& args) {
   physics::StokesFOProblem problem(problem_config(args));
   const bool matrix_free =
@@ -125,14 +189,11 @@ int cmd_solve(const Args& args) {
   std::printf("mesh: %zu hexahedra, %zu dofs (%s Jacobian)\n",
               problem.mesh().n_cells(), problem.n_dofs(),
               linalg::to_string(problem.config().jacobian));
-  // The semicoarsening AMG needs the assembled matrix; the matrix-free path
-  // preconditions with the 2x2 per-node blocks the operator extracts.
-  std::unique_ptr<linalg::Preconditioner> M;
-  if (matrix_free) {
-    M = std::make_unique<linalg::BlockJacobiPreconditioner>(2);
-  } else {
-    M = std::make_unique<linalg::SemicoarseningAmg>(problem.extrusion_info());
-  }
+  // Every preconditioner works under either Jacobian mode; the AMG probes
+  // its fine matrix from operator applies on the matrix-free path.
+  std::unique_ptr<linalg::Preconditioner> M =
+      make_preconditioner(args, problem);
+  std::printf("preconditioner: %s\n", M->name());
   nonlinear::NewtonConfig ncfg;
   ncfg.max_iters = static_cast<int>(args.num("steps", 8));
   ncfg.verbose = true;
@@ -143,8 +204,20 @@ int cmd_solve(const Args& args) {
   std::printf("||F||: %.3e -> %.3e in %d steps (%zu GMRES iterations)\n",
               r.initial_norm, r.residual_norm, r.iterations,
               r.total_linear_iters);
+  if (r.linear_failures > 0) {
+    std::printf("WARNING: %d Newton step(s) took an inexact direction (inner "
+                "GMRES missed its tolerance)\n",
+                r.linear_failures);
+  }
+  if (r.line_search_stalled) {
+    std::printf("WARNING: line search stalled at minimum damping on at least "
+                "one step\n");
+  }
   std::printf("mean velocity: %.6f m/yr\n", problem.mean_velocity(U));
   print_jacobian_apply_model(problem);
+  if (const auto* amg = dynamic_cast<const linalg::SemicoarseningAmg*>(M.get())) {
+    print_amg_cycle_model(problem, *amg, matrix_free);
+  }
   if (args.has("phases")) {
     std::printf("per-phase assembly breakdown (%s scatter):\n",
                 physics::to_string(problem.scatter_mode()));
@@ -299,6 +372,8 @@ void usage() {
       "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
       "                   [--scatter serial|colored|atomic] [--phases]\n"
       "                   [--jacobian assembled|matrix-free]\n"
+      "                   [--precond jacobi|block-jacobi|amg]\n"
+      "                   [--smoother sgs|chebyshev] [--mms]\n"
       "                   [--thermal] [--weertman] [--workset N]\n"
       "                   [--csv PATH] [--ppm PATH]\n"
       "  study            run the GPU optimization study -> markdown report\n"
