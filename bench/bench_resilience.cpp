@@ -1,0 +1,99 @@
+// Guard-decorator overhead: the NaN/Inf validation the resilience layer
+// wraps around every residual evaluation and operator apply is a pure
+// streaming scan of the output vector, so it must stay a small fraction of
+// the evaluation it guards.  This bench times raw vs guarded residual
+// evaluations and Jacobian-operator applies on the FO Stokes problem and
+// reports the relative overhead.
+//
+//   ./bench_resilience [--dx-km=F] [--layers=N] [--reps=N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "resilience/guards.hpp"
+
+using namespace mali;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double dx_km = 128.0;
+  int layers = 6, reps = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dx-km=", 8) == 0) dx_km = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--layers=", 9) == 0) layers = std::atoi(argv[i] + 9);
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
+  }
+
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = dx_km * 1e3;
+  cfg.n_layers = layers;
+  physics::StokesFOProblem problem(cfg);
+  resilience::GuardedProblem guarded(problem);
+
+  const std::size_t n = problem.n_dofs();
+  std::vector<double> U = problem.analytic_initial_guess();
+  std::vector<double> F(n), x(n, 1.0), y(n);
+  std::printf("guard overhead on %zu dofs (%d reps each)\n\n", n, reps);
+  std::printf("%-28s %12s %12s %9s\n", "phase", "raw [ms]", "guarded [ms]",
+              "overhead");
+
+  // Residual evaluations.
+  problem.residual(U, F);  // warm up
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) problem.residual(U, F);
+  const double t_raw_res = seconds_since(t0) / reps;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) guarded.residual(U, F);
+  const double t_grd_res = seconds_since(t0) / reps;
+  std::printf("%-28s %12.3f %12.3f %+8.2f%%\n", "residual", t_raw_res * 1e3,
+              t_grd_res * 1e3, 100.0 * (t_grd_res / t_raw_res - 1.0));
+
+  // Jacobian-operator applies (the matrix-free GMRES inner loop).
+  auto op_raw = problem.jacobian_operator(U);
+  auto op_grd = guarded.jacobian_operator(U);
+  op_raw->apply(x, y);  // warm up
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) op_raw->apply(x, y);
+  const double t_raw_op = seconds_since(t0) / reps;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) op_grd->apply(x, y);
+  const double t_grd_op = seconds_since(t0) / reps;
+  std::printf("%-28s %12.3f %12.3f %+8.2f%%\n", "jacobian-operator apply",
+              t_raw_op * 1e3, t_grd_op * 1e3,
+              100.0 * (t_grd_op / t_raw_op - 1.0));
+
+  // Assembled residual+Jacobian (the heaviest guarded phase: the guard
+  // additionally scans the nnz values array).
+  auto J = problem.create_matrix();
+  J.set_zero();
+  problem.residual_and_jacobian(U, F, J);  // warm up
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    J.set_zero();
+    problem.residual_and_jacobian(U, F, J);
+  }
+  const double t_raw_jac = seconds_since(t0) / reps;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    J.set_zero();
+    guarded.residual_and_jacobian(U, F, J);
+  }
+  const double t_grd_jac = seconds_since(t0) / reps;
+  std::printf("%-28s %12.3f %12.3f %+8.2f%%\n", "residual+jacobian",
+              t_raw_jac * 1e3, t_grd_jac * 1e3,
+              100.0 * (t_grd_jac / t_raw_jac - 1.0));
+  return 0;
+}

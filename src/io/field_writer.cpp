@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 
 #include "portability/common.hpp"
@@ -124,6 +125,67 @@ void write_node_csv(const std::string& path, const mesh::QuadGrid& grid,
     os << '\n';
   }
   MALI_CHECK_MSG(os.good(), "write failed: " + path);
+}
+
+// ---- solver checkpoint files -----------------------------------------
+
+namespace {
+constexpr char kCkptMagic[8] = {'M', 'A', 'L', 'I', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kCkptVersion = 1;
+
+template <class T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+void get(std::ifstream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+}  // namespace
+
+void write_solver_checkpoint(const std::string& path,
+                             const std::vector<double>& U,
+                             double residual_norm, double parameter,
+                             int newton_step) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MALI_CHECK_MSG(os.good(), "cannot open checkpoint file: " + path);
+  os.write(kCkptMagic, sizeof(kCkptMagic));
+  put(os, kCkptVersion);
+  put(os, static_cast<std::int32_t>(newton_step));
+  put(os, residual_norm);
+  put(os, parameter);
+  put(os, static_cast<std::uint64_t>(U.size()));
+  os.write(reinterpret_cast<const char*>(U.data()),
+           static_cast<std::streamsize>(U.size() * sizeof(double)));
+  MALI_CHECK_MSG(os.good(), "checkpoint write failed: " + path);
+}
+
+void read_solver_checkpoint(const std::string& path, std::vector<double>& U,
+                            double& residual_norm, double& parameter,
+                            int& newton_step) {
+  std::ifstream is(path, std::ios::binary);
+  MALI_CHECK_MSG(is.good(), "cannot open checkpoint file: " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  MALI_CHECK_MSG(is.good() && std::equal(magic, magic + 8, kCkptMagic),
+                 "not a MALI checkpoint file: " + path);
+  std::uint32_t version = 0;
+  get(is, version);
+  MALI_CHECK_MSG(version == kCkptVersion,
+                 "unsupported checkpoint version in " + path);
+  std::int32_t step = 0;
+  get(is, step);
+  get(is, residual_norm);
+  get(is, parameter);
+  std::uint64_t n = 0;
+  get(is, n);
+  MALI_CHECK_MSG(is.good(), "truncated checkpoint header: " + path);
+  U.resize(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(U.data()),
+          static_cast<std::streamsize>(U.size() * sizeof(double)));
+  MALI_CHECK_MSG(is.good(), "truncated checkpoint payload: " + path);
+  newton_step = static_cast<int>(step);
 }
 
 }  // namespace mali::io

@@ -32,6 +32,12 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
     result.converged = true;
     return result;
   }
+  if (!std::isfinite(bnorm)) {
+    result.breakdown = true;
+    result.reason = "non-finite right-hand side norm";
+    result.rel_residual = bnorm;
+    return result;
+  }
 
   const std::size_t m = cfg_.restart;
   std::vector<std::vector<double>> V(m + 1);
@@ -48,6 +54,15 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     double beta = norm2(r);
     result.rel_residual = beta / bnorm;
+    if (!std::isfinite(beta)) {
+      // The residual picked up a NaN/Inf (poisoned operator output or
+      // right-hand side).  Iterating would only normalize garbage into the
+      // Krylov basis; report a typed breakdown instead.
+      result.breakdown = true;
+      result.reason = "non-finite residual norm (NaN/Inf in operator output "
+                      "or right-hand side)";
+      return result;
+    }
     if (result.rel_residual < cfg_.rel_tol) {
       result.converged = true;
       return result;
@@ -65,6 +80,16 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
       M.apply(V[j], Z[j]);
       A.apply(Z[j], w);
       const double wnorm0 = norm2(w);  // pre-orthogonalization norm
+      if (!std::isfinite(wnorm0)) {
+        // A M^{-1} v_j went non-finite mid-cycle (poisoned operator or
+        // preconditioner).  The partially built basis is unusable from here;
+        // exit with a typed breakdown rather than folding NaNs into the
+        // Hessenberg and "converging" on garbage.
+        result.breakdown = true;
+        result.reason = "non-finite Arnoldi vector (NaN/Inf in operator or "
+                        "preconditioner output)";
+        return result;
+      }
       H[j].assign(j + 2, 0.0);
       for (std::size_t i = 0; i <= j; ++i) {
         H[j][i] = dot(w, V[i]);

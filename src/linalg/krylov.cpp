@@ -39,6 +39,12 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
     result.converged = true;
     return result;
   }
+  if (!std::isfinite(bnorm)) {
+    result.breakdown = true;
+    result.reason = "non-finite right-hand side norm";
+    result.rel_residual = bnorm;
+    return result;
+  }
 
   std::vector<double> r(n), z(n), p(n), Ap(n);
   A.apply(x, r);
@@ -69,6 +75,13 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
     axpy(-alpha, Ap, r);
     result.iterations = it + 1;
     result.rel_residual = norm2(r) / bnorm;
+    if (!std::isfinite(result.rel_residual)) {
+      // A NaN/Inf crept into the recurrence (poisoned operator output or
+      // preconditioner): report a typed breakdown instead of iterating on
+      // garbage to the cap.
+      return fail("non-finite residual norm (NaN/Inf in operator or "
+                  "preconditioner output)");
+    }
     if (cfg_.verbose && it % 25 == 0) {
       std::printf("  cg iter %4zu rel res %.3e\n", it + 1,
                   result.rel_residual);
@@ -104,6 +117,12 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(bnorm)) {
+    result.breakdown = true;
+    result.reason = "non-finite right-hand side norm";
+    result.rel_residual = bnorm;
     return result;
   }
 
@@ -171,6 +190,12 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
       r[i] = s[i] - omega * t[i];
     }
     result.rel_residual = norm2(r) / bnorm;
+    if (!std::isfinite(result.rel_residual)) {
+      // A NaN/Inf crept into the recurrence: report a typed breakdown
+      // instead of iterating on garbage to the cap.
+      return fail("non-finite residual norm (NaN/Inf in operator or "
+                  "preconditioner output)");
+    }
     if (cfg_.verbose && it % 25 == 0) {
       std::printf("  bicgstab iter %4zu rel res %.3e\n", it + 1,
                   result.rel_residual);

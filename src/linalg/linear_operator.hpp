@@ -19,6 +19,7 @@
 //    matrix-dependent preconditioners (ILU, SGS, AMG) can keep working on
 //    the assembled path and fail loudly on the matrix-free one.
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -27,6 +28,19 @@
 #include "portability/common.hpp"
 
 namespace mali::linalg {
+
+/// Index of the first NaN/Inf entry of v, or -1 when every entry is
+/// finite.  The validation primitive behind the resilience guards and the
+/// Krylov solvers' non-finite breakdown exits (a single poisoned entry in
+/// an operator-apply output would otherwise contaminate every subsequent
+/// inner product silently).
+[[nodiscard]] inline std::ptrdiff_t first_non_finite(
+    const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
 
 class LinearOperator {
  public:

@@ -1,11 +1,27 @@
 #include "nonlinear/continuation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "portability/common.hpp"
 
 namespace mali::nonlinear {
+
+namespace {
+
+/// An inner solve "diverged" when it faulted, went non-finite, or ended
+/// with a residual no better than it started without converging — walking
+/// the regularization further down from such a state only compounds the
+/// failure.  A not-yet-converged solve that still reduced ||F|| is fine
+/// (inexact continuation steps are the normal mode).
+bool diverged(const NewtonResult& r) {
+  if (r.faulted || !std::isfinite(r.residual_norm)) return true;
+  return !r.converged && r.initial_norm > 0.0 &&
+         r.residual_norm >= r.initial_norm;
+}
+
+}  // namespace
 
 ContinuationResult continuation_solve(
     NonlinearProblem& problem, linalg::Preconditioner& M,
@@ -15,32 +31,108 @@ ContinuationResult continuation_solve(
   MALI_CHECK(cfg.reduction > 0.0 && cfg.reduction < 1.0);
 
   ContinuationResult result;
-  const NewtonSolver newton(cfg.newton);
-  double param = cfg.start_parameter;
+  NewtonConfig ncfg = cfg.newton;
 
-  for (int step = 0; step < cfg.max_steps; ++step) {
-    param = std::max(param, cfg.target_parameter);
-    set_parameter(param);
+  // Wire the Newton recovery ladder's checkpoint-restore rung into the
+  // homotopy: restoring the last good state also backs the regularization
+  // up one continuation notch (clamped at the start parameter), softening
+  // the problem the retry faces.
+  double active_param = cfg.start_parameter;
+  if (ncfg.recovery.enabled && !ncfg.recovery.on_restore) {
+    ncfg.recovery.on_restore = [&](resilience::SolverCheckpoint& c) {
+      active_param =
+          std::min(active_param / cfg.reduction, cfg.start_parameter);
+      set_parameter(active_param);
+      c.parameter = active_param;
+    };
+  }
+
+  // Runs one inner solve at parameter p and records it.  `active_param`
+  // may end higher than p if the recovery ladder back-stepped mid-solve.
+  const auto run_inner = [&](double p, bool is_backstep) -> const NewtonResult& {
+    active_param = p;
+    set_parameter(p);
+    ncfg.recovery.parameter = p;
     if (cfg.verbose) {
-      std::printf("continuation step %d: parameter %.3e\n", step + 1, param);
+      std::printf("continuation step %zu: parameter %.3e%s\n",
+                  result.inner.size() + 1, p,
+                  is_backstep ? " (back-step retry)" : "");
     }
+    const NewtonSolver newton(ncfg);
     result.inner.push_back(newton.solve(problem, M, U));
-    result.steps = step + 1;
-    result.final_parameter = param;
+    if (is_backstep) {
+      result.backstep_steps.push_back(
+          static_cast<int>(result.inner.size()) - 1);
+    }
+    result.parameters.push_back(active_param);
+    result.steps = static_cast<int>(result.inner.size());
+    result.final_parameter = active_param;
     result.residual_norm = result.inner.back().residual_norm;
-    if (param <= cfg.target_parameter) {
-      result.converged = result.inner.back().converged;
+    return result.inner.back();
+  };
+
+  double param = cfg.start_parameter;
+  double param_good = -1.0;  ///< last parameter whose solve was accepted
+
+  while (result.steps < cfg.max_steps) {
+    param = std::max(param, cfg.target_parameter);
+    const std::vector<double> U_pre = U;  // pre-step checkpoint
+    const NewtonResult& r = run_inner(param, false);
+    if (diverged(r)) {
+      // Stop the walk: restore the pre-step solution and back-step the
+      // parameter once with a halved (log-space) reduction — the retry
+      // runs at the geometric mean of the last good and failed values.
+      U = U_pre;
+      if (param_good <= 0.0 || result.backsteps >= cfg.max_backsteps) {
+        result.stopped_early = true;
+        return result;
+      }
+      ++result.backsteps;
+      const double retry_param = std::sqrt(param_good * param);
+      if (cfg.verbose) {
+        std::printf(
+            "continuation: inner solve diverged at %.3e — back-stepping to "
+            "%.3e (retry %d/%d)\n",
+            param, retry_param, result.backsteps, cfg.max_backsteps);
+      }
+      if (result.steps >= cfg.max_steps) {
+        result.stopped_early = true;
+        return result;
+      }
+      const std::vector<double> U_pre_retry = U;
+      const NewtonResult& rr = run_inner(retry_param, true);
+      if (diverged(rr)) {
+        U = U_pre_retry;
+        set_parameter(param_good);  // leave the problem in a solvable state
+        result.stopped_early = true;
+        return result;
+      }
+      param_good = result.parameters.back();
+      if (param_good <= cfg.target_parameter) {
+        result.converged = rr.converged;
+        return result;
+      }
+      param = param_good * cfg.reduction;
+      continue;
+    }
+    param_good = result.parameters.back();
+    if (param_good <= cfg.target_parameter) {
+      result.converged = r.converged;
       return result;
     }
-    param *= cfg.reduction;
+    param = param_good * cfg.reduction;
   }
+
   // Ran out of steps before hitting the target: finish at the target.
-  set_parameter(cfg.target_parameter);
-  result.inner.push_back(newton.solve(problem, M, U));
-  ++result.steps;
-  result.final_parameter = cfg.target_parameter;
-  result.residual_norm = result.inner.back().residual_norm;
-  result.converged = result.inner.back().converged;
+  const std::vector<double> U_pre = U;
+  const NewtonResult& r = run_inner(cfg.target_parameter, false);
+  if (diverged(r)) {
+    U = U_pre;
+    if (param_good > 0.0) set_parameter(param_good);
+    result.stopped_early = true;
+    return result;
+  }
+  result.converged = r.converged;
   return result;
 }
 

@@ -4,6 +4,15 @@
 // tractable: start from a heavily regularized (nearly linear) problem,
 // solve, then walk the regularization down toward the physical value,
 // re-solving with the previous solution as the initial guess.
+//
+// Divergence handling: when an inner Newton solve diverges (typed fault,
+// non-finite norm, or a residual that grew without converging) the walk
+// STOPS instead of continuing to drop the parameter on a garbage state.
+// The solution is restored to the pre-step checkpoint and the parameter is
+// back-stepped once with a halved (log-space) reduction — the retry lands
+// at the geometric mean of the last good parameter and the failed one.
+// Each back-step is recorded in ContinuationResult; a retry that also
+// diverges stops the walk early with converged == false.
 
 #include <functional>
 #include <vector>
@@ -18,6 +27,8 @@ struct ContinuationConfig {
   double target_parameter = 1.0e-10; ///< physical regularization
   double reduction = 0.1;            ///< parameter multiplier per step
   int max_steps = 12;
+  /// Back-step retries allowed across the whole walk before giving up.
+  int max_backsteps = 3;
   NewtonConfig newton{};             ///< inner solver per step
   bool verbose = false;
 };
@@ -27,7 +38,16 @@ struct ContinuationResult {
   int steps = 0;
   double final_parameter = 0.0;
   double residual_norm = 0.0;
+  /// Back-step retries taken after an inner divergence.
+  int backsteps = 0;
+  /// True when the walk stopped early (a back-step retry also diverged or
+  /// the retry budget ran out) — the parameter never reached the target.
+  bool stopped_early = false;
   std::vector<NewtonResult> inner;  ///< per-step Newton outcomes
+  /// Parameter each inner solve ran at (aligned with `inner`).
+  std::vector<double> parameters;
+  /// Indices into `inner` that were back-step retries.
+  std::vector<int> backstep_steps;
 };
 
 /// Walks `set_parameter` from start to target geometrically, solving at

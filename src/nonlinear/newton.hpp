@@ -1,7 +1,11 @@
 #pragma once
 // Damped Newton's method with backtracking line search — the paper's
 // nonlinear solver (8 Newton steps on the Antarctica test, each solving the
-// Jacobian system with preconditioned GMRES to 1e-6).
+// Jacobian system with preconditioned GMRES to 1e-6) — plus the solver
+// resilience layer: typed non-finite detection and a bounded recovery
+// ladder (re-damp → grow Krylov → climb preconditioner → assembled
+// fallback → checkpoint restore) that engages on guard faults, inner
+// linear-solve failures, and line-search stalls.  See DESIGN.md §11.
 
 #include <cstddef>
 #include <functional>
@@ -12,6 +16,8 @@
 #include "linalg/gmres.hpp"
 #include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/recovery.hpp"
 
 namespace mali::nonlinear {
 
@@ -38,6 +44,11 @@ class NonlinearProblem {
     (void)U;
     return nullptr;
   }
+  /// Informational hook: the solver reports the current (1-based) Newton
+  /// step before each linearization, and 0 for pre-loop evaluations.
+  /// resilience::GuardedProblem uses it to stamp SolverFault records; the
+  /// default is a no-op.
+  virtual void set_newton_step(int step) { (void)step; }
 };
 
 struct NewtonConfig {
@@ -52,6 +63,10 @@ struct NewtonConfig {
   /// matrix-free operator (no global matrix is ever created; the
   /// preconditioner is computed from the operator's diagonal extraction).
   linalg::JacobianMode jacobian = linalg::JacobianMode::kAssembled;
+  /// Recovery ladder (disabled by default; the clean path is bit-identical
+  /// either way — the ladder only engages on a detected fault, linear
+  /// failure, or line-search stall).  See resilience/recovery.hpp.
+  resilience::RecoveryConfig recovery{};
 };
 
 struct NewtonResult {
@@ -60,18 +75,30 @@ struct NewtonResult {
   double residual_norm = 0.0;
   double initial_norm = 0.0;
   std::size_t total_linear_iters = 0;
-  /// Newton steps whose inner linear solve did NOT reach its tolerance
-  /// (GMRES hit the iteration cap or broke down).  The step is still taken
-  /// — an inexact Newton direction is often usable — but the failure is
-  /// recorded here instead of being silently ignored.
+  /// Inner linear solves that did NOT reach their tolerance (GMRES hit the
+  /// iteration cap or broke down).  Without the recovery ladder the
+  /// inexact step is still taken — an inexact Newton direction is often
+  /// usable — but the failure is recorded instead of silently ignored;
+  /// with the ladder each failure triggers a bounded retry first.
   int linear_failures = 0;
-  /// True iff linear_failures > 0 at exit (convenience flag).
-  bool any_linear_failure = false;
+  /// True iff any inner linear solve failed (accessor; the redundant
+  /// stored flag this replaces is gone).
+  [[nodiscard]] bool any_linear_failure() const noexcept {
+    return linear_failures > 0;
+  }
   /// True when the backtracking line search bottomed out at min_damping
   /// without finding a residual decrease on some step — the classic sign of
   /// a bad Newton direction (e.g. from a failed linear solve) or a
   /// non-descent linearization.
   bool line_search_stalled = false;
+  /// Typed failure exit: set when ||F|| went non-finite (and, with the
+  /// ladder enabled, recovery could not restore it).  `fault` then holds
+  /// the event; the solver returns instead of looping to max_iters on NaN.
+  bool faulted = false;
+  resilience::SolverFault fault{};
+  /// Structured log of every recovery-ladder attempt (empty on the clean
+  /// path and whenever recovery is disabled).
+  resilience::RecoveryLog recovery;
   std::vector<double> history;  ///< ||F|| after each step
 };
 
@@ -80,7 +107,11 @@ class NewtonSolver {
   explicit NewtonSolver(NewtonConfig cfg = {}) : cfg_(cfg) {}
 
   /// Solves F(U) = 0 starting from U (updated in place), preconditioning
-  /// the inner GMRES with M (recomputed from each new Jacobian).
+  /// the inner GMRES with M (recomputed from each new Jacobian; the
+  /// recovery ladder may swap in stronger preconditioners from
+  /// recovery.precond_ladder).  Guard faults (resilience::SolverFaultError)
+  /// propagate to the caller when recovery is disabled or its budget is
+  /// exhausted.
   NewtonResult solve(NonlinearProblem& problem, linalg::Preconditioner& M,
                      std::vector<double>& U) const;
 

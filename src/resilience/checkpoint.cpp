@@ -1,0 +1,19 @@
+#include "resilience/checkpoint.hpp"
+
+#include "io/field_writer.hpp"
+
+namespace mali::resilience {
+
+void SolverCheckpoint::save(const std::string& path) const {
+  io::write_solver_checkpoint(path, U, residual_norm, parameter, newton_step);
+}
+
+SolverCheckpoint load_checkpoint(const std::string& path) {
+  SolverCheckpoint c;
+  io::read_solver_checkpoint(path, c.U, c.residual_norm, c.parameter,
+                             c.newton_step);
+  c.valid = true;
+  return c;
+}
+
+}  // namespace mali::resilience

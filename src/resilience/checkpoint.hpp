@@ -1,0 +1,30 @@
+#pragma once
+// SolverCheckpoint — the "last good state" the Newton recovery ladder's
+// final rung restores: the solution vector, its residual norm, the active
+// continuation parameter, and the Newton step it was taken at.  Kept
+// in-memory by the solver; optionally mirrored on disk through
+// io::write_solver_checkpoint (see DESIGN.md §11 for the file format) so a
+// crashed run can restart from the last accepted step.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mali::resilience {
+
+struct SolverCheckpoint {
+  std::vector<double> U;        ///< the accepted solution
+  double residual_norm = 0.0;   ///< ||F(U)||
+  double parameter = 0.0;       ///< continuation parameter (0 when unused)
+  int newton_step = 0;          ///< step the checkpoint was taken after
+  bool valid = false;           ///< false until first capture
+
+  /// Writes the checkpoint to `path` (bit-exact round trip).
+  void save(const std::string& path) const;
+};
+
+/// Reads a checkpoint written by SolverCheckpoint::save.  Throws
+/// mali::Error on a missing or malformed file.
+[[nodiscard]] SolverCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace mali::resilience

@@ -1,0 +1,84 @@
+#include "resilience/fault.hpp"
+
+#include <sstream>
+
+namespace mali::resilience {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNanPoison:
+      return "nan";
+    case FaultKind::kInfPoison:
+      return "inf";
+    case FaultKind::kStagnation:
+      return "stagnation";
+    case FaultKind::kPrecondFailure:
+      return "precond-fail";
+  }
+  return "?";
+}
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kResidual:
+      return "residual";
+    case FaultSite::kOperatorApply:
+      return "operator-apply";
+    case FaultSite::kJacobianAssembly:
+      return "jacobian";
+    case FaultSite::kLinearSolve:
+      return "linear-solve";
+    case FaultSite::kPrecondSetup:
+      return "precond-setup";
+  }
+  return "?";
+}
+
+const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kNonFiniteResidual:
+      return "non-finite-residual";
+    case FaultType::kNonFiniteOperatorApply:
+      return "non-finite-operator-apply";
+    case FaultType::kNonFiniteJacobian:
+      return "non-finite-jacobian";
+    case FaultType::kNonFiniteResidualNorm:
+      return "non-finite-residual-norm";
+    case FaultType::kSolutionDiverged:
+      return "solution-diverged";
+    case FaultType::kLinearSolveFailure:
+      return "linear-solve-failure";
+    case FaultType::kLineSearchStall:
+      return "line-search-stall";
+    case FaultType::kPrecondSetupFailure:
+      return "precond-setup-failure";
+  }
+  return "?";
+}
+
+std::string SolverFault::describe() const {
+  std::ostringstream os;
+  os << "solver fault: " << to_string(type) << " at site "
+     << to_string(site);
+  switch (type) {
+    case FaultType::kNonFiniteResidual:
+    case FaultType::kNonFiniteOperatorApply:
+    case FaultType::kNonFiniteJacobian:
+      os << ", first offending dof " << dof << " = " << value;
+      break;
+    case FaultType::kSolutionDiverged:
+    case FaultType::kNonFiniteResidualNorm:
+      os << ", norm = " << value;
+      break;
+    default:
+      break;
+  }
+  if (newton_step > 0) os << ", newton step " << newton_step;
+  os << ", evaluation " << evaluation;
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+}  // namespace mali::resilience

@@ -1,0 +1,95 @@
+#pragma once
+// Solver fault taxonomy — the typed events the resilience layer turns
+// silent numerical breakdowns into.  See DESIGN.md §11.
+//
+// Two orthogonal classifications:
+//  * FaultKind / FaultSite describe what the *injector* plants (NaN/Inf
+//    poison, a forced Krylov stagnation, a preconditioner-setup abort) and
+//    where (residual evaluation, operator apply, Jacobian assembly, the
+//    inner linear solve, preconditioner setup).
+//  * FaultType describes what a *guard* observed.  An injected NaN in a
+//    residual manifests as kNonFiniteResidual; an organic Glen's-law
+//    viscosity blow-up manifests as exactly the same type — the recovery
+//    ladder treats both identically, which is the point of fault injection.
+//
+// SolverFaultError is the typed exception guards throw.  It carries the
+// full SolverFault record (type, site, first offending dof, offending
+// value, Newton step, site-local evaluation index) so callers can assert
+// on, log, or recover from the precise failure.
+
+#include <cstddef>
+#include <string>
+
+#include "portability/common.hpp"
+
+namespace mali::resilience {
+
+/// What a fault injector plants.
+enum class FaultKind {
+  kNanPoison,      ///< overwrite one output entry with a quiet NaN
+  kInfPoison,      ///< overwrite one output entry with +Inf
+  kStagnation,     ///< force the inner Krylov solve to report failure
+  kPrecondFailure, ///< abort preconditioner setup
+};
+
+/// Where a fault is planted / detected.
+enum class FaultSite {
+  kResidual,          ///< NonlinearProblem::residual output
+  kOperatorApply,     ///< LinearOperator::apply output
+  kJacobianAssembly,  ///< residual_and_jacobian output (F or J values)
+  kLinearSolve,       ///< the inner GMRES solve
+  kPrecondSetup,      ///< Preconditioner::compute
+};
+inline constexpr int kNumFaultSites = 5;
+
+/// What a guard observed.
+enum class FaultType {
+  kNone,
+  kNonFiniteResidual,      ///< NaN/Inf entry in a residual evaluation
+  kNonFiniteOperatorApply, ///< NaN/Inf entry in an operator-apply output
+  kNonFiniteJacobian,      ///< NaN/Inf entry in assembled Jacobian values
+  kNonFiniteResidualNorm,  ///< ||F|| not finite at a Newton step
+  kSolutionDiverged,       ///< ||U|| exceeded the guard bound
+  kLinearSolveFailure,     ///< inner Krylov missed tolerance / broke down
+  kLineSearchStall,        ///< backtracking bottomed out without decrease
+  kPrecondSetupFailure,    ///< preconditioner setup failed (or was injected)
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+[[nodiscard]] const char* to_string(FaultSite s);
+[[nodiscard]] const char* to_string(FaultType t);
+
+/// One detected fault event — everything a guard knows at detection time.
+struct SolverFault {
+  FaultType type = FaultType::kNone;
+  FaultSite site = FaultSite::kResidual;
+  /// First offending dof (kNonFinite{Residual,OperatorApply,Jacobian} only;
+  /// for kNonFiniteJacobian this is the row of the offending entry).
+  std::size_t dof = 0;
+  /// The offending value (NaN, Inf, or the out-of-bounds norm).
+  double value = 0.0;
+  /// Newton step (1-based) during which the fault surfaced; 0 outside a
+  /// Newton solve (e.g. the initial residual evaluation).
+  int newton_step = 0;
+  /// Site-local evaluation counter at detection (0-based), as counted by
+  /// the guard that detected it.
+  std::size_t evaluation = 0;
+  std::string message;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Typed exception carrying a SolverFault.  Guards throw it; the Newton
+/// recovery ladder catches it (when enabled) or lets it propagate to the
+/// caller ("fail loudly").
+class SolverFaultError : public Error {
+ public:
+  explicit SolverFaultError(SolverFault fault)
+      : Error(fault.describe()), fault_(std::move(fault)) {}
+  [[nodiscard]] const SolverFault& fault() const noexcept { return fault_; }
+
+ private:
+  SolverFault fault_;
+};
+
+}  // namespace mali::resilience

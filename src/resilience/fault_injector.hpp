@@ -1,0 +1,72 @@
+#pragma once
+// Seeded, deterministic fault injection.  A FaultInjector is configured
+// with one FaultSpec (kind × site × evaluation index) and is consulted by
+// the guard decorators (resilience/guards.hpp) and the Newton solver's
+// linear-solve site.  Each site keeps its own evaluation counter, so
+// "poison the 3rd residual evaluation" is reproducible bit-for-bit across
+// runs, scatter modes, and thread counts; the poisoned dof is a seeded
+// hash, independent of call order.
+//
+// The injector is deliberately dumb: it decides *when* to fire and *what*
+// value to plant, nothing else.  The wrappers own the mechanics of
+// planting, so no physics or solver code changes to support injection.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "resilience/fault.hpp"
+
+namespace mali::resilience {
+
+/// What / where / when to inject.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNanPoison;
+  FaultSite site = FaultSite::kResidual;
+  /// Fire at the N-th evaluation of `site` (0-based).
+  std::size_t at_evaluation = 0;
+  /// Fire at every evaluation >= at_evaluation instead of exactly once.
+  bool repeat = false;
+  /// Seed for the poisoned-dof choice (and any future randomized sites).
+  unsigned seed = 0x9E3779B9u;
+};
+
+/// Parses "kind:site[:evaluation][:repeat]", e.g. "nan:residual:2",
+/// "inf:operator-apply:0", "stagnation:linear-solve:1",
+/// "precond-fail:precond-setup".  Kinds: nan | inf | stagnation |
+/// precond-fail.  Sites: residual | operator-apply | jacobian |
+/// linear-solve | precond-setup.  Throws mali::Error on a malformed spec.
+[[nodiscard]] FaultSpec fault_spec_from_string(const std::string& s);
+
+/// Human-readable round-trip of a spec ("nan:residual:2").
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  /// Counts one evaluation of `site` and returns true iff the configured
+  /// fault fires for it.  Deterministic: the decision depends only on the
+  /// spec and the per-site evaluation count.
+  [[nodiscard]] bool fire(FaultSite site);
+
+  /// Deterministic dof to poison in an n-entry output (seeded splitmix64
+  /// hash — stable across runs and independent of when it is asked).
+  [[nodiscard]] std::size_t target_dof(std::size_t n) const;
+
+  /// The value the configured kind plants (quiet NaN or +Inf).
+  [[nodiscard]] double poison() const;
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+  /// Evaluations of `site` seen so far.
+  [[nodiscard]] std::size_t count(FaultSite site) const;
+  /// How many times the fault has fired.
+  [[nodiscard]] int fired() const noexcept { return fired_; }
+
+ private:
+  FaultSpec spec_;
+  std::array<std::size_t, kNumFaultSites> counts_{};
+  int fired_ = 0;
+};
+
+}  // namespace mali::resilience

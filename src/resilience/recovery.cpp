@@ -1,0 +1,56 @@
+#include "resilience/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mali::resilience {
+
+const char* to_string(RecoveryRung r) {
+  switch (r) {
+    case RecoveryRung::kRedampStep:
+      return "redamp-step";
+    case RecoveryRung::kGrowKrylov:
+      return "grow-krylov";
+    case RecoveryRung::kClimbPreconditioner:
+      return "climb-preconditioner";
+    case RecoveryRung::kAssembledFallback:
+      return "assembled-fallback";
+    case RecoveryRung::kRestoreCheckpoint:
+      return "restore-checkpoint";
+  }
+  return "?";
+}
+
+bool RecoveryLog::tried(RecoveryRung rung) const {
+  return std::any_of(attempts.begin(), attempts.end(),
+                     [rung](const RecoveryAttempt& a) { return a.rung == rung; });
+}
+
+std::string RecoveryLog::to_string() const {
+  std::ostringstream os;
+  for (const auto& a : attempts) {
+    os << "  step " << a.newton_step << "  trigger ["
+       << resilience::to_string(a.trigger.type) << " @ "
+       << resilience::to_string(a.trigger.site) << "]  rung "
+       << resilience::to_string(a.rung) << "  (" << a.action << ")  -> "
+       << (a.succeeded ? "recovered" : "not recovered") << '\n';
+  }
+  return os.str();
+}
+
+std::string RecoveryLog::tail(std::size_t n) const {
+  std::ostringstream os;
+  const std::size_t first = attempts.size() > n ? attempts.size() - n : 0;
+  if (first > 0) os << "  ... (" << first << " earlier attempts)\n";
+  for (std::size_t i = first; i < attempts.size(); ++i) {
+    const auto& a = attempts[i];
+    os << "  step " << a.newton_step << "  trigger ["
+       << resilience::to_string(a.trigger.type) << " @ "
+       << resilience::to_string(a.trigger.site) << "]  rung "
+       << resilience::to_string(a.rung) << "  (" << a.action << ")  -> "
+       << (a.succeeded ? "recovered" : "not recovered") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mali::resilience

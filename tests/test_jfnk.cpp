@@ -300,7 +300,7 @@ TEST(Jfnk, RecordsLinearFailuresWhenGmresBudgetIsCrippled) {
   std::vector<double> U(p.n_dofs(), 0.0);
   const auto r = newton.solve(p, M, U);
   EXPECT_GE(r.linear_failures, 1);
-  EXPECT_TRUE(r.any_linear_failure);
+  EXPECT_TRUE(r.any_linear_failure());
   EXPECT_EQ(r.linear_failures, r.iterations);
 }
 
@@ -308,7 +308,7 @@ TEST(Jfnk, HealthyRunRecordsNoFailures) {
   const auto out = run_mms(linalg::JacobianMode::kMatrixFree);
   ASSERT_TRUE(out.newton.converged);
   EXPECT_EQ(out.newton.linear_failures, 0);
-  EXPECT_FALSE(out.newton.any_linear_failure);
+  EXPECT_FALSE(out.newton.any_linear_failure());
   EXPECT_FALSE(out.newton.line_search_stalled);
 }
 

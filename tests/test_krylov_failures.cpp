@@ -279,7 +279,7 @@ TEST(NewtonFailures, RecordsInnerLinearSolveFailures) {
   const auto r = newton.solve(p, M, U);
   EXPECT_FALSE(r.converged);
   EXPECT_GE(r.linear_failures, 1);
-  EXPECT_TRUE(r.any_linear_failure);
+  EXPECT_TRUE(r.any_linear_failure());
   EXPECT_EQ(r.linear_failures, r.iterations)
       << "every attempted step's inner solve missed the tolerance";
 }
@@ -294,7 +294,7 @@ TEST(NewtonFailures, HealthySolveRecordsNoFailures) {
   const auto r = newton.solve(p, M, U);
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.linear_failures, 0);
-  EXPECT_FALSE(r.any_linear_failure);
+  EXPECT_FALSE(r.any_linear_failure());
   EXPECT_FALSE(r.line_search_stalled);
 }
 

@@ -31,6 +31,8 @@
 #include "mpas/fv_transport.hpp"
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/guards.hpp"
 
 namespace {
 
@@ -198,12 +200,85 @@ int cmd_solve(const Args& args) {
   ncfg.max_iters = static_cast<int>(args.num("steps", 8));
   ncfg.verbose = true;
   ncfg.jacobian = problem.config().jacobian;
+
+  // ---- resilience surface ----
+  // --inject-fault plants a deterministic fault (see fault_spec_from_string
+  // for the kind:site[:evaluation][:repeat] grammar); --guards wraps the
+  // problem in NaN/Inf validation decorators (implied by injection);
+  // --resilience arms the Newton recovery ladder; --checkpoint also writes
+  // the last good state to disk (implies --resilience).
+  std::unique_ptr<resilience::FaultInjector> injector;
+  if (args.has("inject-fault")) {
+    const auto spec =
+        resilience::fault_spec_from_string(args.str("inject-fault"));
+    injector = std::make_unique<resilience::FaultInjector>(spec);
+    std::printf("fault injection: %s\n", resilience::to_string(spec).c_str());
+  }
+  const bool resilience_on = args.has("resilience") || args.has("checkpoint");
+  if (resilience_on) {
+    ncfg.recovery.enabled = true;
+    ncfg.recovery.verbose = true;
+    ncfg.recovery.checkpoint_path = args.str("checkpoint");
+    // Preconditioner escalation, weakest to strongest.  The AMG rung
+    // rebuilds from the problem's extrusion structure, so it works from
+    // both Jacobian modes (probing on the matrix-free path).
+    const linalg::ExtrusionInfo extrusion = problem.extrusion_info();
+    ncfg.recovery.precond_ladder = {
+        [] {
+          return std::make_unique<linalg::JacobiPreconditioner>();
+        },
+        [] {
+          return std::make_unique<linalg::BlockJacobiPreconditioner>(2);
+        },
+        [extrusion] {
+          return std::make_unique<linalg::SemicoarseningAmg>(
+              extrusion, linalg::AmgConfig{});
+        },
+    };
+  }
+  // The forced-stagnation site lives in the solver (the guards never see
+  // the inner GMRES); hand the injector over regardless of --resilience so
+  // injection without recovery still records the linear failure.
+  ncfg.recovery.injector = injector.get();
+
+  const bool guards_on = args.has("guards") || injector != nullptr;
+  resilience::GuardedProblem guarded(problem, {}, injector.get());
+  resilience::GuardedPreconditioner guarded_M(*M, injector.get());
+  nonlinear::NonlinearProblem& prob =
+      guards_on ? static_cast<nonlinear::NonlinearProblem&>(guarded) : problem;
+  linalg::Preconditioner& precond =
+      guards_on ? static_cast<linalg::Preconditioner&>(guarded_M) : *M;
+  if (guards_on) std::printf("guards: NaN/Inf validation enabled\n");
+
   nonlinear::NewtonSolver newton(ncfg);
   auto U = problem.analytic_initial_guess();
-  const auto r = newton.solve(problem, *M, U);
+  nonlinear::NewtonResult r;
+  try {
+    r = newton.solve(prob, precond, U);
+  } catch (const resilience::SolverFaultError& e) {
+    // Guard fault with recovery disabled (or its budget exhausted): fail
+    // loudly with the typed record and a nonzero exit.
+    std::fprintf(stderr, "%s\n", e.fault().describe().c_str());
+    return 3;
+  }
   std::printf("||F||: %.3e -> %.3e in %d steps (%zu GMRES iterations)\n",
               r.initial_norm, r.residual_norm, r.iterations,
               r.total_linear_iters);
+  if (!r.recovery.empty()) {
+    std::printf("recovery ladder: %zu attempt(s), %d fault(s) detected, %d "
+                "step(s) recovered\n",
+                r.recovery.size(), r.recovery.faults_detected,
+                r.recovery.steps_recovered);
+    std::fputs(r.recovery.to_string().c_str(), stdout);
+  }
+  if (r.faulted) {
+    std::fprintf(stderr, "%s\n", r.fault.describe().c_str());
+    if (!r.recovery.empty()) {
+      std::fprintf(stderr, "last recovery attempts:\n%s",
+                   r.recovery.tail().c_str());
+    }
+    return 3;
+  }
   if (r.linear_failures > 0) {
     std::printf("WARNING: %d Newton step(s) took an inexact direction (inner "
                 "GMRES missed its tolerance)\n",
@@ -376,6 +451,12 @@ void usage() {
       "                   [--smoother sgs|chebyshev] [--mms]\n"
       "                   [--thermal] [--weertman] [--workset N]\n"
       "                   [--csv PATH] [--ppm PATH]\n"
+      "                   [--resilience] [--guards]\n"
+      "                   [--inject-fault KIND:SITE[:EVAL][:repeat]]\n"
+      "                     kinds: nan|inf|stagnation|precond-fail\n"
+      "                     sites: residual|operator-apply|jacobian|\n"
+      "                            linear-solve|precond-setup\n"
+      "                   [--checkpoint PATH]  (implies --resilience)\n"
       "  study            run the GPU optimization study -> markdown report\n"
       "                   [--cells N] [--scale F] [--out PATH]\n"
       "  transport        Eq. 2 thickness transport demo [--dx-km F]\n"
