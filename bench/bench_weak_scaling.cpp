@@ -1,20 +1,102 @@
-// Extension (the paper's future work): modeled weak scaling of the
-// optimized Jacobian kernel across multi-GPU Perlmutter/Frontier-like
-// systems.  Each GPU keeps the paper's per-GPU workset (~256K cells); the
-// partition grows with the GPU count and the halo exchange of velocity
-// dofs is modeled over the Slingshot fabric.
+// Extension (the paper's future work): weak scaling of the optimized
+// Jacobian kernel across multi-GPU Perlmutter/Frontier-like systems —
+// MODELED over the Slingshot fabric, then cross-checked against MEASURED
+// halo/kernel/total times from the in-process rank-parallel solve
+// (dist::solve_distributed), which runs the real halo exchange protocol.
+//
+// Each GPU keeps the paper's per-GPU workset (~256K cells); the partition
+// grows with the GPU count and the halo exchange of velocity dofs is
+// modeled per neighbor.  The neighbor count comes from the ACTUAL partition
+// adjacency (strips <= 2, block grids up to 8 including corners) — not a
+// hardcoded constant.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "dist/dist_solver.hpp"
 #include "gpusim/multi_gpu.hpp"
 #include "mesh/ice_geometry.hpp"
 #include "mesh/partition.hpp"
 #include "perf/report.hpp"
+#include "physics/stokes_fo_problem.hpp"
 
 using namespace mali;
+
+namespace {
+
+/// Measured counterpart of the model: runs the domain-decomposed MMS solve
+/// in-process and reports per-rank maxima of the kernel/halo wall-clock the
+/// rank runtime records, next to the modeled split for the same partition.
+void measured_section() {
+  std::printf(
+      "\nMEASURED — in-process rank-parallel MMS solve (strips and blocks),\n"
+      "real halo exchange; model charged with the same partition's halo\n"
+      "columns and true max-neighbor count:\n\n");
+
+  physics::StokesFOConfig pcfg;
+  pcfg.dx_m = 40.0e3;
+  pcfg.n_layers = 5;
+  pcfg.mms.enabled = true;
+  pcfg.geometry.square_mask = true;
+  const physics::StokesFOProblem problem(pcfg);
+  const std::size_t levels = problem.mesh().levels();
+
+  const gpusim::NetworkModel net;
+  perf::Table t({"decomp", "ranks", "nbrs", "halo cols", "meas kernel (ms)",
+                 "meas halo (ms)", "meas total (ms)", "model halo (ms)",
+                 "newton"});
+
+  for (const auto decomp : {dist::Decomp::kStrips, dist::Decomp::kBlocks}) {
+    for (const int ranks : {1, 2, 4}) {
+      dist::DistConfig dcfg;
+      dcfg.ranks = ranks;
+      dcfg.decomp = decomp;
+      dcfg.newton.max_iters = 3;
+      dcfg.newton.gmres.rel_tol = 1e-8;
+      dcfg.newton.gmres.max_iters = 2000;
+      const auto res = dist::solve_distributed(problem, dcfg);
+
+      double kernel_ms = 0.0, halo_ms = 0.0, total_ms = 0.0;
+      for (const auto& r : res.ranks) {
+        kernel_ms = std::max(kernel_ms, r.kernel_s * 1e3);
+        halo_ms = std::max(halo_ms, r.halo.total_s() * 1e3);
+        total_ms = std::max(total_ms, r.total_s * 1e3);
+      }
+      const double model_halo_ms =
+          ranks > 1 ? 1e3 * (gpusim::halo_bytes(
+                                 res.partition.max_halo_columns(), levels) /
+                                 net.nic_bw_bytes_per_s +
+                             net.message_latency_s *
+                                 res.partition.max_neighbors())
+                    : 0.0;
+      t.add_row({dist::to_string(decomp), std::to_string(ranks),
+                 std::to_string(res.partition.max_neighbors()),
+                 std::to_string(res.partition.max_halo_columns()),
+                 perf::fmt(kernel_ms, 3), perf::fmt(halo_ms, 3),
+                 perf::fmt(total_ms, 3), perf::fmt(model_halo_ms, 4),
+                 res.converged ? "conv" : "DIV"});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: the measured halo column counts the WAIT inside each\n"
+      "exchange — rank threads run the Krylov iteration in lockstep, so the\n"
+      "recv blocks until the neighbor arrives and the column is really a\n"
+      "load-imbalance + synchronization measurement (it grows with rank\n"
+      "count while pure copy time stays microseconds).  The model's wire\n"
+      "time charges only bytes/bandwidth + per-neighbor latency, which is\n"
+      "why it sits orders of magnitude below; on a real fabric the truth\n"
+      "lies between the two.  The model now charges latency per REAL\n"
+      "neighbor (blocks: up to 8), which the old hardcoded 2-neighbor\n"
+      "constant understated by up to 4x.\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto cfg = bench::study_config(argc, argv);
@@ -29,7 +111,7 @@ int main(int argc, char** argv) {
   const gpusim::NetworkModel net;
   const std::size_t levels = 21;
 
-  perf::Table t({"Machine", "GPUs", "mesh (km)", "halo cols/rank",
+  perf::Table t({"Machine", "GPUs", "mesh (km)", "halo cols/rank", "nbrs",
                  "kernel (ms)", "halo (ms)", "total (ms)", "efficiency",
                  "imbalance"});
 
@@ -56,10 +138,11 @@ int main(int argc, char** argv) {
           gpusim::halo_bytes(part.max_halo_columns(), levels);
       const auto point = gpusim::scaling_point(
           n_gpus, sim.time_s, bytes, net,
-          n_gpus == 1 ? sim.time_s : single);
+          n_gpus == 1 ? sim.time_s : single, part.max_neighbors());
       if (n_gpus == 1) single = point.total_time_s;
       t.add_row({arch.name, std::to_string(n_gpus), perf::fmt(dx_km, 3),
                  std::to_string(part.max_halo_columns()),
+                 std::to_string(point.neighbors),
                  perf::fmt(point.kernel_time_s * 1e3, 4),
                  perf::fmt(point.halo_time_s * 1e3, 4),
                  perf::fmt(point.total_time_s * 1e3, 4),
@@ -75,5 +158,7 @@ int main(int argc, char** argv) {
       "govern weak scaling at the paper's per-GPU workset — supporting the\n"
       "paper's single-node focus.  Imbalance grows mildly with the part\n"
       "count as blocks straddle the lobed margin.\n");
+
+  measured_section();
   return 0;
 }

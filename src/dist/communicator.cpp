@@ -1,0 +1,129 @@
+#include "dist/communicator.hpp"
+
+#include <algorithm>
+
+#include "portability/common.hpp"
+
+namespace mali::dist {
+
+CommWorld::CommWorld(int size) : size_(size) {
+  MALI_CHECK_MSG(size >= 1, "CommWorld needs at least one rank");
+  reduce_slots_.assign(static_cast<std::size_t>(size), 0.0);
+  reduce_vec_slots_.assign(static_cast<std::size_t>(size), {});
+}
+
+void CommWorld::check_abort_locked() const {
+  if (aborted_) throw CommAborted();
+}
+
+void CommWorld::barrier() {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort_locked();
+  const std::size_t gen = barrier_gen_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_gen_;
+    cv_barrier_.notify_all();
+  } else {
+    cv_barrier_.wait(lk, [&] { return barrier_gen_ != gen || aborted_; });
+  }
+  check_abort_locked();
+}
+
+double CommWorld::allreduce_sum(int rank, double local) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    reduce_slots_[static_cast<std::size_t>(rank)] = local;
+  }
+  barrier();  // all deposits visible
+  double sum = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    // Fixed rank-order reassociation: every rank computes the identical sum.
+    for (int r = 0; r < size_; ++r) {
+      sum += reduce_slots_[static_cast<std::size_t>(r)];
+    }
+  }
+  barrier();  // slots free for the next reduction
+  return sum;
+}
+
+std::vector<double> CommWorld::allreduce_sum(int rank,
+                                             const std::vector<double>& local) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    reduce_vec_slots_[static_cast<std::size_t>(rank)] = local;
+  }
+  barrier();
+  std::vector<double> sum(local.size(), 0.0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    for (int r = 0; r < size_; ++r) {
+      const auto& s = reduce_vec_slots_[static_cast<std::size_t>(r)];
+      MALI_CHECK_MSG(s.size() == sum.size(),
+                     "allreduce_sum: mismatched vector sizes across ranks");
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += s[i];
+    }
+  }
+  barrier();
+  return sum;
+}
+
+double CommWorld::allreduce_max(int rank, double local) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    reduce_slots_[static_cast<std::size_t>(rank)] = local;
+  }
+  barrier();
+  double m = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    m = reduce_slots_[0];
+    for (int r = 1; r < size_; ++r) {
+      m = std::max(m, reduce_slots_[static_cast<std::size_t>(r)]);
+    }
+  }
+  barrier();
+  return m;
+}
+
+void CommWorld::send(int from, int to, int tag, std::vector<double> data) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_abort_locked();
+    mail_[{from, to, tag}].push_back(std::move(data));
+  }
+  cv_mail_.notify_all();
+}
+
+std::vector<double> CommWorld::recv(int from, int to, int tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto& q = mail_[{from, to, tag}];
+  cv_mail_.wait(lk, [&] { return !q.empty() || aborted_; });
+  check_abort_locked();
+  std::vector<double> data = std::move(q.front());
+  q.pop_front();
+  return data;
+}
+
+void CommWorld::abort() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+  }
+  cv_barrier_.notify_all();
+  cv_mail_.notify_all();
+}
+
+bool CommWorld::aborted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aborted_;
+}
+
+}  // namespace mali::dist

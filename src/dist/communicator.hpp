@@ -1,0 +1,118 @@
+#pragma once
+// In-process MPI surrogate for the rank-parallel domain-decomposed solve.
+//
+// N "ranks" are N dedicated threads (pk::ThreadPool::parallel_tasks) sharing
+// a CommWorld.  Each rank holds a Communicator handle exposing the minimal
+// MPI-like surface the solve needs: barrier, deterministic allreduce, and
+// tagged point-to-point messages.  The surrogate keeps the programming
+// model honest — ranks only exchange data through explicit messages and
+// reductions, never through shared state — so the code is shaped exactly
+// like the MPI version MALI runs in production, while staying testable in
+// one process (and under TSan).
+//
+// Determinism contract: allreduce_sum combines the per-rank partials in
+// FIXED rank order on every rank, so all ranks receive the bit-identical
+// result regardless of arrival order.  This is what keeps the injected
+// rank-reduced inner products (linalg::InnerProduct) SPMD-lockstep.
+//
+// Failure contract: abort() poisons the world — every blocked or future
+// collective/recv throws CommAborted instead of deadlocking, so one
+// throwing rank cannot strand the others in a barrier.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace mali::dist {
+
+/// Thrown out of any blocking call after abort() — a cooperative unwind,
+/// not an error in the throwing rank itself.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted() : std::runtime_error("communicator aborted") {}
+};
+
+/// Shared state for one group of ranks.  Construct once, hand each rank a
+/// Communicator{world, rank}.
+class CommWorld {
+ public:
+  explicit CommWorld(int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  void barrier();
+  /// Deterministic sum: deposits `local`, barriers, then every rank sums
+  /// the slots in rank order (identical reassociation on all ranks).
+  double allreduce_sum(int rank, double local);
+  /// Element-wise deterministic sum of a small fixed-size vector (all ranks
+  /// must pass the same size).
+  std::vector<double> allreduce_sum(int rank, const std::vector<double>& local);
+  double allreduce_max(int rank, double local);
+
+  /// Mailbox send: moves `data` into the (from, to, tag) channel.  Channels
+  /// are FIFO; matching relies on both endpoints executing the same global
+  /// sequence of exchanges (SPMD lockstep).
+  void send(int from, int to, int tag, std::vector<double> data);
+  /// Blocking mailbox receive from (from -> to, tag).
+  std::vector<double> recv(int from, int to, int tag);
+
+  /// Poison the world: wakes every blocked call, which then throws
+  /// CommAborted; all future blocking calls throw immediately.
+  void abort();
+  [[nodiscard]] bool aborted() const;
+
+ private:
+  void check_abort_locked() const;
+
+  const int size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_barrier_;
+  std::condition_variable cv_mail_;
+  int barrier_count_ = 0;
+  std::size_t barrier_gen_ = 0;
+  std::vector<double> reduce_slots_;
+  std::vector<std::vector<double>> reduce_vec_slots_;
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mail_;
+  bool aborted_ = false;
+};
+
+/// Per-rank handle: the interface the solver code sees (mirrors an MPI
+/// communicator bound to a rank).
+class Communicator {
+ public:
+  Communicator(CommWorld& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->size(); }
+
+  void barrier() { world_->barrier(); }
+  [[nodiscard]] double allreduce_sum(double v) {
+    return world_->allreduce_sum(rank_, v);
+  }
+  [[nodiscard]] std::vector<double> allreduce_sum(
+      const std::vector<double>& v) {
+    return world_->allreduce_sum(rank_, v);
+  }
+  [[nodiscard]] double allreduce_max(double v) {
+    return world_->allreduce_max(rank_, v);
+  }
+  void send(int to, int tag, std::vector<double> data) {
+    world_->send(rank_, to, tag, std::move(data));
+  }
+  [[nodiscard]] std::vector<double> recv(int from, int tag) {
+    return world_->recv(from, rank_, tag);
+  }
+  void abort() { world_->abort(); }
+  [[nodiscard]] CommWorld& world() noexcept { return *world_; }
+
+ private:
+  CommWorld* world_;
+  int rank_;
+};
+
+}  // namespace mali::dist

@@ -1,0 +1,372 @@
+#include "dist/dist_solver.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "linalg/block_jacobi.hpp"
+#include "linalg/crs_matrix.hpp"
+#include "linalg/preconditioner.hpp"
+#include "portability/common.hpp"
+#include "portability/thread_pool.hpp"
+#include "portability/timer.hpp"
+
+namespace mali::dist {
+
+// ---------------------------------------------------------------------------
+// Decomp helpers
+// ---------------------------------------------------------------------------
+
+const char* to_string(Decomp d) {
+  switch (d) {
+    case Decomp::kStrips: return "strips";
+    case Decomp::kBlocks: return "blocks";
+  }
+  return "?";
+}
+
+Decomp decomp_from_string(const std::string& s) {
+  if (s == "strips") return Decomp::kStrips;
+  if (s == "blocks") return Decomp::kBlocks;
+  MALI_CHECK_MSG(false, "unknown decomposition '" + s +
+                            "' (expected strips|blocks)");
+  return Decomp::kStrips;
+}
+
+mesh::Partition make_partition(const mesh::QuadGrid& grid, int n_ranks,
+                               Decomp decomp) {
+  MALI_CHECK_MSG(n_ranks >= 1, "distributed solve needs at least one rank");
+  if (decomp == Decomp::kStrips || n_ranks == 1) {
+    return mesh::partition_strips(grid, n_ranks);
+  }
+  // px = the largest factor of n_ranks that is <= sqrt(n_ranks).
+  int px = static_cast<int>(std::sqrt(static_cast<double>(n_ranks)));
+  while (px > 1 && n_ranks % px != 0) --px;
+  const int py = n_ranks / px;
+  return mesh::partition_blocks(grid, px, py);
+}
+
+// ---------------------------------------------------------------------------
+// DistStokesOperator
+// ---------------------------------------------------------------------------
+
+DistStokesOperator::DistStokesOperator(Subdomain& sub, HaloExchange& halo_dof,
+                                       HaloExchange& halo_blocks,
+                                       Communicator& comm,
+                                       linalg::JacobianMode mode,
+                                       RankContext& ctx)
+    : sub_(&sub),
+      halo_dof_(&halo_dof),
+      halo_blk_(&halo_blocks),
+      comm_(&comm),
+      mode_(mode),
+      ctx_(&ctx) {}
+
+std::size_t DistStokesOperator::rows() const {
+  return sub_->problem().n_dofs();
+}
+std::size_t DistStokesOperator::cols() const {
+  return sub_->problem().n_dofs();
+}
+
+void DistStokesOperator::linearize(const std::vector<double>& U) {
+  const physics::StokesFOProblem& prob = sub_->problem();
+  const std::size_t n = prob.n_dofs();
+  MALI_CHECK(U.size() == n);
+  const std::size_t n_nodes = n / 2;
+
+  U_ = U;
+  halo_dof_->import_ghosts(U_);
+
+  if (mode_ == linalg::JacobianMode::kAssembled) {
+    if (!J_) J_ = std::make_unique<linalg::CrsMatrix>(prob.create_matrix());
+    J_->set_zero();
+    std::vector<double> Fdummy(n, 0.0);
+    sub_->assemble_jacobian_segment(Subdomain::kInterior, U_, Fdummy, *J_);
+    sub_->assemble_jacobian_segment(Subdomain::kBoundary, U_, Fdummy, *J_);
+    // Extract this rank's partial per-node 2x2 diagonal blocks from the
+    // partial matrix (zero everywhere the rank's cells did not touch).
+    blocks_.assign(2 * n, 0.0);
+    const std::vector<char>& local = sub_->node_is_local();
+    for (std::size_t node = 0; node < n_nodes; ++node) {
+      if (!local[node]) continue;
+      for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+          blocks_[node * 4 + static_cast<std::size_t>(r) * 2 +
+                  static_cast<std::size_t>(c)] =
+              J_->get(2 * node + static_cast<std::size_t>(r),
+                      2 * node + static_cast<std::size_t>(c));
+        }
+      }
+    }
+  } else {
+    blocks_ = sub_->partial_node_blocks(U_);
+  }
+
+  // Complete the block diagonal at the owners, agree on the Dirichlet row
+  // scale collectively (same formula as the serial problem: mean |diag| over
+  // non-Dirichlet dofs), then refresh the ghosts so every local node block
+  // is final before any preconditioner reads it.
+  halo_blk_->export_add(blocks_);
+
+  const fem::DofMap& dm = prob.dof_map();
+  const std::vector<char>& owned = sub_->node_is_owned();
+  double sum = 0.0;
+  double cnt = 0.0;
+  for (std::size_t node = 0; node < n_nodes; ++node) {
+    if (!owned[node]) continue;
+    for (int c = 0; c < 2; ++c) {
+      const std::size_t d = 2 * node + static_cast<std::size_t>(c);
+      if (dm.is_dirichlet_dof(d)) continue;
+      sum += std::abs(blocks_[node * 4 + static_cast<std::size_t>(c) * 3]);
+      cnt += 1.0;
+    }
+  }
+  const std::vector<double> g = comm_->allreduce_sum(std::vector<double>{sum, cnt});
+  if (g[1] > 0.0 && g[0] > 0.0) ctx_->dirichlet_scale = g[0] / g[1];
+
+  halo_blk_->import_ghosts(blocks_);
+
+  // Overrides: identity blocks at non-local nodes keep block-Jacobi
+  // invertible everywhere (those rows/cols of x are masked anyway);
+  // Dirichlet nodes get scale * I to match the owner's row override.
+  const std::vector<char>& local = sub_->node_is_local();
+  for (std::size_t node = 0; node < n_nodes; ++node) {
+    double* b = blocks_.data() + node * 4;
+    if (!local[node]) {
+      b[0] = 1.0; b[1] = 0.0; b[2] = 0.0; b[3] = 1.0;
+    } else if (dm.is_dirichlet_dof(2 * node)) {
+      // MMS/Dirichlet columns pin both components of a node together.
+      b[0] = ctx_->dirichlet_scale; b[1] = 0.0;
+      b[2] = 0.0; b[3] = ctx_->dirichlet_scale;
+    }
+  }
+
+  linearized_ = true;
+}
+
+void DistStokesOperator::apply(const std::vector<double>& x,
+                               std::vector<double>& y) const {
+  MALI_CHECK(linearized_);
+  MALI_CHECK(&x != &y);
+  const std::size_t n = sub_->problem().n_dofs();
+  MALI_CHECK(x.size() == n);
+
+  x_ = x;
+  halo_dof_->import_ghosts(x_);
+  y.assign(n, 0.0);
+
+  if (mode_ == linalg::JacobianMode::kAssembled) {
+    // Hand-rolled serial row loop over the rows this rank's cells touch:
+    // CrsMatrix::apply is pool-parallel and must not run inside a rank
+    // thread.  Couplings to non-local dofs have zero VALUES in the partial
+    // matrix, so garbage x_ entries there multiply zeros — y stays finite.
+    const std::vector<std::size_t>& rp = J_->row_ptr();
+    const std::vector<std::size_t>& cols = J_->cols();
+    const std::vector<double>& vals = J_->values();
+    for (const std::size_t row : sub_->local_dofs()) {
+      double acc = 0.0;
+      for (std::size_t k = rp[row]; k < rp[row + 1]; ++k) {
+        acc += vals[k] * x_[cols[k]];
+      }
+      y[row] = acc;
+    }
+  } else {
+    sub_->apply_tangent(U_, x_, y);
+  }
+
+  halo_dof_->export_add(y);
+
+  for (const std::size_t d : sub_->owned_dirichlet_dofs()) {
+    y[d] = ctx_->dirichlet_scale * x_[d];
+  }
+}
+
+bool DistStokesOperator::diagonal(std::vector<double>& d) const {
+  MALI_CHECK(linearized_);
+  const std::size_t n = sub_->problem().n_dofs();
+  d.resize(n);
+  for (std::size_t node = 0; node < n / 2; ++node) {
+    d[2 * node] = blocks_[node * 4];
+    d[2 * node + 1] = blocks_[node * 4 + 3];
+  }
+  return true;
+}
+
+bool DistStokesOperator::block_diagonal(int bs,
+                                        std::vector<double>& blocks) const {
+  if (bs != 2) return false;
+  MALI_CHECK(linearized_);
+  blocks = blocks_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RankStokesProblem
+// ---------------------------------------------------------------------------
+
+void RankStokesProblem::residual(const std::vector<double>& U,
+                                 std::vector<double>& F) {
+  const physics::StokesFOProblem& prob = sub_->problem();
+  const std::size_t n = prob.n_dofs();
+  MALI_CHECK(U.size() == n);
+
+  scratch_ = U;
+  F.assign(n, 0.0);
+  if (overlap_) {
+    // Split-phase: post the ghost import, assemble the interior cells (which
+    // by construction read only owned columns), then complete the import
+    // before the boundary cells that need the ghosts.
+    halo_dof_->post_import(scratch_);
+    sub_->assemble_residual_segment(Subdomain::kInterior, scratch_, F);
+    halo_dof_->finish_import(scratch_);
+  } else {
+    halo_dof_->import_ghosts(scratch_);
+    sub_->assemble_residual_segment(Subdomain::kInterior, scratch_, F);
+  }
+  sub_->assemble_residual_segment(Subdomain::kBoundary, scratch_, F);
+  halo_dof_->export_add(F);
+
+  const std::vector<double>& g = prob.dirichlet_values();
+  for (const std::size_t d : sub_->owned_dirichlet_dofs()) {
+    F[d] = ctx_->dirichlet_scale * (scratch_[d] - g[d]);
+  }
+}
+
+void RankStokesProblem::residual_and_jacobian(const std::vector<double>&,
+                                              std::vector<double>&,
+                                              linalg::CrsMatrix&) {
+  MALI_CHECK_MSG(false,
+                 "distributed solve is matrix-free at the Newton level; the "
+                 "assembled fallback path is not supported per-rank");
+}
+
+std::unique_ptr<linalg::LinearOperator> RankStokesProblem::jacobian_operator(
+    const std::vector<double>& U) {
+  auto op = std::make_unique<DistStokesOperator>(*sub_, *halo_dof_, *halo_blk_,
+                                                 *comm_, mode_, *ctx_);
+  op->linearize(U);
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// solve_distributed
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<linalg::Preconditioner> make_rank_precond(
+    const std::string& name) {
+  if (name == "none" || name == "identity") {
+    return std::make_unique<linalg::IdentityPreconditioner>();
+  }
+  if (name == "jacobi") return std::make_unique<linalg::JacobiPreconditioner>();
+  if (name == "block-jacobi") {
+    return std::make_unique<linalg::BlockJacobiPreconditioner>(2);
+  }
+  MALI_CHECK_MSG(false, "distributed solve: unknown preconditioner '" + name +
+                            "' (expected none|jacobi|block-jacobi)");
+  return nullptr;
+}
+
+void accumulate(HaloStats& into, const HaloStats& s) {
+  into.pack_s += s.pack_s;
+  into.exchange_s += s.exchange_s;
+  into.unpack_s += s.unpack_s;
+  into.bytes_sent += s.bytes_sent;
+  into.exchanges += s.exchanges;
+}
+
+}  // namespace
+
+DistResult solve_distributed(const physics::StokesFOProblem& problem,
+                             const DistConfig& cfg,
+                             const std::vector<double>* U0) {
+  MALI_CHECK_MSG(cfg.ranks >= 1, "DistConfig.ranks must be >= 1");
+  const std::size_t n = problem.n_dofs();
+  const auto N = static_cast<std::size_t>(cfg.ranks);
+
+  DistResult result;
+  result.partition = make_partition(problem.mesh().base(), cfg.ranks,
+                                    cfg.decomp);
+  const mesh::Partition& part = result.partition;
+
+  result.U.assign(n, 0.0);
+  if (U0 != nullptr) {
+    MALI_CHECK(U0->size() == n);
+    result.U = *U0;
+  }
+  std::vector<double>& U_shared = result.U;
+
+  result.ranks.resize(N);
+  std::vector<std::exception_ptr> errs(N);
+
+  CommWorld world(cfg.ranks);
+
+  pk::ThreadPool::parallel_tasks(N, [&](std::size_t r) {
+    try {
+      const pk::Timer t_total;
+      Communicator comm(world, static_cast<int>(r));
+      Subdomain sub(problem, part, static_cast<int>(r));
+      HaloExchange halo_dof(comm, part, static_cast<int>(r),
+                            problem.mesh().levels(), /*per_node=*/2,
+                            /*tag_base=*/0);
+      HaloExchange halo_blk(comm, part, static_cast<int>(r),
+                            problem.mesh().levels(), /*per_node=*/4,
+                            /*tag_base=*/8);
+      RankContext ctx;
+      DistInnerProduct ip(comm, sub.owned_dofs());
+      RankStokesProblem rank_problem(sub, halo_dof, halo_blk, comm,
+                                     cfg.jacobian, cfg.overlap, ctx);
+
+      nonlinear::NewtonConfig ncfg = cfg.newton;
+      ncfg.jacobian = linalg::JacobianMode::kMatrixFree;
+      ncfg.inner = &ip;
+      ncfg.gmres.inner = &ip;
+      ncfg.recovery = resilience::RecoveryConfig{};  // no assembled fallback
+      ncfg.verbose = cfg.verbose && r == 0;
+      ncfg.gmres.verbose = ncfg.gmres.verbose && r == 0;
+
+      std::unique_ptr<linalg::Preconditioner> M = make_rank_precond(cfg.precond);
+
+      std::vector<double> U = U_shared;  // all ranks copy before any writes
+      comm.barrier();                    // ... and the barrier makes it so
+
+      nonlinear::NewtonSolver newton(ncfg);
+      const nonlinear::NewtonResult nr = newton.solve(rank_problem, *M, U);
+
+      comm.barrier();  // everyone done solving before gathering
+      for (const std::size_t d : sub.owned_dofs()) U_shared[d] = U[d];
+
+      DistRankReport& rep = result.ranks[r];
+      rep.owned_cells = part.owned_cells[r];
+      rep.owned_columns = part.owned_column_ids[r].size();
+      rep.halo_columns = part.ghost_column_ids[r].size();
+      rep.n_neighbors = part.neighbor_count(static_cast<int>(r));
+      accumulate(rep.halo, halo_dof.stats());
+      accumulate(rep.halo, halo_blk.stats());
+      rep.kernel_s = sub.kernel_seconds();
+      rep.total_s = t_total.seconds();
+      rep.newton = nr;
+    } catch (const CommAborted&) {
+      // Another rank failed first; its error is the one worth reporting.
+    } catch (...) {
+      errs[r] = std::current_exception();
+      world.abort();
+    }
+  });
+
+  for (const std::exception_ptr& e : errs) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  const nonlinear::NewtonResult& nr0 = result.ranks[0].newton;
+  result.converged = nr0.converged;
+  result.newton_iters = nr0.iterations;
+  result.residual_norm = nr0.residual_norm;
+  return result;
+}
+
+}  // namespace mali::dist

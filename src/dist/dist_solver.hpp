@@ -1,0 +1,230 @@
+#pragma once
+// Rank-parallel domain-decomposed FO Stokes solve (DESIGN.md §12).
+//
+// solve_distributed() runs the full damped-Newton/GMRES solve SPMD across N
+// in-process ranks (dedicated threads over a CommWorld):
+//
+//   rank r:  Subdomain (owned cells, interior-first)     [dist/subdomain.hpp]
+//            HaloExchange plans (dof stride 2, block stride 4)
+//            RankStokesProblem  — residual = import ghosts (optionally
+//              overlapped with interior assembly) + evaluator chain +
+//              export_add + owner Dirichlet rows
+//            DistStokesOperator — J(U) as a partial per-rank operator
+//              (assembled partial CRS or per-element tangent apply) wrapped
+//              in the same import/export protocol
+//            DistInnerProduct   — owned-dof reduction + deterministic
+//              allreduce, injected into Newton AND GMRES so every branch
+//              (convergence tests, line-search damping, restart decisions)
+//              is bit-identical on all ranks
+//
+// Vectors are global-extent on every rank with the ownership discipline of
+// dist/halo_exchange.hpp: owned entries authoritative, ghosts valid after an
+// import, everything else finite garbage that the rank-reduced inner product
+// masks.  The final solution is gathered by disjoint owned-entry writes.
+//
+// Equivalence contract: for any rank count, decomposition, jacobian mode,
+// and overlap setting, the converged solution matches the single-rank solve
+// to solver tolerance (pinned at <= 1e-10 relative per dof by
+// tests/test_dist.cpp); overlap on/off is bit-identical by construction
+// (identical assembly order, only the exchange interleaving changes).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "dist/halo_exchange.hpp"
+#include "dist/subdomain.hpp"
+#include "linalg/inner_product.hpp"
+#include "linalg/linear_operator.hpp"
+#include "mesh/partition.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+
+namespace mali::dist {
+
+/// Rank-reduced inner product: each rank sums only the vector entries it
+/// owns, then the deterministic allreduce combines the rank partials in
+/// fixed rank order — every rank sees the bit-identical scalar.
+class DistInnerProduct final : public linalg::InnerProduct {
+ public:
+  DistInnerProduct(Communicator& comm, const std::vector<std::size_t>& owned)
+      : comm_(&comm), owned_(&owned) {}
+
+  [[nodiscard]] double dot(const std::vector<double>& x,
+                           const std::vector<double>& y) const override {
+    MALI_CHECK(x.size() == y.size());
+    double local = 0.0;
+    for (const std::size_t d : *owned_) local += x[d] * y[d];
+    return comm_->allreduce_sum(local);
+  }
+
+ private:
+  Communicator* comm_;
+  const std::vector<std::size_t>* owned_;
+};
+
+/// Per-rank state shared between the residual and the operator: the
+/// Dirichlet row scale is refreshed (collectively, so all ranks agree) at
+/// each linearization, exactly as the serial problem refreshes it.
+struct RankContext {
+  double dirichlet_scale = 1.0;
+};
+
+/// The rank's view of the global Jacobian J(U): applies only the rank's own
+/// cells' contributions, then export_adds the ghost-row partials to their
+/// owners — owned rows of y are complete, everything else is masked.  Two
+/// internal modes mirror the serial solver's JacobianMode:
+///  - kAssembled:  a partial CRS matrix (global sparsity, only local cells
+///    scattered) applied with a hand-rolled serial row loop over the local
+///    rows (CrsMatrix::apply is pool-parallel and must not run inside a
+///    rank thread);
+///  - kMatrixFree: the fused per-element SFad<1> tangent apply.
+/// linearize() also completes the per-node 2x2 diagonal blocks across ranks
+/// (export_add + import on the stride-4 plan) and refreshes the shared
+/// Dirichlet scale, so Jacobi/block-Jacobi preconditioners work unchanged
+/// through the standard diagonal()/block_diagonal() capabilities.
+class DistStokesOperator final : public linalg::LinearOperator {
+ public:
+  DistStokesOperator(Subdomain& sub, HaloExchange& halo_dof,
+                     HaloExchange& halo_blocks, Communicator& comm,
+                     linalg::JacobianMode mode, RankContext& ctx);
+
+  /// Collective: imports ghosts of U, assembles the partial Jacobian (or
+  /// caches U for the tangent apply), completes the block diagonal, and
+  /// refreshes ctx.dirichlet_scale via an allreduce.
+  void linearize(const std::vector<double>& U);
+
+  [[nodiscard]] std::size_t rows() const override;
+  [[nodiscard]] std::size_t cols() const override;
+
+  /// Collective: every rank must call apply the same number of times (the
+  /// injected inner product guarantees GMRES does exactly that).
+  void apply(const std::vector<double>& x,
+             std::vector<double>& y) const override;
+
+  bool diagonal(std::vector<double>& d) const override;
+  bool block_diagonal(int bs, std::vector<double>& blocks) const override;
+
+  [[nodiscard]] const linalg::CrsMatrix* matrix() const override {
+    return nullptr;  // the partial matrix is NOT the global operator
+  }
+  [[nodiscard]] const char* name() const override {
+    return mode_ == linalg::JacobianMode::kAssembled ? "dist-assembled"
+                                                     : "dist-matrix-free";
+  }
+
+ private:
+  Subdomain* sub_;
+  HaloExchange* halo_dof_;
+  HaloExchange* halo_blk_;
+  Communicator* comm_;
+  linalg::JacobianMode mode_;
+  RankContext* ctx_;
+
+  std::vector<double> U_;       ///< linearization state, ghosts imported
+  std::vector<double> blocks_;  ///< completed per-node 2x2 blocks (2*n)
+  std::unique_ptr<linalg::CrsMatrix> J_;  ///< partial, assembled mode only
+  mutable std::vector<double> x_;         ///< apply scratch (ghost import)
+  bool linearized_ = false;
+};
+
+/// The NonlinearProblem each rank hands to the (unchanged) NewtonSolver.
+/// Always drives the matrix-free Newton path — jacobian_operator() returns
+/// a freshly linearized DistStokesOperator whose *internal* mode is the
+/// configured JacobianMode.  residual() implements the split-phase halo
+/// protocol; with `overlap` the import is overlapped with interior-cell
+/// assembly, and the result is bit-identical either way.
+class RankStokesProblem final : public nonlinear::NonlinearProblem {
+ public:
+  RankStokesProblem(Subdomain& sub, HaloExchange& halo_dof,
+                    HaloExchange& halo_blocks, Communicator& comm,
+                    linalg::JacobianMode mode, bool overlap, RankContext& ctx)
+      : sub_(&sub),
+        halo_dof_(&halo_dof),
+        halo_blk_(&halo_blocks),
+        comm_(&comm),
+        mode_(mode),
+        overlap_(overlap),
+        ctx_(&ctx) {}
+
+  [[nodiscard]] std::size_t n_dofs() const override {
+    return sub_->problem().n_dofs();
+  }
+  void residual(const std::vector<double>& U, std::vector<double>& F) override;
+  void residual_and_jacobian(const std::vector<double>& U,
+                             std::vector<double>& F,
+                             linalg::CrsMatrix& J) override;
+  [[nodiscard]] linalg::CrsMatrix create_matrix() const override {
+    return sub_->problem().create_matrix();
+  }
+  [[nodiscard]] std::unique_ptr<linalg::LinearOperator> jacobian_operator(
+      const std::vector<double>& U) override;
+
+ private:
+  Subdomain* sub_;
+  HaloExchange* halo_dof_;
+  HaloExchange* halo_blk_;
+  Communicator* comm_;
+  linalg::JacobianMode mode_;
+  bool overlap_;
+  RankContext* ctx_;
+  std::vector<double> scratch_;  ///< U with imported ghosts
+};
+
+enum class Decomp { kStrips, kBlocks };
+
+[[nodiscard]] const char* to_string(Decomp d);
+[[nodiscard]] Decomp decomp_from_string(const std::string& s);
+
+/// Builds the partition a distributed run uses: strips, or a px x py block
+/// grid with px the largest factor of n_ranks <= sqrt(n_ranks).
+[[nodiscard]] mesh::Partition make_partition(const mesh::QuadGrid& grid,
+                                             int n_ranks, Decomp decomp);
+
+struct DistConfig {
+  int ranks = 2;
+  Decomp decomp = Decomp::kStrips;
+  /// Overlap the halo import with interior-cell assembly (split-phase
+  /// post_import / finish_import).  Results are bit-identical either way.
+  bool overlap = false;
+  /// Internal Jacobian representation of DistStokesOperator.
+  linalg::JacobianMode jacobian = linalg::JacobianMode::kMatrixFree;
+  /// Per-rank preconditioner: none | jacobi | block-jacobi.  (Stronger
+  /// matrix-dependent preconditioners need the full assembled rows and are
+  /// not available per-subdomain.)
+  std::string precond = "block-jacobi";
+  nonlinear::NewtonConfig newton{};
+  bool verbose = false;  ///< rank 0 prints Newton progress
+};
+
+struct DistRankReport {
+  std::size_t owned_cells = 0;    ///< base cells
+  std::size_t owned_columns = 0;
+  std::size_t halo_columns = 0;
+  int n_neighbors = 0;
+  HaloStats halo;        ///< dof-plan + block-plan exchanges combined
+  double kernel_s = 0.0; ///< assembly/tangent kernel wall-clock
+  double total_s = 0.0;  ///< whole-rank solve wall-clock
+  nonlinear::NewtonResult newton;
+};
+
+struct DistResult {
+  std::vector<double> U;  ///< gathered solution (owned entries per rank)
+  mesh::Partition partition;
+  std::vector<DistRankReport> ranks;
+  bool converged = false;
+  int newton_iters = 0;
+  double residual_norm = 0.0;
+};
+
+/// Runs the domain-decomposed Newton solve over cfg.ranks in-process ranks.
+/// `U0` (global extent) seeds every rank; nullptr means zero.  The shared
+/// problem is only read.  Throws the first rank failure after poisoning the
+/// CommWorld so no rank deadlocks in a collective.
+[[nodiscard]] DistResult solve_distributed(
+    const physics::StokesFOProblem& problem, const DistConfig& cfg,
+    const std::vector<double>* U0 = nullptr);
+
+}  // namespace mali::dist

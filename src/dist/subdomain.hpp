@@ -1,0 +1,170 @@
+#pragma once
+// Per-rank subdomain of the FO Stokes assembly (see DESIGN.md §12).
+//
+// A Subdomain stages compact copies of the element data (connectivity,
+// coordinates, basis arrays, body force, basal faces) for the 3D cells this
+// rank owns — every layer of every owned base cell — and re-runs the exact
+// evaluator chain of StokesFOProblem over them with the Serial execution
+// space (rank bodies are dedicated threads; they must never re-enter the
+// shared thread pool).  Global node ids are RETAINED, so the rank assembles
+// into GLOBAL-extent vectors: its own entries become partial sums that the
+// HaloExchange export completes at the owners.
+//
+// Cell ordering — interior first:
+//   [0, n_interior_cells)            cells whose 8 nodes all lie in OWNED
+//                                    columns (assembly reads no ghost data)
+//   [n_interior_cells, n_cells)     cells touching >= 1 ghost column
+// The split enables communication/computation overlap (post the halo
+// import, assemble the interior, finish the import, assemble the boundary)
+// while keeping the assembly order — and therefore the floating-point
+// result — IDENTICAL whether or not the overlap is enabled.  Within each
+// segment, cells are ordered base-cell-ascending, layer-fastest, so a
+// single-rank Subdomain visits cells in exactly the serial problem's order.
+//
+// Scatter reuses PR 1's machinery verbatim (scatter_add with per-segment
+// greedy colorings), instantiated on pk::Serial.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+#include "mesh/coloring.hpp"
+#include "mesh/partition.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "portability/view.hpp"
+
+namespace mali::dist {
+
+class Subdomain {
+ public:
+  /// Stages the rank's element data from the (shared, read-only) problem.
+  /// `problem` and `part` must outlive the Subdomain.
+  Subdomain(const physics::StokesFOProblem& problem,
+            const mesh::Partition& part, int rank);
+
+  // Segment ids for the overlap split.
+  static constexpr int kInterior = 0;
+  static constexpr int kBoundary = 1;
+
+  [[nodiscard]] std::size_t n_cells() const noexcept { return n_cells_; }
+  [[nodiscard]] std::size_t n_interior_cells() const noexcept {
+    return n_interior_;
+  }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] const mesh::Partition& partition() const noexcept {
+    return *part_;
+  }
+  [[nodiscard]] const physics::StokesFOProblem& problem() const noexcept {
+    return *problem_;
+  }
+
+  /// Vector entries this rank owns (dofs of owned columns, ascending) — the
+  /// index set the rank-reduced inner product sums.
+  [[nodiscard]] const std::vector<std::size_t>& owned_dofs() const noexcept {
+    return owned_dofs_;
+  }
+  /// Dirichlet dofs in OWNED columns — the rows this rank is responsible
+  /// for overriding after each halo export.
+  [[nodiscard]] const std::vector<std::size_t>& owned_dirichlet_dofs()
+      const noexcept {
+    return owned_dirichlet_dofs_;
+  }
+  /// All dofs of local (owned + ghost) columns, in column-plan order (owned
+  /// columns ascending, then ghost columns ascending) — the rows the rank's
+  /// partial operator can touch (the assembled apply iterates these).
+  [[nodiscard]] const std::vector<std::size_t>& local_dofs() const noexcept {
+    return local_dofs_;
+  }
+  /// Per 3D node: 1 iff the node's column is local (owned or ghost).
+  [[nodiscard]] const std::vector<char>& node_is_local() const noexcept {
+    return node_is_local_;
+  }
+  /// Per 3D node: 1 iff the node's column is OWNED by this rank.
+  [[nodiscard]] const std::vector<char>& node_is_owned() const noexcept {
+    return node_is_owned_;
+  }
+
+  /// Assembles the residual contribution of segment `seg`'s cells into the
+  /// global-extent F (partial sums; run export_add afterwards).  `x` is the
+  /// global-extent solution; ghost entries must be valid for kBoundary (the
+  /// interior segment reads only owned columns by construction).
+  void assemble_residual_segment(int seg, const std::vector<double>& x,
+                                 std::vector<double>& F);
+
+  /// Same, with the SFad<16> Jacobian evaluation scattering into the
+  /// global-sparsity CRS matrix J as well (partial values).
+  void assemble_jacobian_segment(int seg, const std::vector<double>& x,
+                                 std::vector<double>& F, linalg::CrsMatrix& J);
+
+  /// Accumulates this rank's cells' tangent contribution y += J_local(U) x
+  /// (both segments, interior first) via the fused per-element SFad<1>
+  /// kernel.  U and x must have valid ghost entries; y must be global
+  /// extent and pre-zeroed by the caller.
+  void apply_tangent(const std::vector<double>& U,
+                     const std::vector<double>& x, std::vector<double>& y);
+
+  /// Partial per-node 2x2 diagonal blocks of J(U) from this rank's cells
+  /// (row-major, n_nodes blocks = 2 * n_dofs doubles; zero outside local
+  /// columns, no Dirichlet handling — complete via export_add and override
+  /// at the owners).
+  [[nodiscard]] std::vector<double> partial_node_blocks(
+      const std::vector<double>& U);
+
+  /// Wall-clock spent in assembly/tangent kernels on this rank (the
+  /// "measured kernel time" bench_weak_scaling reports next to the model).
+  [[nodiscard]] double kernel_seconds() const noexcept { return kernel_s_; }
+  void reset_kernel_seconds() noexcept { kernel_s_ = 0.0; }
+
+ private:
+  struct Segment {
+    std::size_t offset = 0;  ///< first local cell of the segment
+    std::size_t count = 0;
+    /// Basal faces whose cell lies in the segment; cell index relative to
+    /// `offset` (matching the windowed views the evaluators see).
+    pk::View<std::size_t, 1> face_cell_local;
+    pk::View<double, 3> face_wBF;  ///< (F, 4, Qf)
+    pk::View<double, 1> face_beta;
+    mesh::CellColoring coloring;  ///< greedy, over the segment's cells
+  };
+
+  template <class EvalT>
+  void evaluate_segment(const Segment& seg, const pk::View<double, 1>& Uview);
+  template <class EvalT>
+  void assemble_segment(const Segment& seg, const std::vector<double>& x,
+                        std::vector<double>& F, linalg::CrsMatrix* J);
+
+  const physics::StokesFOProblem* problem_;
+  const mesh::Partition* part_;
+  int rank_;
+  std::size_t n_cells_ = 0;
+  std::size_t n_interior_ = 0;
+  Segment segments_[2];
+
+  // Compact per-local-cell element data (global node ids retained).
+  pk::View<std::size_t, 2> cell_nodes_;  ///< (C, N)
+  pk::View<double, 3> coords_;           ///< (C, N, 3)
+  pk::View<double, 4> gradBF_;           ///< (C, N, Q, 3)
+  pk::View<double, 4> wGradBF_;          ///< (C, N, Q, 3)
+  pk::View<double, 3> wBF_;              ///< (C, N, Q)
+  pk::View<double, 3> force_passive_;    ///< (C, Q, 2)
+  pk::View<double, 2> flow_factor_;      ///< (C, Q) thermal mode only
+
+  pk::View<double, 3> tangent_;  ///< (C, N, 2) per-cell J_e x_e scratch
+
+  // Private field buffers (the shared problem's FieldSets would race).
+  physics::FieldSet<physics::ResidualEval::ScalarT> res_fields_;
+  physics::FieldSet<physics::JacobianEval::ScalarT> jac_fields_;
+
+  std::vector<std::size_t> owned_dofs_;
+  std::vector<std::size_t> owned_dirichlet_dofs_;
+  std::vector<std::size_t> local_dofs_;
+  std::vector<char> node_is_local_;
+  std::vector<char> node_is_owned_;
+
+  double kernel_s_ = 0.0;
+
+  template <class ScalarT>
+  physics::FieldSet<ScalarT>& fields();
+};
+
+}  // namespace mali::dist

@@ -18,7 +18,13 @@ namespace mali::gpusim {
 struct NetworkModel {
   double nic_bw_bytes_per_s = 25.0e9;  ///< Slingshot-11: 25 GB/s/direction/NIC
   double message_latency_s = 2.0e-6;   ///< per neighbor exchange
-  int neighbors = 2;                   ///< exchange partners per rank
+  /// FALLBACK exchange-partner count, used only by the legacy
+  /// scaling_point overload when no partition adjacency is available.
+  /// Real partitions are not strips-with-two-neighbors in general (block
+  /// decompositions reach 8 including corners); callers that hold a
+  /// mesh::Partition must pass part.max_neighbors() to the explicit
+  /// overload instead of relying on this constant.
+  int neighbors = 2;
 };
 
 struct ScalingPoint {
@@ -27,6 +33,7 @@ struct ScalingPoint {
   double halo_time_s = 0.0;     ///< halo exchange time
   double total_time_s = 0.0;
   double efficiency = 1.0;      ///< vs the single-GPU point
+  int neighbors = 0;            ///< exchange partners the model charged
 };
 
 /// Halo bytes exchanged per assembly: velocity dofs on the ghost columns.
@@ -39,23 +46,39 @@ struct ScalingPoint {
          static_cast<double>(bytes_per_dof);
 }
 
-/// Composes kernel time and halo exchange into a scaling point.
+/// Composes kernel time and halo exchange into a scaling point, charging
+/// the message latency once per exchange partner.  `neighbors` is the real
+/// max-neighbor count of the partition (mesh::Partition::max_neighbors():
+/// strips <= 2, block grids up to 8 including corner adjacency).
 [[nodiscard]] inline ScalingPoint scaling_point(int n_gpus,
                                                 double kernel_time_s,
                                                 double halo_bytes_per_rank,
                                                 const NetworkModel& net,
-                                                double single_gpu_time_s) {
+                                                double single_gpu_time_s,
+                                                int neighbors) {
   ScalingPoint p;
   p.n_gpus = n_gpus;
   p.kernel_time_s = kernel_time_s;
+  p.neighbors = n_gpus > 1 ? neighbors : 0;
   p.halo_time_s =
       n_gpus > 1 ? halo_bytes_per_rank / net.nic_bw_bytes_per_s +
-                       net.message_latency_s * net.neighbors
+                       net.message_latency_s * p.neighbors
                  : 0.0;
   p.total_time_s = p.kernel_time_s + p.halo_time_s;
   p.efficiency =
       p.total_time_s > 0.0 ? single_gpu_time_s / p.total_time_s : 1.0;
   return p;
+}
+
+/// Legacy overload: falls back to the NetworkModel's constant neighbor
+/// count.  Prefer the explicit-neighbors overload with a real partition.
+[[nodiscard]] inline ScalingPoint scaling_point(int n_gpus,
+                                                double kernel_time_s,
+                                                double halo_bytes_per_rank,
+                                                const NetworkModel& net,
+                                                double single_gpu_time_s) {
+  return scaling_point(n_gpus, kernel_time_s, halo_bytes_per_rank, net,
+                       single_gpu_time_s, net.neighbors);
 }
 
 }  // namespace mali::gpusim

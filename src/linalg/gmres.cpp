@@ -26,7 +26,8 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
   if (x.size() != n) x.assign(n, 0.0);
 
   GmresResult result;
-  const double bnorm = norm2(b);
+  const InnerProduct& ip = inner_or_default(cfg_.inner);
+  const double bnorm = ip.norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     result.converged = true;
@@ -52,7 +53,7 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
     // r = b - A x
     A.apply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-    double beta = norm2(r);
+    double beta = ip.norm2(r);
     result.rel_residual = beta / bnorm;
     if (!std::isfinite(beta)) {
       // The residual picked up a NaN/Inf (poisoned operator output or
@@ -79,7 +80,7 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
       Z[j].resize(n);
       M.apply(V[j], Z[j]);
       A.apply(Z[j], w);
-      const double wnorm0 = norm2(w);  // pre-orthogonalization norm
+      const double wnorm0 = ip.norm2(w);  // pre-orthogonalization norm
       if (!std::isfinite(wnorm0)) {
         // A M^{-1} v_j went non-finite mid-cycle (poisoned operator or
         // preconditioner).  The partially built basis is unusable from here;
@@ -92,10 +93,10 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
       }
       H[j].assign(j + 2, 0.0);
       for (std::size_t i = 0; i <= j; ++i) {
-        H[j][i] = dot(w, V[i]);
+        H[j][i] = ip.dot(w, V[i]);
         axpy(-H[j][i], V[i], w);
       }
-      H[j][j + 1] = norm2(w);
+      H[j][j + 1] = ip.norm2(w);
       // Happy breakdown: the candidate basis vector lies (numerically) in
       // the span of V[0..j] — the Krylov space is A-invariant and the
       // least-squares problem is solved exactly by the current basis.  Do
@@ -163,7 +164,7 @@ GmresResult Gmres::solve(const LinearOperator& A, const Preconditioner& M,
       // Confirm with the true residual (restart otherwise).
       A.apply(x, r);
       for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
-      result.rel_residual = norm2(r) / bnorm;
+      result.rel_residual = ip.norm2(r) / bnorm;
       if (result.rel_residual < 10.0 * cfg_.rel_tol) {
         result.converged = true;
         return result;

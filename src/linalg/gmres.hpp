@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "linalg/inner_product.hpp"
 #include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
 
@@ -19,6 +20,10 @@ struct GmresConfig {
   std::size_t max_iters = 2000;
   std::size_t restart = 100;
   bool verbose = false;
+  /// Optional reduced inner product (distributed runs inject a rank-reduced
+  /// one so all dots/norms — and therefore all branches — agree across
+  /// ranks).  nullptr -> all-entry serial reduction.
+  const InnerProduct* inner = nullptr;
 };
 
 struct GmresResult {

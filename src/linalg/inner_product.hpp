@@ -1,0 +1,63 @@
+#pragma once
+// Inner-product abstraction for the Krylov solvers.
+//
+// Every control-flow branch in GMRES/CG/BiCgStab (and the Newton damping
+// loop) is driven by dot products and norms.  Injecting the inner product
+// lets the distributed runtime (src/dist/) replace them with rank-reduced
+// versions: each rank sums only the dofs it OWNS and the partial sums are
+// combined with a deterministic rank-ordered allreduce.  Because every rank
+// then sees bit-identical scalars, the unmodified solver code runs in SPMD
+// lockstep — same branches, same iteration counts — across all ranks.
+//
+// The default (`serial_inner_product()`) reduces over all entries with the
+// serial kernels from crs_matrix.hpp, which is the single-process behavior
+// the solvers always had.
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/crs_matrix.hpp"
+
+namespace mali::linalg {
+
+class InnerProduct {
+ public:
+  virtual ~InnerProduct() = default;
+
+  /// Reduced dot product <x, y>.  Implementations over distributed vectors
+  /// must (a) touch only entries the calling rank owns and (b) return the
+  /// identical value on every rank.
+  [[nodiscard]] virtual double dot(const std::vector<double>& x,
+                                   const std::vector<double>& y) const = 0;
+
+  /// sqrt(<x, x>); override only to change the reduction, not the sqrt.
+  [[nodiscard]] virtual double norm2(const std::vector<double>& x) const {
+    return std::sqrt(dot(x, x));
+  }
+};
+
+/// All-entry serial reduction — the non-distributed default.
+class SerialInnerProduct final : public InnerProduct {
+ public:
+  [[nodiscard]] double dot(const std::vector<double>& x,
+                           const std::vector<double>& y) const override {
+    return linalg::dot(x, y);
+  }
+  [[nodiscard]] double norm2(const std::vector<double>& x) const override {
+    return linalg::norm2(x);
+  }
+};
+
+[[nodiscard]] inline const InnerProduct& serial_inner_product() {
+  static const SerialInnerProduct ip;
+  return ip;
+}
+
+/// Config-plumbing helper: the injected inner product, or the serial
+/// default when none was set.
+[[nodiscard]] inline const InnerProduct& inner_or_default(
+    const InnerProduct* inner) {
+  return inner != nullptr ? *inner : serial_inner_product();
+}
+
+}  // namespace mali::linalg

@@ -13,12 +13,12 @@ namespace {
 /// this instead of whatever the recurrence last produced.
 double true_rel_residual(const LinearOperator& A, const std::vector<double>& b,
                          const std::vector<double>& x, double bnorm,
-                         std::vector<double>& scratch) {
+                         std::vector<double>& scratch, const InnerProduct& ip) {
   A.apply(x, scratch);
   for (std::size_t i = 0; i < scratch.size(); ++i) {
     scratch[i] = b[i] - scratch[i];
   }
-  return norm2(scratch) / bnorm;
+  return ip.norm2(scratch) / bnorm;
 }
 
 }  // namespace
@@ -33,7 +33,8 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
   if (x.size() != n) x.assign(n, 0.0);
 
   KrylovResult result;
-  const double bnorm = norm2(b);
+  const InnerProduct& ip = inner_or_default(cfg_.inner);
+  const double bnorm = ip.norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     result.converged = true;
@@ -51,19 +52,19 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   M.apply(r, z);
   p = z;
-  double rz = dot(r, z);
+  double rz = ip.dot(r, z);
 
   auto fail = [&](const char* reason) {
     result.breakdown = true;
     result.reason = reason;
-    result.rel_residual = true_rel_residual(A, b, x, bnorm, Ap);
+    result.rel_residual = true_rel_residual(A, b, x, bnorm, Ap, ip);
     result.converged = result.rel_residual < cfg_.rel_tol;
     return result;
   };
 
   for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
     A.apply(p, Ap);
-    const double pAp = dot(p, Ap);
+    const double pAp = ip.dot(p, Ap);
     // Negative (or zero, or NaN) curvature: the operator is not positive
     // definite, so the CG recurrences are meaningless from here on.  Report
     // the breakdown instead of aborting the process.
@@ -74,7 +75,7 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
     axpy(alpha, p, x);
     axpy(-alpha, Ap, r);
     result.iterations = it + 1;
-    result.rel_residual = norm2(r) / bnorm;
+    result.rel_residual = ip.norm2(r) / bnorm;
     if (!std::isfinite(result.rel_residual)) {
       // A NaN/Inf crept into the recurrence (poisoned operator output or
       // preconditioner): report a typed breakdown instead of iterating on
@@ -91,7 +92,7 @@ KrylovResult ConjugateGradient::solve(const LinearOperator& A,
       return result;
     }
     M.apply(r, z);
-    const double rz_new = dot(r, z);
+    const double rz_new = ip.dot(r, z);
     if (rz_new == 0.0 || !std::isfinite(rz_new)) {
       // r != 0 but z^T r vanished: the preconditioner is not SPD on this
       // residual and beta would be 0/0 or garbage.
@@ -113,7 +114,8 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
   if (x.size() != n) x.assign(n, 0.0);
 
   KrylovResult result;
-  const double bnorm = norm2(b);
+  const InnerProduct& ip = inner_or_default(cfg_.inner);
+  const double bnorm = ip.norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     result.converged = true;
@@ -138,13 +140,13 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
   auto fail = [&](const char* reason) {
     result.breakdown = true;
     result.reason = reason;
-    result.rel_residual = true_rel_residual(A, b, x, bnorm, t);
+    result.rel_residual = true_rel_residual(A, b, x, bnorm, t, ip);
     result.converged = result.rel_residual < cfg_.rel_tol;
     return result;
   };
 
   for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
-    const double rho_new = dot(r0, r);
+    const double rho_new = ip.dot(r0, r);
     if (rho_new == 0.0) {
       return fail("breakdown: (r0, r) == 0");
     }
@@ -160,7 +162,7 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
 
     M.apply(p, phat);
     A.apply(phat, v);
-    const double r0v = dot(r0, v);
+    const double r0v = ip.dot(r0, v);
     if (r0v == 0.0) {
       return fail("breakdown: (r0, A M^{-1} p) == 0");
     }
@@ -168,28 +170,28 @@ KrylovResult BiCgStab::solve(const LinearOperator& A, const Preconditioner& M,
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
 
     result.iterations = it + 1;
-    if (norm2(s) / bnorm < cfg_.rel_tol) {
+    if (ip.norm2(s) / bnorm < cfg_.rel_tol) {
       axpy(alpha, phat, x);
-      result.rel_residual = norm2(s) / bnorm;
+      result.rel_residual = ip.norm2(s) / bnorm;
       result.converged = true;
       return result;
     }
 
     M.apply(s, shat);
     A.apply(shat, t);
-    const double tt = dot(t, t);
+    const double tt = ip.dot(t, t);
     if (tt == 0.0) {
       // Commit the alpha half-step (it is what the true residual reflects)
       // before reporting.
       axpy(alpha, phat, x);
       return fail("breakdown: ||A M^{-1} s|| == 0");
     }
-    omega = dot(t, s) / tt;
+    omega = ip.dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) {
       x[i] += alpha * phat[i] + omega * shat[i];
       r[i] = s[i] - omega * t[i];
     }
-    result.rel_residual = norm2(r) / bnorm;
+    result.rel_residual = ip.norm2(r) / bnorm;
     if (!std::isfinite(result.rel_residual)) {
       // A NaN/Inf crept into the recurrence: report a typed breakdown
       // instead of iterating on garbage to the cap.

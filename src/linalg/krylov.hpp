@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "linalg/inner_product.hpp"
 #include "linalg/linear_operator.hpp"
 #include "linalg/preconditioner.hpp"
 
@@ -25,6 +26,10 @@ struct KrylovConfig {
   double rel_tol = 1.0e-8;
   std::size_t max_iters = 2000;
   bool verbose = false;
+  /// Optional reduced inner product (distributed runs inject a rank-reduced
+  /// one so all dots/norms — and therefore all branches — agree across
+  /// ranks).  nullptr -> all-entry serial reduction.
+  const InnerProduct* inner = nullptr;
 };
 
 struct KrylovResult {

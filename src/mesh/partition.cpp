@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
 
@@ -11,60 +12,130 @@ namespace mali::mesh {
 
 namespace {
 
-/// Fills the per-part owned/halo statistics from the owner array.
+/// Fills ownership maps, per-part cell/column lists, neighbor lists and
+/// symmetric send/recv ghost-column lists from the cell_owner array.
 void finalize(const QuadGrid& grid, Partition& p) {
   const int P = p.n_parts;
-  p.owned_cells.assign(static_cast<std::size_t>(P), 0);
-  p.owned_columns.assign(static_cast<std::size_t>(P), 0);
-  p.halo_columns.assign(static_cast<std::size_t>(P), 0);
+  const auto sP = static_cast<std::size_t>(P);
+  p.owned_cells.assign(sP, 0);
+  p.owned_columns.assign(sP, 0);
+  p.halo_columns.assign(sP, 0);
+  p.part_cells.assign(sP, {});
+  p.owned_column_ids.assign(sP, {});
+  p.ghost_column_ids.assign(sP, {});
+  p.local_columns.assign(sP, {});
+  p.neighbors.assign(sP, {});
+  p.send_columns.assign(sP, {});
+  p.recv_columns.assign(sP, {});
 
   for (std::size_t c = 0; c < grid.n_cells(); ++c) {
-    ++p.owned_cells[static_cast<std::size_t>(p.cell_owner[c])];
+    const auto owner = static_cast<std::size_t>(p.cell_owner[c]);
+    MALI_CHECK_MSG(owner < sP, "cell owner out of range");
+    ++p.owned_cells[owner];
+    p.part_cells[owner].push_back(c);  // ascending: c is the loop index
   }
 
   // Column ownership: a column (base node) belongs to the lowest part id
-  // among its touching cells; halo columns of a part are columns it touches
-  // but does not own.
-  std::vector<int> col_owner(grid.n_nodes(), -1);
+  // among its touching cells (deterministic tie-break).
+  p.column_owner.assign(grid.n_nodes(), -1);
   for (std::size_t c = 0; c < grid.n_cells(); ++c) {
     const int owner = p.cell_owner[c];
     for (int k = 0; k < 4; ++k) {
       const std::size_t node = grid.cell_node(c, k);
-      if (col_owner[node] < 0 || owner < col_owner[node]) {
-        col_owner[node] = owner;
+      if (p.column_owner[node] < 0 || owner < p.column_owner[node]) {
+        p.column_owner[node] = owner;
       }
     }
   }
-  std::vector<std::set<std::size_t>> halos(static_cast<std::size_t>(P));
+
+  // Per part: the set of columns its owned cells touch.  Owned columns are
+  // the touched columns it owns; ghost columns the touched columns it does
+  // not.  ghost_by[p][q] = ghost columns of p owned by q (the recv list
+  // p <- q, and by symmetry the send list q -> p).
+  std::vector<std::set<std::size_t>> touched(sP);
   for (std::size_t c = 0; c < grid.n_cells(); ++c) {
-    const int owner = p.cell_owner[c];
+    const auto owner = static_cast<std::size_t>(p.cell_owner[c]);
     for (int k = 0; k < 4; ++k) {
-      const std::size_t node = grid.cell_node(c, k);
-      if (col_owner[node] != owner) {
-        halos[static_cast<std::size_t>(owner)].insert(node);
+      touched[owner].insert(grid.cell_node(c, k));
+    }
+  }
+  std::vector<std::map<int, std::vector<std::size_t>>> ghost_by(sP);
+  for (std::size_t part = 0; part < sP; ++part) {
+    for (const std::size_t node : touched[part]) {  // set: ascending
+      const int owner = p.column_owner[node];
+      if (owner == static_cast<int>(part)) {
+        p.owned_column_ids[part].push_back(node);
+      } else {
+        p.ghost_column_ids[part].push_back(node);
+        ghost_by[part][owner].push_back(node);
       }
     }
+    p.owned_columns[part] = p.owned_column_ids[part].size();
+    p.halo_columns[part] = p.ghost_column_ids[part].size();
+    p.local_columns[part] = p.owned_column_ids[part];
+    p.local_columns[part].insert(p.local_columns[part].end(),
+                                 p.ghost_column_ids[part].begin(),
+                                 p.ghost_column_ids[part].end());
   }
-  for (std::size_t n = 0; n < grid.n_nodes(); ++n) {
-    if (col_owner[n] >= 0) {
-      ++p.owned_columns[static_cast<std::size_t>(col_owner[n])];
+
+  // Neighbor relation: symmetric union of the directed ghost dependencies.
+  // With the lowest-id tie-break a part commonly only sends (or only
+  // receives) across a given interface; both sides still list each other so
+  // the exchange plan is symmetric, with an empty list in one direction.
+  std::vector<std::set<int>> nbr(sP);
+  for (std::size_t part = 0; part < sP; ++part) {
+    for (const auto& kv : ghost_by[part]) {
+      const int owner = kv.first;
+      nbr[part].insert(owner);
+      nbr[static_cast<std::size_t>(owner)].insert(static_cast<int>(part));
     }
   }
-  for (int part = 0; part < P; ++part) {
-    p.halo_columns[static_cast<std::size_t>(part)] =
-        halos[static_cast<std::size_t>(part)].size();
+  for (std::size_t part = 0; part < sP; ++part) {
+    p.neighbors[part].assign(nbr[part].begin(), nbr[part].end());  // ascending
+    const std::size_t nn = p.neighbors[part].size();
+    p.send_columns[part].assign(nn, {});
+    p.recv_columns[part].assign(nn, {});
+    for (std::size_t k = 0; k < nn; ++k) {
+      const int q = p.neighbors[part][k];
+      auto it = ghost_by[part].find(q);
+      if (it != ghost_by[part].end()) {
+        p.recv_columns[part][k] = it->second;  // ascending (from set order)
+      }
+      auto jt = ghost_by[static_cast<std::size_t>(q)].find(
+          static_cast<int>(part));
+      if (jt != ghost_by[static_cast<std::size_t>(q)].end()) {
+        p.send_columns[part][k] = jt->second;  // q's recv from part == our send
+      }
+    }
   }
 }
 
 }  // namespace
 
+std::vector<int> Partition::global_to_local(int part,
+                                            std::size_t n_nodes) const {
+  std::vector<int> g2l(n_nodes, -1);
+  const auto& locals = local_columns[static_cast<std::size_t>(part)];
+  for (std::size_t l = 0; l < locals.size(); ++l) {
+    g2l[locals[l]] = static_cast<int>(l);
+  }
+  return g2l;
+}
+
 Partition partition_strips(const QuadGrid& grid, int n_parts) {
   MALI_CHECK(n_parts >= 1);
+  MALI_CHECK_MSG(static_cast<std::size_t>(n_parts) <= grid.n_cells(),
+                 "partition_strips: n_parts exceeds n_cells — every strip "
+                 "must own at least one cell");
   Partition p;
   p.n_parts = n_parts;
   p.cell_owner.assign(grid.n_cells(), 0);
 
-  // Sort cells by centroid x; assign equal-count contiguous runs.
+  // Sort cells by centroid x; assign contiguous runs.  The remainder
+  // r = n % P is spread over the first r parts (base+1 cells each) so no
+  // trailing part is left empty — the old ceil-division per-part count
+  // could starve the last parts entirely (n=9, P=8 -> two cells each for
+  // the first four parts ... and zero for part 7).
   std::vector<std::size_t> order(grid.n_cells());
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> cx(grid.n_cells());
@@ -75,12 +146,18 @@ Partition partition_strips(const QuadGrid& grid, int n_parts) {
   }
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return cx[a] < cx[b]; });
-  const std::size_t per =
-      (grid.n_cells() + static_cast<std::size_t>(n_parts) - 1) /
-      static_cast<std::size_t>(n_parts);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    p.cell_owner[order[i]] = static_cast<int>(i / per);
+  const std::size_t n = grid.n_cells();
+  const auto sP = static_cast<std::size_t>(n_parts);
+  const std::size_t base = n / sP;
+  const std::size_t rem = n % sP;
+  std::size_t i = 0;
+  for (std::size_t part = 0; part < sP; ++part) {
+    const std::size_t count = base + (part < rem ? 1 : 0);
+    for (std::size_t k = 0; k < count; ++k, ++i) {
+      p.cell_owner[order[i]] = static_cast<int>(part);
+    }
   }
+  MALI_CHECK(i == n);
   finalize(grid, p);
   return p;
 }
@@ -103,10 +180,16 @@ Partition partition_blocks(const QuadGrid& grid, int px, int py) {
   const double wx = (xmax - xmin) * (1.0 + 1e-12);
   const double wy = (ymax - ymin) * (1.0 + 1e-12);
   for (std::size_t c = 0; c < grid.n_cells(); ++c) {
-    const int i = std::min(px - 1, static_cast<int>((cx[c] - xmin) / wx *
-                                                    static_cast<double>(px)));
-    const int j = std::min(py - 1, static_cast<int>((cy[c] - ymin) / wy *
-                                                    static_cast<double>(py)));
+    // A degenerate extent (single row/column of cells) maps everything to
+    // bin 0 instead of dividing by zero.
+    const int i =
+        wx > 0.0 ? std::min(px - 1, static_cast<int>((cx[c] - xmin) / wx *
+                                                     static_cast<double>(px)))
+                 : 0;
+    const int j =
+        wy > 0.0 ? std::min(py - 1, static_cast<int>((cy[c] - ymin) / wy *
+                                                     static_cast<double>(py)))
+                 : 0;
     p.cell_owner[c] = j * px + i;
   }
   finalize(grid, p);

@@ -3,8 +3,24 @@
 //
 // MALI distributes the extruded mesh by columns: each MPI rank owns a set
 // of base cells (and all their layers) plus a one-column halo.  MiniMALI
-// partitions the quad base grid into strips or 2D blocks and reports the
-// owned/halo column counts — the inputs to the multi-GPU scaling model.
+// partitions the quad base grid into strips or 2D blocks and builds the
+// full decomposition structure the in-process rank runtime (src/dist/)
+// executes: cell/column ownership, local<->global column maps, per-part
+// neighbor lists, and symmetric send/recv ghost-column lists.
+//
+// Ownership contract (see DESIGN.md §12):
+//  - every base cell has exactly one owner part;
+//  - a column (base node) is owned by the LOWEST part id among the owners
+//    of cells touching it (deterministic tie-break);
+//  - ghost columns of part p are columns touched by p's owned cells but
+//    owned elsewhere; they are exactly the columns p imports each halo
+//    exchange, and the columns whose residual/matvec partials p exports
+//    back to the owner;
+//  - send/recv lists are symmetric by construction:
+//      send_columns[p][k]  (to q = neighbors[p][k])
+//    equals
+//      recv_columns[q][k'] (from p = neighbors[q][k'])
+//    element for element (both sorted ascending by global column id).
 
 #include <cstddef>
 #include <vector>
@@ -15,14 +31,37 @@ namespace mali::mesh {
 
 struct Partition {
   int n_parts = 1;
-  std::vector<int> cell_owner;  ///< base-cell -> part
+  std::vector<int> cell_owner;    ///< base-cell -> part
+  std::vector<int> column_owner;  ///< base-node -> part (-1: touched by none)
 
-  /// Per part: owned cells, owned columns (base nodes touched by owned
-  /// cells), and halo columns (columns of neighbouring parts adjacent to an
-  /// owned cell — the ghost layer exchanged each assembly).
+  /// Per part: owned cell / owned column / ghost ("halo") column counts —
+  /// the inputs to the multi-GPU scaling model.
   std::vector<std::size_t> owned_cells;
   std::vector<std::size_t> owned_columns;
   std::vector<std::size_t> halo_columns;
+
+  /// Per part: owned base cells, ascending global cell id.
+  std::vector<std::vector<std::size_t>> part_cells;
+  /// Per part: owned columns (global base-node ids, ascending).
+  std::vector<std::vector<std::size_t>> owned_column_ids;
+  /// Per part: ghost columns (global base-node ids, ascending) — touched by
+  /// an owned cell, owned by another part.
+  std::vector<std::vector<std::size_t>> ghost_column_ids;
+  /// Per part: local->global column map, owned columns first (ascending)
+  /// then ghost columns (ascending).  Local column l of part p is
+  /// local_columns[p][l]; l < owned_column_ids[p].size() iff owned.
+  std::vector<std::vector<std::size_t>> local_columns;
+  /// Per part: neighbor part ids (ascending).  q is a neighbor of p iff a
+  /// nonempty transfer exists in either direction (p imports from q or q
+  /// imports from p) — the relation is symmetric even when one direction's
+  /// list is empty (lowest-id tie-break makes that common).
+  std::vector<std::vector<int>> neighbors;
+  /// send_columns[p][k]: columns OWNED by p that neighbor neighbors[p][k]
+  /// needs as ghosts (ascending).  recv_columns[p][k]: columns p needs from
+  /// neighbor neighbors[p][k] (ascending); union over k of recv_columns[p]
+  /// equals ghost_column_ids[p].
+  std::vector<std::vector<std::vector<std::size_t>>> send_columns;
+  std::vector<std::vector<std::vector<std::size_t>>> recv_columns;
 
   [[nodiscard]] std::size_t max_owned_cells() const {
     std::size_t m = 0;
@@ -34,21 +73,44 @@ struct Partition {
     for (auto c : halo_columns) m = std::max(m, c);
     return m;
   }
-  /// Load imbalance: max owned cells / mean owned cells.
+  /// Number of neighbor parts of `part` (real adjacency; strips interior
+  /// parts have 2, block interiors up to 8).
+  [[nodiscard]] int neighbor_count(int part) const {
+    return static_cast<int>(neighbors[static_cast<std::size_t>(part)].size());
+  }
+  /// Maximum neighbor count over all parts (0 for a single part).
+  [[nodiscard]] int max_neighbors() const {
+    int m = 0;
+    for (const auto& n : neighbors) m = std::max(m, static_cast<int>(n.size()));
+    return m;
+  }
+  /// Load imbalance: max owned cells / mean owned cells.  Always finite:
+  /// empty parts push the max/mean ratio up but never divide by zero, and
+  /// a degenerate partition (no parts or no cells) reports 1.0.
   [[nodiscard]] double imbalance() const {
+    if (owned_cells.empty()) return 1.0;
     std::size_t total = 0;
     for (auto c : owned_cells) total += c;
+    if (total == 0) return 1.0;
     const double mean =
         static_cast<double>(total) / static_cast<double>(owned_cells.size());
-    return mean > 0 ? static_cast<double>(max_owned_cells()) / mean : 1.0;
+    return static_cast<double>(max_owned_cells()) / mean;
   }
+
+  /// Global->local column map for `part`: vector sized n_base_nodes with
+  /// local index or -1 for columns outside owned+ghost.
+  [[nodiscard]] std::vector<int> global_to_local(int part,
+                                                 std::size_t n_nodes) const;
 };
 
 /// Vertical strips of equal cell count (1D decomposition, sorted by x).
+/// The remainder r = n_cells % n_parts is spread over the first r parts so
+/// every part owns >= 1 cell; requires n_parts <= n_cells.
 [[nodiscard]] Partition partition_strips(const QuadGrid& grid, int n_parts);
 
 /// px x py blocks over the bounding box (2D decomposition; parts covering
-/// no ice end up empty — the imbalance metric exposes this).
+/// no ice end up empty — the imbalance metric exposes this, and their
+/// send/recv lists are empty but valid).
 [[nodiscard]] Partition partition_blocks(const QuadGrid& grid, int px, int py);
 
 }  // namespace mali::mesh

@@ -54,6 +54,7 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
   const resilience::RecoveryConfig& rc = cfg_.recovery;
 
   NewtonResult result;
+  const linalg::InnerProduct& ip = linalg::inner_or_default(cfg_.inner);
   std::vector<double> F(n), F_trial(n), rhs(n), dU(n), U_trial(n);
   bool matrix_free = cfg_.jacobian == linalg::JacobianMode::kMatrixFree;
   // Matrix-free mode never creates the global matrix — that is the point
@@ -96,7 +97,7 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
       SolverFault fault;
       try {
         problem.residual(U, F);
-        fnorm = linalg::norm2(F);
+        fnorm = ip.norm2(F);
       } catch (const SolverFaultError& e) {
         if (!rc.enabled) throw;
         fault_hit = true;
@@ -189,7 +190,7 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
           // assembled residual_and_jacobian does), and GMRES needs F
           // consistent with J.
           problem.residual(U, F);
-          fnorm = linalg::norm2(F);
+          fnorm = ip.norm2(F);
           refresh_fnorm = false;
           if (!std::isfinite(fnorm)) {
             throw SolverFaultError(make_fault(
@@ -208,7 +209,7 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
             // A checkpoint restore (possibly with a parameter back-step)
             // invalidated the cached ||F||; re-anchor it to the state the
             // linearization just evaluated.
-            fnorm = linalg::norm2(F);
+            fnorm = ip.norm2(F);
             refresh_fnorm = false;
             if (!std::isfinite(fnorm)) {
               throw SolverFaultError(make_fault(
@@ -256,7 +257,7 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
             U_trial[i] = U[i] + damping * dU[i];
           }
           problem.residual(U_trial, F_trial);
-          trial_norm = linalg::norm2(F_trial);
+          trial_norm = ip.norm2(F_trial);
           if (!cfg_.line_search || trial_norm < fnorm ||
               damping <= cfg_.min_damping) {
             break;

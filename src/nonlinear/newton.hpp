@@ -67,6 +67,12 @@ struct NewtonConfig {
   /// either way — the ladder only engages on a detected fault, linear
   /// failure, or line-search stall).  See resilience/recovery.hpp.
   resilience::RecoveryConfig recovery{};
+  /// Optional reduced inner product for every ||F|| the solver computes
+  /// (initial norm, post-linearization refresh, line-search trials).
+  /// Distributed runs inject a rank-reduced one — combined with
+  /// gmres.inner this makes the whole Newton/GMRES control flow SPMD
+  /// lockstep.  nullptr -> all-entry serial reduction.
+  const linalg::InnerProduct* inner = nullptr;
 };
 
 struct NewtonResult {

@@ -203,6 +203,28 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   /// used to stage realistic kernel inputs without a full solve.
   [[nodiscard]] std::vector<double> analytic_initial_guess() const;
 
+  // ---- element-data accessors for the distributed subdomain staging ----
+  // (dist::Subdomain copies per-cell slices of these into compact per-rank
+  // arrays; see src/dist/subdomain.hpp.)
+  [[nodiscard]] const pk::View<double, 3>& force_passive() const noexcept {
+    return force_passive_;
+  }
+  [[nodiscard]] const pk::View<double, 2>& flow_factor() const noexcept {
+    return flow_factor_;  // unallocated unless thermal_viscosity
+  }
+  [[nodiscard]] const pk::View<double, 2>& face_basis() const noexcept {
+    return face_BF_;
+  }
+  [[nodiscard]] const pk::View<double, 3>& ref_grad() const noexcept {
+    return ref_grad_;
+  }
+  [[nodiscard]] const pk::View<double, 1>& qp_weights() const noexcept {
+    return qp_weights_;
+  }
+  [[nodiscard]] const std::vector<double>& dirichlet_values() const noexcept {
+    return dirichlet_values_;
+  }
+
  private:
   template <class EvalT>
   void assemble(const std::vector<double>& U, std::vector<double>& F,

@@ -59,6 +59,31 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::parallel_tasks(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        fn(t);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::parallel_range(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {

@@ -32,6 +32,18 @@ class ThreadPool {
   void parallel_range(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Runs fn(task_id) for task_id in [0, n) with GUARANTEED concurrency:
+  /// each task gets its own dedicated thread (not a pool worker), so task
+  /// bodies may block on each other (barriers, message waits).  This is the
+  /// entry point for the in-process MPI surrogate in src/dist/ — pool
+  /// workers cannot host rank bodies because n ranks > n workers (or a rank
+  /// nesting a parallel_range) would deadlock the shared queue.  Blocks
+  /// until every task returns; the first exception is rethrown after all
+  /// threads join.  Static (no pool state involved) but kept here so all
+  /// thread-spawn policy lives in one place.
+  static void parallel_tasks(std::size_t n,
+                             const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 

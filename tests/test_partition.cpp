@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "core/report_generator.hpp"
 #include "gpusim/multi_gpu.hpp"
@@ -87,6 +91,204 @@ TEST(Partition, HaloDisjointFromOwnedPerPart) {
                   p.halo_columns[static_cast<std::size_t>(part)],
               f.grid.n_nodes());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition-structure invariants: the contracts the dist/ runtime's halo
+// exchange plans are built on, checked for strips AND blocks across part
+// counts including ones that do not divide the cell count evenly.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<mesh::Partition> all_partitions(const mesh::QuadGrid& grid) {
+  std::vector<mesh::Partition> ps;
+  for (const int n : {1, 2, 4, 7}) {
+    ps.push_back(mesh::partition_strips(grid, n));
+  }
+  ps.push_back(mesh::partition_blocks(grid, 2, 2));
+  ps.push_back(mesh::partition_blocks(grid, 2, 3));
+  ps.push_back(mesh::partition_blocks(grid, 1, 7));
+  return ps;
+}
+
+}  // namespace
+
+TEST(PartitionInvariants, EveryCellOwnedExactlyOnceAndInRange) {
+  Fixture f;
+  for (const auto& p : all_partitions(f.grid)) {
+    ASSERT_EQ(p.cell_owner.size(), f.grid.n_cells());
+    std::vector<std::size_t> per_part(static_cast<std::size_t>(p.n_parts), 0);
+    for (const int o : p.cell_owner) {
+      ASSERT_GE(o, 0);
+      ASSERT_LT(o, p.n_parts);
+      ++per_part[static_cast<std::size_t>(o)];
+    }
+    std::size_t total = 0;
+    for (int q = 0; q < p.n_parts; ++q) {
+      const auto qs = static_cast<std::size_t>(q);
+      EXPECT_EQ(per_part[qs], p.owned_cells[qs]);
+      EXPECT_EQ(p.part_cells[qs].size(), p.owned_cells[qs]);
+      total += p.owned_cells[qs];
+    }
+    EXPECT_EQ(total, f.grid.n_cells()) << "sum owned_cells == n_cells";
+  }
+}
+
+TEST(PartitionInvariants, HaloDisjointFromOwned) {
+  Fixture f;
+  for (const auto& p : all_partitions(f.grid)) {
+    for (int q = 0; q < p.n_parts; ++q) {
+      const auto qs = static_cast<std::size_t>(q);
+      const std::set<std::size_t> owned(p.owned_column_ids[qs].begin(),
+                                        p.owned_column_ids[qs].end());
+      for (const std::size_t g : p.ghost_column_ids[qs]) {
+        EXPECT_EQ(owned.count(g), 0u) << "ghost column " << g
+                                      << " also owned by part " << q;
+        EXPECT_NE(p.column_owner[g], q);
+      }
+      EXPECT_EQ(p.ghost_column_ids[qs].size(), p.halo_columns[qs]);
+      EXPECT_EQ(p.owned_column_ids[qs].size(), p.owned_columns[qs]);
+    }
+  }
+}
+
+TEST(PartitionInvariants, SendRecvSymmetricAcrossRankPairs) {
+  Fixture f;
+  for (const auto& p : all_partitions(f.grid)) {
+    for (int q = 0; q < p.n_parts; ++q) {
+      const auto qs = static_cast<std::size_t>(q);
+      for (std::size_t k = 0; k < p.neighbors[qs].size(); ++k) {
+        const int r = p.neighbors[qs][k];
+        ASSERT_NE(r, q) << "no self-neighbor";
+        const auto rs = static_cast<std::size_t>(r);
+        // Find q in r's neighbor list.
+        std::size_t kk = p.neighbors[rs].size();
+        for (std::size_t j = 0; j < p.neighbors[rs].size(); ++j) {
+          if (p.neighbors[rs][j] == q) kk = j;
+        }
+        ASSERT_LT(kk, p.neighbors[rs].size())
+            << "neighbor relation must be symmetric";
+        // What q sends to r is exactly what r receives from q.
+        EXPECT_EQ(p.send_columns[qs][k], p.recv_columns[rs][kk]);
+        EXPECT_EQ(p.recv_columns[qs][k], p.send_columns[rs][kk]);
+        // Sent columns are owned by the sender.
+        for (const std::size_t g : p.send_columns[qs][k]) {
+          EXPECT_EQ(p.column_owner[g], q);
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionInvariants, RecvListsCoverTheGhosts) {
+  Fixture f;
+  for (const auto& p : all_partitions(f.grid)) {
+    for (int q = 0; q < p.n_parts; ++q) {
+      const auto qs = static_cast<std::size_t>(q);
+      std::set<std::size_t> recv;
+      for (const auto& lst : p.recv_columns[qs]) {
+        for (const std::size_t g : lst) {
+          EXPECT_TRUE(recv.insert(g).second)
+              << "column received from two neighbors";
+        }
+      }
+      const std::set<std::size_t> ghosts(p.ghost_column_ids[qs].begin(),
+                                         p.ghost_column_ids[qs].end());
+      EXPECT_EQ(recv, ghosts);
+    }
+  }
+}
+
+TEST(PartitionInvariants, LocalColumnsAreOwnedThenGhost) {
+  Fixture f;
+  for (const auto& p : all_partitions(f.grid)) {
+    for (int q = 0; q < p.n_parts; ++q) {
+      const auto qs = static_cast<std::size_t>(q);
+      const std::size_t n_owned = p.owned_column_ids[qs].size();
+      ASSERT_EQ(p.local_columns[qs].size(),
+                n_owned + p.ghost_column_ids[qs].size());
+      for (std::size_t l = 0; l < n_owned; ++l) {
+        EXPECT_EQ(p.local_columns[qs][l], p.owned_column_ids[qs][l]);
+      }
+      for (std::size_t l = n_owned; l < p.local_columns[qs].size(); ++l) {
+        EXPECT_EQ(p.local_columns[qs][l],
+                  p.ghost_column_ids[qs][l - n_owned]);
+      }
+      const auto g2l = p.global_to_local(q, f.grid.n_nodes());
+      for (std::size_t l = 0; l < p.local_columns[qs].size(); ++l) {
+        EXPECT_EQ(g2l[p.local_columns[qs][l]], static_cast<int>(l));
+      }
+    }
+  }
+}
+
+TEST(PartitionInvariants, StripsSpreadRemainder) {
+  // 7 does not divide the cell count evenly: every part still owns >= 1
+  // cell and counts differ by at most one.
+  Fixture f;
+  const auto p = mesh::partition_strips(f.grid, 7);
+  std::size_t lo = f.grid.n_cells(), hi = 0;
+  for (const std::size_t c : p.owned_cells) {
+    EXPECT_GE(c, 1u);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LE(hi - lo, 1u) << "remainder must be spread, not ceil-packed";
+}
+
+TEST(PartitionInvariants, StripsRejectMorePartsThanCells) {
+  const mesh::IceGeometry geom{};
+  const mesh::QuadGrid tiny(geom, mesh::QuadGridConfig{800.0e3});
+  ASSERT_GT(tiny.n_cells(), 0u);
+  EXPECT_THROW((void)mesh::partition_strips(
+                   tiny, static_cast<int>(tiny.n_cells()) + 1),
+               std::runtime_error);
+}
+
+TEST(PartitionInvariants, EmptyPartsHaveFiniteImbalanceAndValidLists) {
+  // A block grid wider than the ice leaves corner parts empty: imbalance
+  // stays finite and the empty parts get empty-but-valid plan entries.
+  Fixture f;
+  const auto p = mesh::partition_blocks(f.grid, 4, 4);
+  const double imb = p.imbalance();
+  EXPECT_TRUE(std::isfinite(imb));
+  EXPECT_GE(imb, 1.0);
+  for (int q = 0; q < p.n_parts; ++q) {
+    const auto qs = static_cast<std::size_t>(q);
+    if (p.owned_cells[qs] > 0) continue;
+    EXPECT_EQ(p.owned_columns[qs], 0u);
+    EXPECT_EQ(p.halo_columns[qs], 0u);
+    EXPECT_TRUE(p.neighbors[qs].empty());
+    EXPECT_TRUE(p.send_columns[qs].empty());
+    EXPECT_TRUE(p.recv_columns[qs].empty());
+  }
+}
+
+TEST(PartitionInvariants, NeighborCountsMatchAdjacency) {
+  Fixture f;
+  const auto strips = mesh::partition_strips(f.grid, 4);
+  EXPECT_EQ(strips.max_neighbors(), 2) << "interior strips touch 2 parts";
+  EXPECT_EQ(strips.neighbor_count(0), 1);
+  const auto blocks = mesh::partition_blocks(f.grid, 3, 3);
+  EXPECT_GE(blocks.max_neighbors(), 3)
+      << "the center block of a 3x3 grid has >= 3 populated neighbors";
+  EXPECT_LE(blocks.max_neighbors(), 8);
+}
+
+TEST(MultiGpu, ScalingPointUsesRealNeighborCount) {
+  gpusim::NetworkModel net;
+  const double bytes = 1.0e6;
+  const auto two = gpusim::scaling_point(16, 3.0e-3, bytes, net, 3.0e-3, 2);
+  const auto eight = gpusim::scaling_point(16, 3.0e-3, bytes, net, 3.0e-3, 8);
+  EXPECT_EQ(two.neighbors, 2);
+  EXPECT_EQ(eight.neighbors, 8);
+  EXPECT_NEAR(eight.halo_time_s - two.halo_time_s,
+              6.0 * net.message_latency_s, 1e-15);
+  // Single GPU charges no exchange partners regardless.
+  const auto one = gpusim::scaling_point(1, 3.0e-3, bytes, net, 3.0e-3, 8);
+  EXPECT_EQ(one.neighbors, 0);
+  EXPECT_DOUBLE_EQ(one.halo_time_s, 0.0);
 }
 
 TEST(MultiGpu, HaloBytesFormula) {
