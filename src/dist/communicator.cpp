@@ -10,6 +10,7 @@ CommWorld::CommWorld(int size) : size_(size) {
   MALI_CHECK_MSG(size >= 1, "CommWorld needs at least one rank");
   reduce_slots_.assign(static_cast<std::size_t>(size), 0.0);
   reduce_vec_slots_.assign(static_cast<std::size_t>(size), {});
+  reduce_posted_.assign(static_cast<std::size_t>(size), 0);
 }
 
 void CommWorld::check_abort_locked() const {
@@ -52,24 +53,44 @@ double CommWorld::allreduce_sum(int rank, double local) {
 
 std::vector<double> CommWorld::allreduce_sum(int rank,
                                              const std::vector<double>& local) {
+  allreduce_post(rank, local);
+  return allreduce_finish(rank);
+}
+
+void CommWorld::allreduce_post(int rank, const std::vector<double>& local) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_abort_locked();
+  MALI_CHECK_MSG(reduce_posted_[static_cast<std::size_t>(rank)] == 0,
+                 "allreduce_post: a reduction is already in flight");
+  reduce_vec_slots_[static_cast<std::size_t>(rank)] = local;
+  reduce_posted_[static_cast<std::size_t>(rank)] = 1;
+  // No barrier: the caller returns to useful work.  The slot is known free
+  // because the previous finish() ended with a barrier past the slot reads.
+}
+
+std::vector<double> CommWorld::allreduce_finish(int rank) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     check_abort_locked();
-    reduce_vec_slots_[static_cast<std::size_t>(rank)] = local;
+    MALI_CHECK_MSG(reduce_posted_[static_cast<std::size_t>(rank)] != 0,
+                   "allreduce_finish without a matching allreduce_post");
   }
-  barrier();
-  std::vector<double> sum(local.size(), 0.0);
+  barrier();  // all deposits visible
+  std::vector<double> sum;
   {
     std::lock_guard<std::mutex> lk(mu_);
     check_abort_locked();
+    sum.assign(reduce_vec_slots_[static_cast<std::size_t>(rank)].size(), 0.0);
     for (int r = 0; r < size_; ++r) {
       const auto& s = reduce_vec_slots_[static_cast<std::size_t>(r)];
       MALI_CHECK_MSG(s.size() == sum.size(),
                      "allreduce_sum: mismatched vector sizes across ranks");
+      // Fixed rank-order reassociation: identical result on every rank.
       for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += s[i];
     }
+    reduce_posted_[static_cast<std::size_t>(rank)] = 0;
   }
-  barrier();
+  barrier();  // slots free for the next reduction
   return sum;
 }
 

@@ -37,6 +37,17 @@ class CommAborted : public std::runtime_error {
   CommAborted() : std::runtime_error("communicator aborted") {}
 };
 
+/// Per-rank traffic counters (no locking — each rank only touches its own
+/// Communicator).  One allreduce of n values counts as ONE collective and n
+/// reduced values; that distinction is what the batched/pipelined paths are
+/// measured by: fewer collectives for the same number of reduced values.
+struct CommCounters {
+  std::size_t allreduces = 0;      ///< completed reduction collectives
+  std::size_t reduced_values = 0;  ///< total scalars combined across them
+  std::size_t sends = 0;           ///< point-to-point messages sent
+  std::size_t recvs = 0;           ///< point-to-point messages received
+};
+
 /// Shared state for one group of ranks.  Construct once, hand each rank a
 /// Communicator{world, rank}.
 class CommWorld {
@@ -53,6 +64,17 @@ class CommWorld {
   /// must pass the same size).
   std::vector<double> allreduce_sum(int rank, const std::vector<double>& local);
   double allreduce_max(int rank, double local);
+
+  /// Split-phase vector allreduce.  allreduce_post deposits the local
+  /// partials and returns WITHOUT synchronizing — the caller overlaps
+  /// unrelated work (operator applies, halo point-to-point traffic) with the
+  /// in-flight reduction.  allreduce_finish then barriers, combines the
+  /// slots in fixed rank order (bit-identical on every rank, same contract
+  /// as allreduce_sum) and barriers again to free the slots.  At most one
+  /// reduction may be outstanding per rank, and under SPMD lockstep no other
+  /// collective may run between a rank's post and its finish.
+  void allreduce_post(int rank, const std::vector<double>& local);
+  std::vector<double> allreduce_finish(int rank);
 
   /// Mailbox send: moves `data` into the (from, to, tag) channel.  Channels
   /// are FIFO; matching relies on both endpoints executing the same global
@@ -77,6 +99,7 @@ class CommWorld {
   std::size_t barrier_gen_ = 0;
   std::vector<double> reduce_slots_;
   std::vector<std::vector<double>> reduce_vec_slots_;
+  std::vector<char> reduce_posted_;  ///< per-rank: split-phase post in flight
   std::map<std::tuple<int, int, int>, std::deque<std::vector<double>>> mail_;
   bool aborted_ = false;
 };
@@ -92,27 +115,61 @@ class Communicator {
 
   void barrier() { world_->barrier(); }
   [[nodiscard]] double allreduce_sum(double v) {
+    ++counters_.allreduces;
+    ++counters_.reduced_values;
     return world_->allreduce_sum(rank_, v);
   }
   [[nodiscard]] std::vector<double> allreduce_sum(
       const std::vector<double>& v) {
+    return allreduce_n(v);
+  }
+  /// Batched reduction: all n values ride ONE collective (one message per
+  /// fabric neighbor in a real MPI allreduce) instead of n scalar rounds.
+  /// Gram-Schmidt and the fused pipelined recurrences go through this.
+  [[nodiscard]] std::vector<double> allreduce_n(const std::vector<double>& v) {
+    ++counters_.allreduces;
+    counters_.reduced_values += v.size();
     return world_->allreduce_sum(rank_, v);
   }
+  /// Split-phase batched reduction; see CommWorld::allreduce_post/finish.
+  /// Counted once, at finish, as a single collective.
+  void allreduce_post(const std::vector<double>& v) {
+    world_->allreduce_post(rank_, v);
+  }
+  [[nodiscard]] std::vector<double> allreduce_finish() {
+    std::vector<double> out = world_->allreduce_finish(rank_);
+    ++counters_.allreduces;
+    counters_.reduced_values += out.size();
+    return out;
+  }
   [[nodiscard]] double allreduce_max(double v) {
+    ++counters_.allreduces;
+    ++counters_.reduced_values;
     return world_->allreduce_max(rank_, v);
   }
   void send(int to, int tag, std::vector<double> data) {
+    ++counters_.sends;
     world_->send(rank_, to, tag, std::move(data));
   }
   [[nodiscard]] std::vector<double> recv(int from, int tag) {
+    ++counters_.recvs;
     return world_->recv(from, rank_, tag);
   }
   void abort() { world_->abort(); }
   [[nodiscard]] CommWorld& world() noexcept { return *world_; }
 
+  /// Traffic counters for THIS rank's handle (reductions, messages).  Tests
+  /// and benches pin message counts against these; reset between phases to
+  /// scope the measurement.
+  [[nodiscard]] const CommCounters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = CommCounters{}; }
+
  private:
   CommWorld* world_;
   int rank_;
+  CommCounters counters_;
 };
 
 }  // namespace mali::dist

@@ -323,6 +323,7 @@ DistResult solve_distributed(const physics::StokesFOProblem& problem,
 
       nonlinear::NewtonConfig ncfg = cfg.newton;
       ncfg.jacobian = linalg::JacobianMode::kMatrixFree;
+      ncfg.krylov = cfg.krylov;
       ncfg.inner = &ip;
       ncfg.gmres.inner = &ip;
       ncfg.recovery = resilience::RecoveryConfig{};  // no assembled fallback
@@ -347,6 +348,7 @@ DistResult solve_distributed(const physics::StokesFOProblem& problem,
       rep.n_neighbors = part.neighbor_count(static_cast<int>(r));
       accumulate(rep.halo, halo_dof.stats());
       accumulate(rep.halo, halo_blk.stats());
+      rep.comm = comm.counters();
       rep.kernel_s = sub.kernel_seconds();
       rep.total_s = t_total.seconds();
       rep.newton = nr;

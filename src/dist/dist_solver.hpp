@@ -60,7 +60,44 @@ class DistInnerProduct final : public linalg::InnerProduct {
     return comm_->allreduce_sum(local);
   }
 
+  /// All n partials ride ONE allreduce_n collective instead of n scalar
+  /// rounds.  Per value the reassociation is identical to dot(), so each
+  /// out[k] is bit-identical to the scalar path.
+  void dot_batch(const std::vector<linalg::DotPair>& pairs,
+                 std::vector<double>& out) const override {
+    out = comm_->allreduce_n(local_partials(pairs));
+  }
+
+  /// Split-phase: post deposits the rank's partials and returns without
+  /// synchronizing — the pipelined solvers run their operator apply (halo
+  /// import + local kernel + export) in the reduction's shadow; finish
+  /// completes the rank-ordered combine.  Values match dot_batch bitwise.
+  void post(const std::vector<linalg::DotPair>& pairs,
+            Pending& pending) const override {
+    MALI_CHECK_MSG(!pending.active,
+                   "InnerProduct::post: reduction already pending");
+    comm_->allreduce_post(local_partials(pairs));
+    pending.active = true;
+  }
+  void finish(Pending& pending, std::vector<double>& out) const override {
+    MALI_CHECK_MSG(pending.active, "InnerProduct::finish without a post");
+    out = comm_->allreduce_finish();
+    pending.active = false;
+  }
+
  private:
+  [[nodiscard]] std::vector<double> local_partials(
+      const std::vector<linalg::DotPair>& pairs) const {
+    std::vector<double> local(pairs.size(), 0.0);
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto& x = *pairs[k].x;
+      const auto& y = *pairs[k].y;
+      MALI_CHECK(x.size() == y.size());
+      for (const std::size_t d : *owned_) local[k] += x[d] * y[d];
+    }
+    return local;
+  }
+
   Communicator* comm_;
   const std::vector<std::size_t>* owned_;
 };
@@ -191,6 +228,11 @@ struct DistConfig {
   bool overlap = false;
   /// Internal Jacobian representation of DistStokesOperator.
   linalg::JacobianMode jacobian = linalg::JacobianMode::kMatrixFree;
+  /// Inner Krylov method for every rank's Newton solve.  The pipelined
+  /// variants overlap the fused rank-ordered allreduce with the halo-split
+  /// operator apply (DESIGN.md §13); the equivalence contract above holds
+  /// for all kinds.
+  linalg::KrylovKind krylov = linalg::KrylovKind::kGmres;
   /// Per-rank preconditioner: none | jacobi | block-jacobi.  (Stronger
   /// matrix-dependent preconditioners need the full assembled rows and are
   /// not available per-subdomain.)
@@ -205,6 +247,7 @@ struct DistRankReport {
   std::size_t halo_columns = 0;
   int n_neighbors = 0;
   HaloStats halo;        ///< dof-plan + block-plan exchanges combined
+  CommCounters comm;     ///< this rank's reduction/message traffic
   double kernel_s = 0.0; ///< assembly/tangent kernel wall-clock
   double total_s = 0.0;  ///< whole-rank solve wall-clock
   nonlinear::NewtonResult newton;

@@ -17,8 +17,16 @@
 #include <vector>
 
 #include "linalg/crs_matrix.hpp"
+#include "portability/common.hpp"
 
 namespace mali::linalg {
+
+/// One <x, y> pair of a batched reduction request.  Pointees must stay alive
+/// (and, for split-phase use, unmodified) until the reduction completes.
+struct DotPair {
+  const std::vector<double>* x = nullptr;
+  const std::vector<double>* y = nullptr;
+};
 
 class InnerProduct {
  public:
@@ -33,6 +41,47 @@ class InnerProduct {
   /// sqrt(<x, x>); override only to change the reduction, not the sqrt.
   [[nodiscard]] virtual double norm2(const std::vector<double>& x) const {
     return std::sqrt(dot(x, x));
+  }
+
+  /// Caller-owned scratch for a split-phase reduction.  Keeping the pending
+  /// state out of the InnerProduct lets a shared (even static) instance stay
+  /// stateless, so concurrent solves on different threads never race.
+  struct Pending {
+    std::vector<double> values;
+    bool active = false;
+  };
+
+  /// Batched reduction: out[k] = <pairs[k].x, pairs[k].y> for every pair,
+  /// combined in ONE collective.  This is what lets the fused-Gram-Schmidt
+  /// solvers replace j+1 scalar allreduces with a single n-value message.
+  /// Each out[k] must be bit-identical to dot(*pairs[k].x, *pairs[k].y).
+  virtual void dot_batch(const std::vector<DotPair>& pairs,
+                         std::vector<double>& out) const {
+    out.resize(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      out[k] = dot(*pairs[k].x, *pairs[k].y);
+    }
+  }
+
+  /// Split-phase batched reduction.  post() computes the local partial sums
+  /// and initiates the global combine; finish() completes it and yields the
+  /// same values dot_batch would.  Between the two calls the caller may run
+  /// unrelated work (preconditioner + operator applies) whose cost hides the
+  /// reduction latency.  Exactly one finish() must follow each post() on the
+  /// same Pending; nesting posts on one Pending is a contract violation.
+  ///
+  /// The serial default completes immediately at post() — finish() is then a
+  /// plain copy, so single-process runs pay nothing for the split.
+  virtual void post(const std::vector<DotPair>& pairs, Pending& pending) const {
+    MALI_CHECK_MSG(!pending.active,
+                   "InnerProduct::post: reduction already pending");
+    dot_batch(pairs, pending.values);
+    pending.active = true;
+  }
+  virtual void finish(Pending& pending, std::vector<double>& out) const {
+    MALI_CHECK_MSG(pending.active, "InnerProduct::finish without a post");
+    out = pending.values;
+    pending.active = false;
   }
 };
 

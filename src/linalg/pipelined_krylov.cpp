@@ -1,0 +1,377 @@
+#include "linalg/pipelined_krylov.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "portability/common.hpp"
+
+namespace mali::linalg {
+
+namespace {
+
+// Happy-breakdown threshold for the fused normalization.  The next basis
+// norm comes from the cancellation-prone difference <w,w> - sum h_i^2,
+// whose floor is summation noise of order eps * <w,w>; below this squared
+// ratio the computed remainder is indistinguishable from roundoff, so the
+// subspace is declared (numerically) A-invariant instead of normalizing
+// noise into the basis.  Coarser than the classic solver's 1e-14 norm
+// ratio by construction — the price of fusing the norm into one reduction.
+constexpr double kFusedBreakdownTol = 1.0e-13;
+
+/// ||b - A x|| / ||b|| recomputed from scratch — breakdown exits report
+/// this instead of whatever the recurrence last produced.
+double true_rel_residual(const LinearOperator& A, const std::vector<double>& b,
+                         const std::vector<double>& x, double bnorm,
+                         std::vector<double>& scratch, const InnerProduct& ip) {
+  A.apply(x, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    scratch[i] = b[i] - scratch[i];
+  }
+  return ip.norm2(scratch) / bnorm;
+}
+
+}  // namespace
+
+GmresResult PipelinedGmres::solve(const LinearOperator& A,
+                                  const Preconditioner& M,
+                                  const std::vector<double>& b,
+                                  std::vector<double>& x) const {
+  const std::size_t n = A.rows();
+  MALI_CHECK_MSG(A.cols() == n, "GMRES requires a square operator");
+  MALI_CHECK(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  GmresResult result;
+  const InnerProduct& ip = inner_or_default(cfg_.inner);
+  const double bnorm = ip.norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(bnorm)) {
+    result.breakdown = true;
+    result.reason = "non-finite right-hand side norm";
+    result.rel_residual = bnorm;
+    return result;
+  }
+
+  const std::size_t m = cfg_.restart;
+  // Three coupled bases: V orthonormal, Z[i] = M^{-1} V[i] (for the
+  // solution update, exactly as in the classic solver), W[i] = A Z[i]
+  // (so the candidate A M^{-1} v_j is available BEFORE step j's reduction
+  // — that is what moves the M/A applies into the reduction's shadow).
+  std::vector<std::vector<double>> V(m + 1), Z(m + 1), W(m + 1);
+  // Hessenberg in column-major: H[j] holds column j (j+2 entries).
+  std::vector<std::vector<double>> H(m);
+  std::vector<double> cs(m), sn(m), g(m + 1);
+  std::vector<double> r(n), zt(n), wt(n);
+  std::vector<DotPair> pairs;
+  std::vector<double> red;
+  InnerProduct::Pending pending;
+
+  std::size_t total_iters = 0;
+  while (total_iters < cfg_.max_iters) {
+    // r = b - A x
+    A.apply(x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    const double beta = ip.norm2(r);
+    result.rel_residual = beta / bnorm;
+    if (!std::isfinite(beta)) {
+      result.breakdown = true;
+      result.reason = "non-finite residual norm (NaN/Inf in operator output "
+                      "or right-hand side)";
+      return result;
+    }
+    if (result.rel_residual < cfg_.rel_tol) {
+      result.converged = true;
+      return result;
+    }
+
+    // Pipeline fill: V[0] and its preconditioned/applied companions.
+    V[0] = r;
+    scale(1.0 / beta, V[0]);
+    Z[0].resize(n);
+    M.apply(V[0], Z[0]);
+    W[0].resize(n);
+    A.apply(Z[0], W[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    std::size_t j = 0;
+    for (; j < m && total_iters < cfg_.max_iters; ++j, ++total_iters) {
+      // Candidate w = A M^{-1} v_j is W[j], computed one stage ahead.
+      // ONE fused reduction: the j+1 classical-Gram-Schmidt coefficients
+      // h_i = <w, v_i> plus the candidate norm <w, w>.
+      const std::vector<double>& w = W[j];
+      pairs.clear();
+      for (std::size_t i = 0; i <= j; ++i) pairs.push_back({&w, &V[i]});
+      pairs.push_back({&w, &w});
+      ip.post(pairs, pending);
+      // In the reduction's shadow: the speculative M/A applies feeding the
+      // NEXT Arnoldi step (wasted only when this step ends the cycle).
+      M.apply(w, zt);
+      A.apply(zt, wt);
+      ip.finish(pending, red);
+
+      H[j].assign(j + 2, 0.0);
+      double hnorm2 = 0.0;
+      for (std::size_t i = 0; i <= j; ++i) {
+        H[j][i] = red[i];
+        hnorm2 += red[i] * red[i];
+      }
+      const double s = red[j + 1];  // <w, w>
+      if (!std::isfinite(s) || !std::isfinite(hnorm2)) {
+        result.breakdown = true;
+        result.reason = "non-finite fused Gram-Schmidt reduction (NaN/Inf in "
+                        "operator or preconditioner output)";
+        return result;
+      }
+      // ||w - sum h_i v_i||^2 = <w,w> - sum h_i^2 by orthonormality of V.
+      const double hh2 = s - hnorm2;
+      const bool breakdown = s == 0.0 || hh2 <= kFusedBreakdownTol * s;
+      if (breakdown) {
+        // Happy breakdown: the candidate lies (numerically) in the span of
+        // V[0..j]; close the subspace, as in the classic solver.
+        H[j][j + 1] = 0.0;
+      } else {
+        H[j][j + 1] = std::sqrt(hh2);
+        const double inv = 1.0 / H[j][j + 1];
+        // Advance all three bases by the same linear recurrence:
+        // V[j+1] = (w - sum h_i V[i]) / h, and because Z[j+1] must equal
+        // M^{-1} V[j+1] and W[j+1] = A Z[j+1], the overlapped zt = M^{-1} w
+        // and wt = A zt combine with the SAME coefficients.
+        V[j + 1] = w;
+        Z[j + 1] = zt;
+        W[j + 1] = wt;
+        for (std::size_t i = 0; i <= j; ++i) {
+          axpy(-H[j][i], V[i], V[j + 1]);
+          axpy(-H[j][i], Z[i], Z[j + 1]);
+          axpy(-H[j][i], W[i], W[j + 1]);
+        }
+        scale(inv, V[j + 1]);
+        scale(inv, Z[j + 1]);
+        scale(inv, W[j + 1]);
+      }
+
+      // Apply previous Givens rotations to the new column.
+      for (std::size_t i = 0; i < j; ++i) {
+        const double t = cs[i] * H[j][i] + sn[i] * H[j][i + 1];
+        H[j][i + 1] = -sn[i] * H[j][i] + cs[i] * H[j][i + 1];
+        H[j][i] = t;
+      }
+      // New rotation annihilating H[j][j+1].
+      const double denom = std::hypot(H[j][j], H[j][j + 1]);
+      cs[j] = denom == 0.0 ? 1.0 : H[j][j] / denom;
+      sn[j] = denom == 0.0 ? 0.0 : H[j][j + 1] / denom;
+      H[j][j] = denom;
+      H[j][j + 1] = 0.0;
+      g[j + 1] = -sn[j] * g[j];
+      g[j] = cs[j] * g[j];
+
+      result.iterations = total_iters + 1;
+      result.rel_residual = std::abs(g[j + 1]) / bnorm;
+      result.history.push_back(result.rel_residual);
+      if (cfg_.verbose && (total_iters % 25 == 0)) {
+        std::printf("  pgmres iter %4zu  rel res %.3e\n", total_iters + 1,
+                    result.rel_residual);
+      }
+      if (breakdown || result.rel_residual < cfg_.rel_tol) {
+        ++j;
+        ++total_iters;
+        break;
+      }
+    }
+
+    // Solve the j x j triangular system and update x += sum y_i Z_i —
+    // identical to the classic solver, including the singular-pivot
+    // breakdown semantics.
+    std::vector<double> y(j, 0.0);
+    for (std::size_t ii = j; ii-- > 0;) {
+      if (H[ii][ii] == 0.0) {
+        result.breakdown = true;
+        result.reason = "singular Hessenberg pivot (rank-deficient Krylov "
+                        "space)";
+        y[ii] = 0.0;
+        continue;
+      }
+      double acc = g[ii];
+      for (std::size_t k = ii + 1; k < j; ++k) acc -= H[k][ii] * y[k];
+      y[ii] = acc / H[ii][ii];
+    }
+    for (std::size_t ii = 0; ii < j; ++ii) axpy(y[ii], Z[ii], x);
+
+    if (result.rel_residual < cfg_.rel_tol || result.breakdown) {
+      // Confirm with the true residual (restart otherwise).
+      A.apply(x, r);
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+      result.rel_residual = ip.norm2(r) / bnorm;
+      if (result.rel_residual < 10.0 * cfg_.rel_tol) {
+        result.converged = true;
+        return result;
+      }
+      if (result.breakdown) {
+        // The Krylov space is exhausted and the residual did not converge
+        // — restarting cannot make progress.
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+KrylovResult PipelinedCg::solve(const LinearOperator& A,
+                                const Preconditioner& M,
+                                const std::vector<double>& b,
+                                std::vector<double>& x) const {
+  const std::size_t n = A.rows();
+  MALI_CHECK_MSG(A.cols() == n, "CG requires a square operator");
+  MALI_CHECK(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  KrylovResult result;
+  const InnerProduct& ip = inner_or_default(cfg_.inner);
+  const double bnorm = ip.norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+  if (!std::isfinite(bnorm)) {
+    result.breakdown = true;
+    result.reason = "non-finite right-hand side norm";
+    result.rel_residual = bnorm;
+    return result;
+  }
+
+  // Ghysels & Vanroose recurrences: alongside x, r, p the iteration carries
+  // u = M^{-1} r, w = A u, s = A p, q = M^{-1} p, z = A q, advanced by the
+  // same alpha/beta updates so one fused reduction per iteration suffices.
+  std::vector<double> r(n), u(n), w(n), mv(n), nv(n);
+  std::vector<double> z(n, 0.0), q(n, 0.0), s(n, 0.0), p(n, 0.0);
+  A.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  M.apply(r, u);
+  A.apply(u, w);
+
+  auto fail = [&](const char* reason) {
+    result.breakdown = true;
+    result.reason = reason;
+    result.rel_residual = true_rel_residual(A, b, x, bnorm, nv, ip);
+    result.converged = result.rel_residual < cfg_.rel_tol;
+    return result;
+  };
+
+  const std::vector<DotPair> pairs = {{&r, &u}, {&w, &u}, {&r, &r}};
+  std::vector<double> red;
+  InnerProduct::Pending pending;
+  double gamma_old = 0.0, alpha_old = 0.0;
+
+  for (std::size_t it = 0; it < cfg_.max_iters; ++it) {
+    // ONE fused reduction: gamma = <r, u>, delta = <w, u> and the residual
+    // norm for the convergence test, overlapped with the M/A applies the
+    // recurrence needs next.
+    ip.post(pairs, pending);
+    M.apply(w, mv);
+    A.apply(mv, nv);
+    ip.finish(pending, red);
+    const double gamma = red[0], delta = red[1], rr = red[2];
+
+    if (!std::isfinite(gamma) || !std::isfinite(delta) ||
+        !std::isfinite(rr)) {
+      return fail("non-finite fused reduction (NaN/Inf in operator or "
+                  "preconditioner output)");
+    }
+    result.rel_residual = std::sqrt(rr) / bnorm;
+    if (result.rel_residual < cfg_.rel_tol) {
+      // The recurrence residual can drift from the true one over a long
+      // pipelined run; confirm before declaring victory (the classic
+      // solver's r is updated directly and needs no confirm).
+      result.rel_residual = true_rel_residual(A, b, x, bnorm, nv, ip);
+      result.converged = result.rel_residual < 10.0 * cfg_.rel_tol;
+      return result;
+    }
+    if (gamma == 0.0) {
+      // r != 0 here (the convergence test above failed), so the
+      // preconditioned residual vanished against r.
+      return fail("preconditioner breakdown: u^T r == 0 with r != 0");
+    }
+    if (gamma < 0.0) {
+      return fail("indefinite preconditioner: r^T M^{-1} r < 0");
+    }
+
+    double alpha, beta;
+    if (it == 0) {
+      beta = 0.0;
+      if (!(delta > 0.0)) {
+        return fail("indefinite operator: u^T A u <= 0");
+      }
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gamma_old;
+      // In exact arithmetic the denominator equals p^T A p, which must be
+      // positive for SPD A; the fused recurrence exposes indefiniteness
+      // here instead of at a p^T A p dot.
+      const double denom = delta - beta * gamma / alpha_old;
+      if (!(denom > 0.0)) {
+        return fail("indefinite operator: p^T A p <= 0 (pipelined "
+                    "curvature recurrence)");
+      }
+      alpha = gamma / denom;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = nv[i] + beta * z[i];
+      q[i] = mv[i] + beta * q[i];
+      s[i] = w[i] + beta * s[i];
+      p[i] = u[i] + beta * p[i];
+      x[i] += alpha * p[i];
+      r[i] -= alpha * s[i];
+      u[i] -= alpha * q[i];
+      w[i] -= alpha * z[i];
+    }
+    gamma_old = gamma;
+    alpha_old = alpha;
+    result.iterations = it + 1;
+    if (cfg_.verbose && it % 25 == 0) {
+      std::printf("  pcg iter %4zu rel res %.3e\n", it + 1,
+                  result.rel_residual);
+    }
+  }
+  // Iteration cap: report the true residual of the final iterate.
+  result.rel_residual = true_rel_residual(A, b, x, bnorm, nv, ip);
+  result.converged = result.rel_residual < cfg_.rel_tol;
+  return result;
+}
+
+GmresResult solve_krylov(KrylovKind kind, const GmresConfig& cfg,
+                         const LinearOperator& A, const Preconditioner& M,
+                         const std::vector<double>& b, std::vector<double>& x) {
+  switch (kind) {
+    case KrylovKind::kGmres:
+      return Gmres(cfg).solve(A, M, b, x);
+    case KrylovKind::kPipeGmres:
+      return PipelinedGmres(cfg).solve(A, M, b, x);
+    case KrylovKind::kCg:
+    case KrylovKind::kPipeCg: {
+      KrylovConfig kc;
+      kc.rel_tol = cfg.rel_tol;
+      kc.max_iters = cfg.max_iters;
+      kc.verbose = cfg.verbose;
+      kc.inner = cfg.inner;
+      const KrylovResult kr = kind == KrylovKind::kCg
+                                  ? ConjugateGradient(kc).solve(A, M, b, x)
+                                  : PipelinedCg(kc).solve(A, M, b, x);
+      GmresResult out;
+      out.converged = kr.converged;
+      out.iterations = kr.iterations;
+      out.rel_residual = kr.rel_residual;
+      out.breakdown = kr.breakdown;
+      out.reason = kr.reason;
+      return out;
+    }
+  }
+  throw Error("solve_krylov: unhandled KrylovKind");
+}
+
+}  // namespace mali::linalg

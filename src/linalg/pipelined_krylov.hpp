@@ -1,0 +1,125 @@
+#pragma once
+// Pipelined (communication-avoiding) Krylov solvers.
+//
+// The classic solvers synchronize on every dot product: GMRES issues j+1
+// Gram-Schmidt dots plus two norms per Arnoldi step, CG two dots plus a
+// norm per iteration — and in the distributed runtime each one is a
+// blocking rank-ordered allreduce.  At scale that reduction latency, not
+// bandwidth, bounds the solve (the multi-GPU scaling wall the paper hits).
+// The solvers here restructure the recurrences so each iteration issues
+// exactly ONE fused reduction, posted split-phase through
+// InnerProduct::post/finish and overlapped with the preconditioner and
+// operator applies of the next pipeline stage (the halo-split matvec in
+// the distributed runtime):
+//
+//  - PipelinedGmres: single-reduction GMRES.  The Gram-Schmidt projection
+//    coefficients h_i = <w, v_i> AND the candidate norm <w, w> ride one
+//    batched reduction (classical Gram-Schmidt, not modified); the next
+//    basis vector's normalization uses sqrt(<w,w> - sum h_i^2) and the
+//    auxiliary bases Z_i = M^{-1} V_i and W_i = A M^{-1} V_i are advanced
+//    by the same linear recurrence, so the M/A applies for step j+1 run
+//    while step j's reduction is in flight.
+//  - PipelinedCg: Ghysels & Vanroose pipelined CG.  gamma = <r, u>,
+//    delta = <w, u> and ||r||^2 ride one fused reduction overlapped with
+//    m = M^{-1} w and n = A m; extra vector recurrences (s = A p,
+//    q = M^{-1} p, z = A q) keep the iteration mathematically equivalent
+//    to classic preconditioned CG.
+//
+// Contracts shared with the classic solvers: identical typed-breakdown
+// reporting (never abort, never spin to max_iters on a dead subspace; the
+// reported residual at a breakdown exit is the TRUE residual), identical
+// convergence criteria, and the same InnerProduct injection — serial runs
+// complete the posted reduction immediately, so pipelining costs nothing
+// in one process.  Known tradeoffs, documented in DESIGN.md §13: one
+// speculative M/A apply is wasted per restart cycle, and fused classical
+// Gram-Schmidt is numerically weaker than the classic solver's modified
+// Gram-Schmidt (a spurious near-breakdown forces a restart, never a wrong
+// answer — the true-residual confirm guards every exit).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/gmres.hpp"
+#include "linalg/krylov.hpp"
+
+namespace mali::linalg {
+
+/// Inner linear solver selection for Newton/JFNK and the CLI (--krylov).
+enum class KrylovKind { kGmres, kPipeGmres, kCg, kPipeCg };
+
+[[nodiscard]] inline const char* to_string(KrylovKind k) {
+  switch (k) {
+    case KrylovKind::kGmres:
+      return "gmres";
+    case KrylovKind::kPipeGmres:
+      return "pipe-gmres";
+    case KrylovKind::kCg:
+      return "cg";
+    case KrylovKind::kPipeCg:
+      return "pipe-cg";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline KrylovKind krylov_kind_from_string(const std::string& s) {
+  if (s == "gmres") return KrylovKind::kGmres;
+  if (s == "pipe-gmres" || s == "pgmres") return KrylovKind::kPipeGmres;
+  if (s == "cg") return KrylovKind::kCg;
+  if (s == "pipe-cg" || s == "pcg") return KrylovKind::kPipeCg;
+  throw Error("unknown krylov kind: " + s +
+              " (expected gmres|pipe-gmres|cg|pipe-cg)");
+}
+
+/// Single-reduction restarted GMRES with right preconditioning.  Same
+/// configuration, result type, and failure contract as Gmres; exactly one
+/// fused allreduce per Arnoldi iteration (vs j+3 for the classic solver).
+class PipelinedGmres {
+ public:
+  explicit PipelinedGmres(GmresConfig cfg = {}) : cfg_(cfg) {}
+
+  GmresResult solve(const LinearOperator& A, const Preconditioner& M,
+                    const std::vector<double>& b, std::vector<double>& x) const;
+
+  GmresResult solve(const CrsMatrix& A, const Preconditioner& M,
+                    const std::vector<double>& b,
+                    std::vector<double>& x) const {
+    return solve(AssembledOperator(A), M, b, x);
+  }
+
+  [[nodiscard]] const GmresConfig& config() const noexcept { return cfg_; }
+
+ private:
+  GmresConfig cfg_;
+};
+
+/// Ghysels-style pipelined preconditioned CG; requires A SPD and M SPD.
+/// Same configuration, result type, and failure contract as
+/// ConjugateGradient; exactly one fused allreduce per iteration (vs 3).
+class PipelinedCg {
+ public:
+  explicit PipelinedCg(KrylovConfig cfg = {}) : cfg_(cfg) {}
+
+  KrylovResult solve(const LinearOperator& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const;
+  KrylovResult solve(const CrsMatrix& A, const Preconditioner& M,
+                     const std::vector<double>& b,
+                     std::vector<double>& x) const {
+    return solve(AssembledOperator(A), M, b, x);
+  }
+
+ private:
+  KrylovConfig cfg_;
+};
+
+/// Uniform dispatch used by Newton and the distributed driver: run the
+/// selected method with the GmresConfig budget (rel_tol / max_iters /
+/// restart / inner — restart is ignored by the CG variants) and map
+/// CG-style results into GmresResult so the caller's recovery-ladder
+/// plumbing is method-agnostic.
+GmresResult solve_krylov(KrylovKind kind, const GmresConfig& cfg,
+                         const LinearOperator& A, const Preconditioner& M,
+                         const std::vector<double>& b, std::vector<double>& x);
+
+}  // namespace mali::linalg

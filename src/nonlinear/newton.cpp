@@ -223,9 +223,11 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
         // Solve J dU = -F.
         for (std::size_t i = 0; i < n; ++i) rhs[i] = -F[i];
         std::fill(dU.begin(), dU.end(), 0.0);
-        const linalg::Gmres gmres(gcfg);
-        lin = matrix_free ? gmres.solve(*op, *Mp, rhs, dU)
-                          : gmres.solve(J, *Mp, rhs, dU);
+        lin = matrix_free
+                  ? linalg::solve_krylov(cfg_.krylov, gcfg, *op, *Mp, rhs, dU)
+                  : linalg::solve_krylov(cfg_.krylov, gcfg,
+                                         linalg::AssembledOperator(J), *Mp,
+                                         rhs, dU);
         // Solver-level injection site: forced GMRES stagnation.
         if (rc.injector != nullptr &&
             rc.injector->fire(FaultSite::kLinearSolve)) {

@@ -15,6 +15,7 @@
 #include "linalg/crs_matrix.hpp"
 #include "linalg/gmres.hpp"
 #include "linalg/linear_operator.hpp"
+#include "linalg/pipelined_krylov.hpp"
 #include "linalg/preconditioner.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/recovery.hpp"
@@ -59,6 +60,14 @@ struct NewtonConfig {
   bool line_search = true;
   bool verbose = false;
   linalg::GmresConfig gmres{};  ///< linear tol 1e-6, per the paper
+  /// Inner Krylov method.  The pipelined variants issue ONE fused reduction
+  /// per iteration, posted split-phase through the injected InnerProduct:
+  /// serial runs complete it immediately (no behavior change beyond
+  /// classical-vs-modified Gram-Schmidt rounding), distributed runs overlap
+  /// the rank-ordered allreduce with the halo-split operator apply.  The
+  /// recovery ladder applies to every kind — all four report through the
+  /// same GmresResult contract.
+  linalg::KrylovKind krylov = linalg::KrylovKind::kGmres;
   /// Jacobian representation: assembled CRS (default) or the problem's
   /// matrix-free operator (no global matrix is ever created; the
   /// preconditioner is computed from the operator's diagonal extraction).

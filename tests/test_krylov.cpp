@@ -10,6 +10,7 @@
 #include "linalg/block_jacobi.hpp"
 #include "linalg/gmres.hpp"
 #include "linalg/krylov.hpp"
+#include "linalg/pipelined_krylov.hpp"
 #include "linalg/semicoarsening_amg.hpp"
 #include "physics/stokes_fo_problem.hpp"
 
@@ -49,6 +50,47 @@ double rel_res(const CrsMatrix& A, const std::vector<double>& x,
   for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
   return norm2(r) / norm2(b);
 }
+
+/// The nonsymmetric convection-skew tridiagonal the BiCgStab test uses.
+CrsMatrix convection_matrix(std::size_t n) {
+  std::vector<std::size_t> rp{0}, cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) cols.push_back(i - 1);
+    cols.push_back(i);
+    if (i + 1 < n) cols.push_back(i + 1);
+    rp.push_back(cols.size());
+  }
+  CrsMatrix A(rp, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    A.set(i, i, 2.4);
+    if (i > 0) A.set(i, i - 1, -1.4);
+    if (i + 1 < n) A.set(i, i + 1, -0.6);
+  }
+  return A;
+}
+
+/// Serial inner product that counts its reductions — the unit-level stand-in
+/// for the distributed communicator's collective counter.  One dot/norm is
+/// one scalar reduction; one dot_batch (and one post/finish pair, which
+/// routes through dot_batch) is ONE batched reduction regardless of width.
+class CountingInnerProduct final : public InnerProduct {
+ public:
+  [[nodiscard]] double dot(const std::vector<double>& x,
+                           const std::vector<double>& y) const override {
+    ++scalar_reductions;
+    return mali::linalg::dot(x, y);
+  }
+  void dot_batch(const std::vector<DotPair>& pairs,
+                 std::vector<double>& out) const override {
+    ++batched_reductions;
+    out.resize(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      out[k] = mali::linalg::dot(*pairs[k].x, *pairs[k].y);
+    }
+  }
+  mutable std::size_t scalar_reductions = 0;
+  mutable std::size_t batched_reductions = 0;
+};
 
 }  // namespace
 
@@ -196,6 +238,143 @@ TEST(BlockJacobi, BeatsPointJacobiOnVelocityJacobian) {
   EXPECT_TRUE(r2.converged);
   EXPECT_LE(r2.iterations, r1.iterations)
       << "2x2 nodal blocks capture the u-v coupling";
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-vs-classic equivalence battery: the pipelined solvers are
+// mathematically the same iterations (classical instead of modified
+// Gram-Schmidt in GMRES; rearranged-but-equivalent recurrences in CG), so
+// on the same matrices they must match the classic solvers to rounding —
+// iteration parity within +/-2 and residual agreement <= 1e-10.
+// ---------------------------------------------------------------------------
+
+TEST(PipelinedKrylov, PipeCgMatchesClassicOnSpdSystem) {
+  auto A = spd_laplacian(200);
+  JacobiPreconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(200, 1);
+  const KrylovConfig kc{1e-10, 2000};
+  std::vector<double> xc, xp;
+  const auto rc = ConjugateGradient(kc).solve(A, M, b, xc);
+  const auto rp = PipelinedCg(kc).solve(A, M, b, xp);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rp.converged);
+  EXPECT_NEAR(static_cast<double>(rc.iterations),
+              static_cast<double>(rp.iterations), 2.0);
+  EXPECT_LT(std::abs(rc.rel_residual - rp.rel_residual), 1e-10);
+  EXPECT_LT(rel_res(A, xp, b), 1e-9);
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    EXPECT_NEAR(xc[i], xp[i], 1e-8);
+  }
+}
+
+TEST(PipelinedKrylov, PipeGmresMatchesClassicOnConvectionSystem) {
+  const std::size_t n = 150;
+  auto A = convection_matrix(n);
+  Ilu0Preconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(n, 5);
+  GmresConfig gc;
+  gc.rel_tol = 1e-10;
+  gc.max_iters = 2000;
+  gc.restart = 100;
+  std::vector<double> xc, xp;
+  const auto rc = Gmres(gc).solve(A, M, b, xc);
+  const auto rp = PipelinedGmres(gc).solve(A, M, b, xp);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rp.converged);
+  EXPECT_NEAR(static_cast<double>(rc.iterations),
+              static_cast<double>(rp.iterations), 2.0);
+  EXPECT_LT(std::abs(rc.rel_residual - rp.rel_residual), 1e-10);
+  EXPECT_LT(rel_res(A, xp, b), 1e-9);
+}
+
+TEST(PipelinedKrylov, PipeGmresMatchesClassicOnIceJacobian) {
+  mali::physics::StokesFOConfig cfg;
+  cfg.dx_m = 250.0e3;
+  cfg.n_layers = 4;
+  mali::physics::StokesFOProblem p(cfg);
+  const auto U = p.analytic_initial_guess();
+  std::vector<double> F;
+  auto J = p.create_matrix();
+  p.residual_and_jacobian(U, F, J);
+
+  SemicoarseningAmg amg(p.extrusion_info());
+  amg.compute(J);
+
+  GmresConfig gc;
+  gc.rel_tol = 1e-10;
+  gc.max_iters = 3000;
+  gc.restart = 200;
+  std::vector<double> xc, xp;
+  const auto rc = Gmres(gc).solve(J, amg, F, xc);
+  const auto rp = PipelinedGmres(gc).solve(J, amg, F, xp);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rp.converged);
+  EXPECT_NEAR(static_cast<double>(rc.iterations),
+              static_cast<double>(rp.iterations), 2.0);
+  EXPECT_LT(std::abs(rc.rel_residual - rp.rel_residual), 1e-10);
+  double diff = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    diff += (xc[i] - xp[i]) * (xc[i] - xp[i]);
+    norm += xc[i] * xc[i];
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 1e-6);
+}
+
+// The headline contract, pinned at the unit level with a counting inner
+// product (the dist tests pin the same invariant against the communicator's
+// collective counter): pipelined GMRES issues exactly ONE batched reduction
+// per Arnoldi iteration, while the classic solver issues j+3 scalar
+// reductions at step j.  Cycle constants: ||b||, the restart residual norm,
+// and the true-residual confirm are scalar norms in both solvers.
+TEST(PipelinedKrylov, OneFusedReductionPerGmresIteration) {
+  const std::size_t n = 150;
+  auto A = convection_matrix(n);
+  Ilu0Preconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(n, 5);
+  GmresConfig gc;
+  gc.rel_tol = 1e-10;
+  gc.max_iters = 2000;
+  gc.restart = 100;  // single cycle for the count formulas below
+
+  CountingInnerProduct count;
+  gc.inner = &count;
+  std::vector<double> x;
+  const auto rp = PipelinedGmres(gc).solve(A, M, b, x);
+  ASSERT_TRUE(rp.converged);
+  ASSERT_LE(rp.iterations, gc.restart);  // formulas assume one cycle
+  EXPECT_EQ(count.batched_reductions, rp.iterations);
+  EXPECT_EQ(count.scalar_reductions, 3u);  // ||b|| + cycle norm + confirm
+
+  CountingInnerProduct count_classic;
+  gc.inner = &count_classic;
+  std::vector<double> xc;
+  const auto rc = Gmres(gc).solve(A, M, b, xc);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_LE(rc.iterations, gc.restart);
+  EXPECT_EQ(count_classic.batched_reductions, 0u);
+  // sum_{j=0}^{it-1} (j+3) per-iteration reductions + the 3 cycle norms.
+  const std::size_t it = rc.iterations;
+  EXPECT_EQ(count_classic.scalar_reductions, it * (it + 5) / 2 + 3);
+}
+
+TEST(PipelinedKrylov, OneFusedReductionPerCgIteration) {
+  auto A = spd_laplacian(200);
+  JacobiPreconditioner M;
+  M.compute(A);
+  const auto b = rand_vec(200, 1);
+  KrylovConfig kc{1e-10, 2000};
+  CountingInnerProduct count;
+  kc.inner = &count;
+  std::vector<double> x;
+  const auto r = PipelinedCg(kc).solve(A, M, b, x);
+  ASSERT_TRUE(r.converged);
+  // One fused batch per update pass, plus the final pass that detects
+  // convergence at the top of the loop before updating.
+  EXPECT_EQ(count.batched_reductions, r.iterations + 1);
+  EXPECT_EQ(count.scalar_reductions, 2u);  // ||b|| + true-residual confirm
 }
 
 TEST(CrossSolver, GmresBicgstabAmgAgreeOnIceJacobian) {

@@ -18,10 +18,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "linalg/gmres.hpp"
 #include "linalg/krylov.hpp"
+#include "linalg/pipelined_krylov.hpp"
 #include "linalg/preconditioner.hpp"
 #include "nonlinear/newton.hpp"
 
@@ -195,6 +197,110 @@ TEST(KrylovFailures, GmresHappyBreakdownDoesNotSetFlag) {
   const auto r = Gmres().solve(A, M, b, x);
   EXPECT_TRUE(r.converged);
   EXPECT_FALSE(r.breakdown);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined variants: same engineered breakdowns, same typed reporting.
+// The fused-reduction restructuring must not reintroduce the
+// cycle-to-max_iters failure mode the classic solvers were cured of.
+// ---------------------------------------------------------------------------
+
+TEST(KrylovFailures, PipeGmresZeroOperatorReturnsQuicklyWithBreakdown) {
+  // A == 0 makes the fused reduction return <w,w> == 0 on the first step:
+  // the subspace closes, the Hessenberg pivot is singular, and the solver
+  // must return after one cycle with the honest (untouched) residual.
+  const auto A = zero_matrix(10);
+  IdentityPreconditioner M;
+  const std::vector<double> b(10, 1.0);
+  std::vector<double> x;
+  GmresConfig cfg;
+  cfg.max_iters = 500;
+  GmresResult r;
+  EXPECT_NO_THROW(r = PipelinedGmres(cfg).solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_NE(r.reason.find("Hessenberg"), std::string::npos) << r.reason;
+  EXPECT_LE(r.iterations, 2u) << "must not burn the iteration budget";
+  EXPECT_DOUBLE_EQ(r.rel_residual, 1.0);
+}
+
+TEST(KrylovFailures, PipeGmresHappyBreakdownDoesNotSetFlag) {
+  std::vector<std::size_t> rp(5), cols(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    rp[i + 1] = i + 1;
+    cols[i] = i;
+  }
+  CrsMatrix A(rp, cols);
+  for (std::size_t i = 0; i < 4; ++i) A.set(i, i, 1.0);
+  IdentityPreconditioner M;
+  const std::vector<double> b = {1.0, -2.0, 3.0, -4.0};
+  std::vector<double> x;
+  const auto r = PipelinedGmres().solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.breakdown);
+}
+
+TEST(KrylovFailures, PipeGmresNonFiniteRhsReportsBreakdown) {
+  const auto A = dense2(2.0, 0.0, 0.0, 2.0);
+  IdentityPreconditioner M;
+  const std::vector<double> b = {1.0, std::nan("")};
+  std::vector<double> x;
+  GmresResult r;
+  EXPECT_NO_THROW(r = PipelinedGmres().solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_NE(r.reason.find("non-finite"), std::string::npos) << r.reason;
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(KrylovFailures, PipeCgIndefiniteOperatorReportsBreakdown) {
+  const auto A = dense2(1.0, 0.0, 0.0, -1.0);
+  IdentityPreconditioner M;
+  const std::vector<double> b = {1.0, 1.0};
+  std::vector<double> x;
+  KrylovResult r;
+  EXPECT_NO_THROW(r = PipelinedCg().solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_NE(r.reason.find("indefinite"), std::string::npos) << r.reason;
+  EXPECT_NEAR(r.rel_residual, true_rel(A, x, b), 1e-14);
+}
+
+TEST(KrylovFailures, PipeCgZeroOperatorReportsBreakdown) {
+  // w = A u == 0 makes the fused curvature delta = <w,u> vanish on the
+  // first pass — typed indefinite-operator breakdown, residual untouched.
+  const auto A = zero_matrix(8);
+  IdentityPreconditioner M;
+  const std::vector<double> b(8, 1.0);
+  std::vector<double> x;
+  KrylovResult r;
+  EXPECT_NO_THROW(r = PipelinedCg().solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_EQ(r.iterations, 0u) << "must not burn the iteration budget";
+  EXPECT_DOUBLE_EQ(r.rel_residual, 1.0);
+}
+
+TEST(KrylovFailures, PipeCgBreakdownAtConvergedIterateStaysConverged) {
+  const auto A = dense2(2.0, 0.0, 0.0, 3.0);
+  IdentityPreconditioner M;
+  const std::vector<double> b = {2.0, 3.0};
+  std::vector<double> x = {1.0, 1.0};  // exact solution
+  const auto r = PipelinedCg().solve(A, M, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.rel_residual, 1e-12);
+}
+
+TEST(KrylovFailures, PipeCgNonFiniteRhsReportsBreakdown) {
+  const auto A = dense2(2.0, 0.0, 0.0, 2.0);
+  IdentityPreconditioner M;
+  const std::vector<double> b = {1.0, std::numeric_limits<double>::infinity()};
+  std::vector<double> x;
+  KrylovResult r;
+  EXPECT_NO_THROW(r = PipelinedCg().solve(A, M, b, x));
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_NE(r.reason.find("non-finite"), std::string::npos) << r.reason;
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@
 #include "linalg/matrix_market.hpp"
 #include "linalg/semicoarsening_amg.hpp"
 #include "perf/data_movement.hpp"
+#include "perf/reduction_latency.hpp"
 #include "mpas/fv_transport.hpp"
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
@@ -197,17 +198,18 @@ int cmd_solve_distributed(const Args& args) {
   dcfg.overlap = args.has("halo-overlap");
   dcfg.jacobian = problem.config().jacobian;
   dcfg.precond = args.str("precond", "block-jacobi");
+  dcfg.krylov = linalg::krylov_kind_from_string(args.str("krylov", "gmres"));
   dcfg.newton.max_iters = static_cast<int>(args.num("steps", 8));
   dcfg.verbose = true;
 
   std::printf(
       "mesh: %zu hexahedra, %zu dofs (%s Jacobian)\n"
-      "distributed: %d ranks, %s decomposition, %s preconditioner, halo "
-      "overlap %s\n",
+      "distributed: %d ranks, %s decomposition, %s preconditioner, %s "
+      "krylov, halo overlap %s\n",
       problem.mesh().n_cells(), problem.n_dofs(),
       linalg::to_string(problem.config().jacobian), dcfg.ranks,
       dist::to_string(dcfg.decomp), dcfg.precond.c_str(),
-      dcfg.overlap ? "on" : "off");
+      linalg::to_string(dcfg.krylov), dcfg.overlap ? "on" : "off");
 
   const auto U0 = problem.analytic_initial_guess();
   const auto res = dist::solve_distributed(problem, dcfg, &U0);
@@ -225,6 +227,21 @@ int cmd_solve_distributed(const Args& args) {
   }
   std::printf("partition imbalance: %.3f, max neighbors: %d\n",
               res.partition.imbalance(), res.partition.max_neighbors());
+  // Reduction-latency model next to the measured reduction counts (rank 0
+  // is representative: the injected inner product keeps all ranks in
+  // lockstep, so every rank issues the identical collective sequence).
+  perf::ReductionLatencyModel rlm;
+  rlm.ranks = dcfg.ranks;
+  rlm.restart = dcfg.newton.gmres.restart;
+  const dist::CommCounters& cc = res.ranks[0].comm;
+  std::printf(
+      "reductions (rank 0, measured): %zu collectives, %zu values reduced\n"
+      "reduction model @ %d ranks: classic gmres %.1f reductions/iter "
+      "(%.2f us sync), pipelined 1 (%.2f us, %.1fx less sync)\n",
+      cc.allreduces, cc.reduced_values, dcfg.ranks,
+      rlm.classic_gmres_avg_reductions(),
+      rlm.classic_gmres_sync_per_iter_s() * 1e6,
+      rlm.pipelined_gmres_sync_per_iter_s() * 1e6, rlm.gmres_sync_ratio());
   std::printf("Newton: %s in %d steps, ||F|| = %.3e\n",
               res.converged ? "converged" : "NOT converged",
               res.newton_iters, res.residual_norm);
@@ -250,6 +267,10 @@ int cmd_solve(const Args& args) {
   ncfg.max_iters = static_cast<int>(args.num("steps", 8));
   ncfg.verbose = true;
   ncfg.jacobian = problem.config().jacobian;
+  // Inner Krylov method; the pipelined variants complete their fused
+  // reduction immediately in this serial path (same math, one reduction).
+  ncfg.krylov = linalg::krylov_kind_from_string(args.str("krylov", "gmres"));
+  std::printf("krylov: %s\n", linalg::to_string(ncfg.krylov));
 
   // ---- resilience surface ----
   // --inject-fault plants a deterministic fault (see fault_spec_from_string
@@ -497,6 +518,9 @@ void usage() {
       "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
       "                   [--scatter serial|colored|atomic] [--phases]\n"
       "                   [--jacobian assembled|matrix-free]\n"
+      "                   [--krylov gmres|pipe-gmres|cg|pipe-cg]\n"
+      "                     pipelined variants: one fused allreduce per\n"
+      "                     iteration, overlapped with the operator apply\n"
       "                   [--precond jacobi|block-jacobi|amg]\n"
       "                   [--smoother sgs|chebyshev] [--mms]\n"
       "                   [--thermal] [--weertman] [--workset N]\n"
@@ -510,6 +534,7 @@ void usage() {
       "                   [--ranks N] in-process domain-decomposed solve\n"
       "                     [--decomp strips|blocks] [--halo-overlap]\n"
       "                     [--precond none|jacobi|block-jacobi]\n"
+      "                     [--krylov gmres|pipe-gmres|cg|pipe-cg]\n"
       "  study            run the GPU optimization study -> markdown report\n"
       "                   [--cells N] [--scale F] [--out PATH]\n"
       "  transport        Eq. 2 thickness transport demo [--dx-km F]\n"
