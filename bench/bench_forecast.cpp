@@ -1,0 +1,188 @@
+// Transient forecast engine throughput (DESIGN.md §14): model-years/hour
+// and steps/hour for the coupled velocity–thickness–thermal cycle on the
+// dome, with the per-phase wall-clock split (velocity / transport /
+// thermal) from the driver's timers and the mass-budget residual pinned
+// per configuration.
+//
+// The acceptance criteria this bench demonstrates and records:
+//   * every configuration reaches the horizon (completed == true), and
+//   * the per-step mass-budget identity holds to FP roundoff
+//     (max relative residual <= 1e-10 — loose vs the 1e-12 test pin so
+//     long benches with many steps keep headroom).
+//
+//   ./bench_forecast [--dx-km=F] [--layers=N] [--years=F]
+//                    [--out=BENCH_forecast.json]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "physics/stokes_fo_problem.hpp"
+#include "timestepping/forecast_driver.hpp"
+
+using namespace mali;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  double wall_s = 0.0;
+  int steps = 0;
+  int velocity_solves = 0;
+  int rejections = 0;
+  double years = 0.0;
+  double steps_per_hour = 0.0;
+  double model_years_per_hour = 0.0;
+  double velocity_frac = 0.0;
+  double transport_frac = 0.0;
+  double thermal_frac = 0.0;
+  double max_mass_residual = 0.0;
+  double volume_change_frac = 0.0;
+  bool completed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double dx_km = 220.0;
+  int layers = 3;
+  double years = 20.0;
+  std::string out_path = "BENCH_forecast.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dx-km=", 8) == 0) dx_km = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--layers=", 9) == 0) layers = std::atoi(argv[i] + 9);
+    if (std::strncmp(argv[i], "--years=", 8) == 0) years = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  struct Config {
+    const char* name;
+    int velocity_every;
+    bool thermal;
+    mpas::FluxScheme flux;
+    std::string forcing;
+  };
+  const Config configs[] = {
+      {"smb_only_upwind", -1, false, mpas::FluxScheme::kUpwind, "constant"},
+      {"frozen_velocity_muscl", 0, false, mpas::FluxScheme::kVanLeerMuscl,
+       "ramp:anomaly=-0.2,start=1,end=10"},
+      {"coupled_thermal", 2, true, mpas::FluxScheme::kVanLeerMuscl,
+       "cycle:amplitude=0.3,period=5"},
+  };
+
+  std::printf("forecast bench: dome dx=%.0f km, %d layers, horizon %.0f yr\n\n",
+              dx_km, layers, years);
+  std::printf("%-22s %9s %6s %7s %9s %10s %8s %8s %8s %12s\n", "config",
+              "wall [s]", "steps", "v.slv", "steps/hr", "m.yr/hr", "vel%",
+              "trans%", "therm%", "mass resid");
+
+  std::vector<Row> rows;
+  bool all_completed = true, mass_ok = true;
+  for (const Config& c : configs) {
+    physics::StokesFOConfig pcfg;
+    pcfg.dx_m = dx_km * 1e3;
+    pcfg.n_layers = layers;
+    physics::StokesFOProblem problem(pcfg);
+
+    timestepping::ForecastConfig fcfg;
+    fcfg.years = years;
+    fcfg.forcing = c.forcing;
+    fcfg.velocity_every = c.velocity_every;
+    fcfg.thermal_enabled = c.thermal;
+    fcfg.transport.flux = c.flux;
+    fcfg.transport.time = mpas::TimeScheme::kHeunRk2;
+    fcfg.transport.min_thickness = 0.0;
+    fcfg.controller.dt_init = 0.25;
+    fcfg.controller.dt_max = 2.0;
+    fcfg.newton.max_iters = 10;
+
+    timestepping::ForecastDriver driver(problem, fcfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = driver.run();
+    const double wall = seconds_since(t0);
+
+    Row row;
+    row.name = c.name;
+    row.wall_s = wall;
+    row.steps = res.steps;
+    row.velocity_solves = res.velocity_solves;
+    row.rejections = res.rejections;
+    row.years = res.t_final;
+    row.steps_per_hour = wall > 0.0 ? 3600.0 * res.steps / wall : 0.0;
+    row.model_years_per_hour = wall > 0.0 ? 3600.0 * res.t_final / wall : 0.0;
+    const double vel = res.timers.total("velocity");
+    const double tra = res.timers.total("transport");
+    const double the = res.timers.total("thermal");
+    const double phases = vel + tra + the;
+    if (phases > 0.0) {
+      row.velocity_frac = vel / phases;
+      row.transport_frac = tra / phases;
+      row.thermal_frac = the / phases;
+    }
+    row.max_mass_residual = res.max_mass_residual;
+    row.volume_change_frac =
+        res.volume_initial > 0.0
+            ? (res.volume_final - res.volume_initial) / res.volume_initial
+            : 0.0;
+    row.completed = res.completed;
+    all_completed = all_completed && res.completed;
+    mass_ok = mass_ok && res.max_mass_residual <= 1e-10;
+
+    std::printf("%-22s %9.3f %6d %7d %9.0f %10.0f %7.1f%% %7.1f%% %7.1f%% %12.3e%s\n",
+                row.name.c_str(), row.wall_s, row.steps, row.velocity_solves,
+                row.steps_per_hour, row.model_years_per_hour,
+                100.0 * row.velocity_frac, 100.0 * row.transport_frac,
+                100.0 * row.thermal_frac, row.max_mass_residual,
+                row.completed ? "" : "  [INCOMPLETE]");
+    rows.push_back(row);
+  }
+
+  std::printf("\nall runs completed:            %s\n",
+              all_completed ? "PASS" : "FAIL");
+  std::printf("mass residual <= 1e-10:        %s\n", mass_ok ? "PASS" : "FAIL");
+
+  // JSON record for CI artifact upload and the repo-root snapshot.
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"forecast\",\n");
+    std::fprintf(f,
+                 "  \"problem\": {\"dx_km\": %.1f, \"layers\": %d, "
+                 "\"years\": %.1f},\n",
+                 dx_km, layers, years);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"config\": \"%s\", \"wall_s\": %.6f, \"steps\": %d, "
+          "\"velocity_solves\": %d, \"rejections\": %d, "
+          "\"steps_per_hour\": %.1f, \"model_years_per_hour\": %.1f, "
+          "\"velocity_frac\": %.4f, \"transport_frac\": %.4f, "
+          "\"thermal_frac\": %.4f, \"max_mass_residual\": %.3e, "
+          "\"volume_change_frac\": %.6e, \"completed\": %s}%s\n",
+          r.name.c_str(), r.wall_s, r.steps, r.velocity_solves, r.rejections,
+          r.steps_per_hour, r.model_years_per_hour, r.velocity_frac,
+          r.transport_frac, r.thermal_frac, r.max_mass_residual,
+          r.volume_change_frac, r.completed ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"all_completed\": %s,\n",
+                 all_completed ? "true" : "false");
+    std::fprintf(f, "  \"mass_residual_ok\": %s\n", mass_ok ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  return (all_completed && mass_ok) ? 0 : 2;
+}

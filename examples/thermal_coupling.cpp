@@ -9,17 +9,18 @@
 //
 // Warm ice deforms faster (A grows with T), so the coupled state flows
 // faster than the cold initial guess — the effect this example quantifies.
+// Since the transient forecast engine (DESIGN.md §14) this example is a
+// thin wrapper over timestepping::ForecastDriver in its Picard
+// configuration: fixed unit dt, thickness evolution off, steady thermal
+// solve each cycle — one forecast step == one Picard iteration.
 //
 //   ./examples/thermal_coupling [dx_km] [layers] [picard_iters]
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
-#include "linalg/semicoarsening_amg.hpp"
-#include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
-#include "physics/thermal_model.hpp"
+#include "timestepping/forecast_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace mali;
@@ -34,34 +35,26 @@ int main(int argc, char** argv) {
               cfg.dx_m / 1e3, cfg.n_layers, picard_iters);
 
   physics::StokesFOProblem problem(cfg);
-  physics::ThermalModel thermal(problem.mesh(), problem.geometry());
-  linalg::SemicoarseningAmg amg(problem.extrusion_info());
-  nonlinear::NewtonConfig ncfg;
-  ncfg.max_iters = 10;
-  nonlinear::NewtonSolver newton(ncfg);
 
-  std::vector<double> U(problem.n_dofs(), 0.0);
-  double prev_mean = 0.0;
-  for (int it = 0; it < picard_iters; ++it) {
-    problem.set_temperature_field([&](double x, double y, double sigma) {
-      return thermal.temperature_at(x, y, sigma);
-    });
-    const auto r = newton.solve(problem, amg, U);
-    const double mean = problem.mean_velocity(U);
-    std::printf("picard %d: velocity solved (||F|| %.2e -> %.2e), mean "
-                "%.3f m/yr (change %+.3f)\n",
-                it + 1, r.initial_norm, r.residual_norm, mean,
-                mean - prev_mean);
-    prev_mean = mean;
+  timestepping::ForecastConfig fcfg;
+  fcfg.years = static_cast<double>(picard_iters);
+  fcfg.velocity_every = 1;       // re-solve the velocity every cycle
+  fcfg.evolve_thickness = false; // pure thermo-mechanical iteration
+  fcfg.thermal_steady = true;    // steady column solve each cycle
+  fcfg.newton.max_iters = 10;
+  // Fixed unit steps: one forecast step per Picard iteration.
+  fcfg.controller.dt_init = 1.0;
+  fcfg.controller.dt_min = 1.0;
+  fcfg.controller.dt_max = 1.0;
+  fcfg.controller.cfl_fraction = 1e9;  // no CFL clamp: H does not evolve
 
-    const auto heating =
-        thermal.strain_heating(U, problem.config().constants);
-    thermal.solve_steady(heating);
-    std::printf("          temperature solved over %zu columns; warmest bed "
-                "%.2f K\n",
-                thermal.n_columns(), thermal.max_bed_temperature());
+  timestepping::ForecastDriver driver(problem, fcfg);
+  const timestepping::ForecastResult res = driver.run();
+
+  for (const auto& row : res.ledger) {
+    std::printf("picard %d: velocity solved in %d Newton step(s)\n",
+                row.step, row.newton_iters);
   }
-
-  std::printf("coupled mean velocity: %.3f m/yr\n", prev_mean);
-  return 0;
+  std::printf("coupled mean velocity: %.3f m/yr\n", res.mean_velocity);
+  return res.completed ? 0 : 1;
 }

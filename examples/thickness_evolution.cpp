@@ -5,21 +5,19 @@
 // couples the mass-conservation equation to the velocity solver: the
 // first-order Stokes solve provides the depth-averaged velocity u_bar and
 // the mpas::FvTransport operator advances the ice thickness under the
-// surface mass balance, with outflow (calving) at the margin — the
-// one-way-coupled demonstration of the dynamic equation MALI steps in
-// production runs.
+// surface mass balance, with outflow (calving) at the margin.  Since the
+// transient forecast engine (DESIGN.md §14) this example is a thin wrapper
+// over timestepping::ForecastDriver in its one-way-coupled configuration:
+// one velocity solve, frozen field, CFL-limited adaptive transport.
 //
 //   ./examples/thickness_evolution [dx_km] [layers] [years] [out.ppm]
 
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #include "io/field_writer.hpp"
-#include "linalg/semicoarsening_amg.hpp"
-#include "mpas/fv_transport.hpp"
-#include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "timestepping/forecast_driver.hpp"
 
 int main(int argc, char** argv) {
   using namespace mali;
@@ -34,76 +32,47 @@ int main(int argc, char** argv) {
               cfg.dx_m / 1e3, cfg.n_layers, years);
 
   physics::StokesFOProblem problem(cfg);
-  const auto& msh = problem.mesh();
-  const auto& base = msh.base();
-  const auto& geom = problem.geometry();
 
-  // ---- velocity solve ----
-  linalg::SemicoarseningAmg amg(problem.extrusion_info());
-  nonlinear::NewtonConfig ncfg;
-  ncfg.max_iters = 10;
-  nonlinear::NewtonSolver newton(ncfg);
-  auto U = problem.analytic_initial_guess();
-  newton.solve(problem, amg, U);
-  std::printf("velocity solved: mean %.2f m/yr\n", problem.mean_velocity(U));
+  timestepping::ForecastConfig fcfg;
+  fcfg.years = years;
+  fcfg.velocity_every = 0;      // solve once, then freeze the velocity
+  fcfg.thermal_enabled = false; // one-way coupling: no thermal feedback
+  fcfg.transport.flux = mpas::FluxScheme::kVanLeerMuscl;
+  fcfg.transport.time = mpas::TimeScheme::kHeunRk2;
+  fcfg.newton.max_iters = 10;
+  fcfg.controller.dt_init = 5.0;
+  fcfg.controller.dt_max = 5.0;
+  fcfg.controller.cfl_fraction = 0.4;
 
-  // Depth-averaged velocity per column (trapezoidal over levels).
-  const std::size_t n_cols = base.n_nodes();
-  std::vector<double> ubar(n_cols, 0.0), vbar(n_cols, 0.0);
-  const std::size_t nl = msh.levels();
-  for (std::size_t col = 0; col < n_cols; ++col) {
-    double su = 0.0, sv = 0.0;
-    for (std::size_t lev = 0; lev < nl; ++lev) {
-      const std::size_t n = msh.node_id(col, lev);
-      const double w = (lev == 0 || lev + 1 == nl) ? 0.5 : 1.0;
-      su += w * U[2 * n];
-      sv += w * U[2 * n + 1];
-    }
-    ubar[col] = su / static_cast<double>(nl - 1);
-    vbar[col] = sv / static_cast<double>(nl - 1);
-  }
+  timestepping::ForecastDriver driver(problem, fcfg);
+  const timestepping::ForecastResult res = driver.run();
 
-  // ---- FV transport on the base grid ----
-  mpas::TransportConfig tcfg;
-  tcfg.flux = mpas::FluxScheme::kVanLeerMuscl;
-  tcfg.time = mpas::TimeScheme::kHeunRk2;
-  tcfg.min_thickness = 0.0;
-  mpas::FvTransport fv(base, tcfg);
-
-  std::vector<double> H(fv.n_cells()), smb(fv.n_cells());
-  for (std::size_t c = 0; c < fv.n_cells(); ++c) {
-    double x, y;
-    base.cell_centroid(c, x, y);
-    H[c] = geom.thickness(x, y);
-    smb[c] = geom.surface_mass_balance(x, y);
-  }
-  const auto uc = fv.node_to_cell(ubar);
-  const auto vc = fv.node_to_cell(vbar);
-
-  const double v0 = fv.volume(H);
+  std::printf("velocity solved: mean %.2f m/yr\n", res.mean_velocity);
   std::printf("transport: %zu cells, %zu faces (+%zu outflow); initial "
               "volume %.4e km^3\n",
-              fv.n_cells(), fv.n_faces(), fv.boundary_faces().size(),
-              v0 / 1e9);
-
-  const double dt = std::min(5.0, 0.4 * fv.max_stable_dt(uc, vc));
-  const int n_steps = static_cast<int>(years / dt + 0.5);
-  for (int step = 0; step < n_steps; ++step) {
-    fv.step(H, uc, vc, smb, dt);
-    if ((step + 1) % std::max(1, n_steps / 5) == 0) {
-      std::printf("  t = %7.1f yr: volume %.4e km^3 (%+.3f%%)\n",
-                  (step + 1) * dt, fv.volume(H) / 1e9,
-                  100.0 * (fv.volume(H) / v0 - 1.0));
+              driver.transport().n_cells(), driver.transport().n_faces(),
+              driver.transport().boundary_faces().size(),
+              res.volume_initial / 1e9);
+  for (std::size_t i = 0; i < res.ledger.size(); ++i) {
+    if ((i + 1) % std::max<std::size_t>(1, res.ledger.size() / 5) != 0) {
+      continue;
     }
+    const auto& row = res.ledger[i];
+    std::printf("  t = %7.1f yr: volume %.4e km^3 (%+.3f%%)\n", row.t,
+                row.volume / 1e9,
+                100.0 * (row.volume / res.volume_initial - 1.0));
   }
-  std::printf("final volume: %.4e km^3 (%+.3f%% over %.0f years)\n",
-              fv.volume(H) / 1e9, 100.0 * (fv.volume(H) / v0 - 1.0), years);
+  std::printf("final volume: %.4e km^3 (%+.3f%% over %.0f years, %d "
+              "adaptive steps, max mass residual %.1e)\n",
+              res.volume_final / 1e9,
+              100.0 * (res.volume_final / res.volume_initial - 1.0), years,
+              res.steps, res.max_mass_residual);
 
   if (out_ppm != nullptr) {
     io::HeatmapConfig hm;
     hm.pixels_per_cell = 6;
-    io::write_heatmap_ppm(out_ppm, base, H, hm);
+    io::write_heatmap_ppm(out_ppm, problem.mesh().base(), res.H, hm);
     std::printf("final thickness heatmap written to %s\n", out_ppm);
   }
-  return 0;
+  return res.completed ? 0 : 1;
 }

@@ -66,4 +66,31 @@ void read_solver_checkpoint(const std::string& path, std::vector<double>& U,
                             double& residual_norm, double& parameter,
                             int& newton_step);
 
+// ---- transient checkpoint files --------------------------------------
+//
+// The transient (forecast) checkpoint extends the solver format with the
+// full prognostic state of a coupled run (DESIGN.md §14):
+//   bytes  0..7   magic "MALITCKP"
+//   bytes  8..11  uint32 version (currently 1)
+//   bytes 12..15  int32  step index
+//   bytes 16..23  double model time t (years)
+//   bytes 24..31  double current dt (years)
+//   then three length-prefixed vectors, each uint64 n + n raw doubles:
+//     H (cell thickness), T (flattened column temperatures), U (velocity)
+// Same bit-exact host-endian contract as the solver checkpoint.
+
+/// Writes one transient checkpoint.  Throws mali::Error on I/O failure.
+void write_transient_checkpoint(const std::string& path,
+                                const std::vector<double>& H,
+                                const std::vector<double>& T,
+                                const std::vector<double>& U, double t,
+                                double dt, int step);
+
+/// Reads a checkpoint written by write_transient_checkpoint, validating
+/// the magic/version/sizes.  Throws mali::Error on a malformed file.
+void read_transient_checkpoint(const std::string& path,
+                               std::vector<double>& H, std::vector<double>& T,
+                               std::vector<double>& U, double& t, double& dt,
+                               int& step);
+
 }  // namespace mali::io

@@ -17,6 +17,24 @@ double van_leer(double r) {
   return (r + a) / (1.0 + a);
 }
 
+/// Boundary validation: every entry finite, or a typed error naming the
+/// field and the first offending entry.
+void check_finite(const char* field, const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    MALI_CHECK_MSG(std::isfinite(v[i]),
+                   std::string("FvTransport: non-finite ") + field +
+                       " at cell " + std::to_string(i));
+  }
+}
+
+void check_size(const char* field, const std::vector<double>& v,
+                std::size_t n_cells) {
+  MALI_CHECK_MSG(v.size() == n_cells,
+                 std::string("FvTransport: ") + field + " has " +
+                     std::to_string(v.size()) + " entries, expected " +
+                     std::to_string(n_cells) + " cells");
+}
+
 }  // namespace
 
 FvTransport::FvTransport(const mesh::QuadGrid& grid, TransportConfig cfg)
@@ -119,9 +137,19 @@ void FvTransport::tendency(const std::vector<double>& H,
                            const std::vector<double>& v,
                            const std::vector<double>& source,
                            std::vector<double>& dHdt) const {
-  MALI_CHECK(H.size() == n_cells_);
-  MALI_CHECK(u.size() == n_cells_ && v.size() == n_cells_);
-  MALI_CHECK(source.size() == n_cells_);
+  tendency_impl(H, u, v, source, dHdt, nullptr);
+}
+
+void FvTransport::tendency_impl(const std::vector<double>& H,
+                                const std::vector<double>& u,
+                                const std::vector<double>& v,
+                                const std::vector<double>& source,
+                                std::vector<double>& dHdt,
+                                double* outflow_rate) const {
+  check_size("thickness", H, n_cells_);
+  check_size("u velocity", u, n_cells_);
+  check_size("v velocity", v, n_cells_);
+  check_size("source", source, n_cells_);
   dHdt.assign(n_cells_, 0.0);
   const double inv_area = 1.0 / (dx_ * dx_);
   for (const auto& f : faces_) {
@@ -135,30 +163,57 @@ void FvTransport::tendency(const std::vector<double>& H,
   // Outflow through the margin (calving); no inflow from the void.
   for (const auto& f : boundary_faces_) {
     const double un = u[f.cell] * f.nx + v[f.cell] * f.ny;
-    if (un > 0.0) dHdt[f.cell] -= un * H[f.cell] * dx_ * inv_area;
+    if (un > 0.0) {
+      dHdt[f.cell] -= un * H[f.cell] * dx_ * inv_area;
+      if (outflow_rate != nullptr) *outflow_rate += un * H[f.cell] * dx_;
+    }
   }
   for (std::size_t c = 0; c < n_cells_; ++c) dHdt[c] += source[c];
 }
 
-void FvTransport::step(std::vector<double>& H, const std::vector<double>& u,
-                       const std::vector<double>& v,
-                       const std::vector<double>& source, double dt) const {
+FvTransport::StepStats FvTransport::step(std::vector<double>& H,
+                                         const std::vector<double>& u,
+                                         const std::vector<double>& v,
+                                         const std::vector<double>& source,
+                                         double dt) const {
+  MALI_CHECK_MSG(std::isfinite(dt) && dt > 0.0,
+                 "FvTransport::step: dt must be positive and finite, got " +
+                     std::to_string(dt));
+  check_size("thickness", H, n_cells_);
+  check_finite("thickness", H);
+  check_finite("u velocity", u);
+  check_finite("v velocity", v);
+  check_finite("source", source);
+
+  const double area = dx_ * dx_;
+  StepStats stats;
+  for (const double s : source) stats.smb_volume += s;
+  stats.smb_volume *= dt * area;
+
   std::vector<double> k1, k2;
-  tendency(H, u, v, source, k1);
+  double out1 = 0.0, out2 = 0.0;
+  tendency_impl(H, u, v, source, k1, &out1);
   if (cfg_.time == TimeScheme::kForwardEuler) {
+    stats.calving_volume = dt * out1;
     for (std::size_t c = 0; c < n_cells_; ++c) {
-      H[c] = std::max(cfg_.min_thickness, H[c] + dt * k1[c]);
+      const double raw = H[c] + dt * k1[c];
+      H[c] = std::max(cfg_.min_thickness, raw);
+      stats.clamp_volume += (H[c] - raw) * area;
     }
-    return;
+    return stats;
   }
-  // Heun's RK2: predictor + trapezoidal corrector.
+  // Heun's RK2: predictor + trapezoidal corrector.  The margin outflow is
+  // weighted exactly like the tendencies, so the budget stays exact.
   std::vector<double> H1(n_cells_);
   for (std::size_t c = 0; c < n_cells_; ++c) H1[c] = H[c] + dt * k1[c];
-  tendency(H1, u, v, source, k2);
+  tendency_impl(H1, u, v, source, k2, &out2);
+  stats.calving_volume = 0.5 * dt * (out1 + out2);
   for (std::size_t c = 0; c < n_cells_; ++c) {
-    H[c] = std::max(cfg_.min_thickness,
-                    H[c] + 0.5 * dt * (k1[c] + k2[c]));
+    const double raw = H[c] + 0.5 * dt * (k1[c] + k2[c]);
+    H[c] = std::max(cfg_.min_thickness, raw);
+    stats.clamp_volume += (H[c] - raw) * area;
   }
+  return stats;
 }
 
 double FvTransport::volume(const std::vector<double>& H) const {

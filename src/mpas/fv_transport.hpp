@@ -56,10 +56,25 @@ class FvTransport {
                 const std::vector<double>& source,
                 std::vector<double>& dHdt) const;
 
-  /// Advances H by dt with the configured time scheme.
-  void step(std::vector<double>& H, const std::vector<double>& u,
-            const std::vector<double>& v, const std::vector<double>& source,
-            double dt) const;
+  /// Exact discrete mass budget of one step() call (all volumes in m^3 of
+  /// ice over the step):  volume(H_new) - volume(H_old) =
+  ///     smb_volume - calving_volume + clamp_volume
+  /// up to FP roundoff — interior face fluxes telescope exactly, so the
+  /// only gain/loss terms are the source, the margin outflow (stage-
+  /// weighted like the time scheme), and the min-thickness floor.
+  struct StepStats {
+    double smb_volume = 0.0;      ///< dt * integral of `source`
+    double calving_volume = 0.0;  ///< outflow through the margin
+    double clamp_volume = 0.0;    ///< ice created by the thickness floor
+  };
+
+  /// Advances H by dt with the configured time scheme.  Inputs are
+  /// validated at the library boundary: dt must be positive and finite,
+  /// all fields cell-sized, and H/u/v/source free of NaN/Inf — violations
+  /// throw mali::Error naming the offending field (and entry).
+  StepStats step(std::vector<double>& H, const std::vector<double>& u,
+                 const std::vector<double>& v,
+                 const std::vector<double>& source, double dt) const;
 
   /// Total ice volume (sum H * cell area).
   [[nodiscard]] double volume(const std::vector<double>& H) const;
@@ -92,6 +107,13 @@ class FvTransport {
   /// Limited face value of H on the upwind side.
   [[nodiscard]] double face_value(const std::vector<double>& H,
                                   const Face& f, double un) const;
+
+  /// tendency() plus the margin outflow rate (m^3/yr) when requested.
+  void tendency_impl(const std::vector<double>& H,
+                     const std::vector<double>& u,
+                     const std::vector<double>& v,
+                     const std::vector<double>& source,
+                     std::vector<double>& dHdt, double* outflow_rate) const;
 
   const mesh::QuadGrid& grid_;
   TransportConfig cfg_;

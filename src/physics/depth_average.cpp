@@ -1,0 +1,31 @@
+#include "physics/depth_average.hpp"
+
+#include "portability/common.hpp"
+
+namespace mali::physics {
+
+void depth_averaged_velocity(const mesh::ExtrudedMesh& mesh,
+                             const std::vector<double>& U,
+                             std::vector<double>& ubar,
+                             std::vector<double>& vbar) {
+  MALI_CHECK_MSG(U.size() == 2 * mesh.n_nodes(),
+                 "depth_averaged_velocity: U must hold 2 dofs per mesh node");
+  const std::size_t n_cols = mesh.base().n_nodes();
+  const std::size_t nl = mesh.levels();
+  MALI_CHECK(nl >= 2);
+  ubar.assign(n_cols, 0.0);
+  vbar.assign(n_cols, 0.0);
+  for (std::size_t col = 0; col < n_cols; ++col) {
+    double su = 0.0, sv = 0.0;
+    for (std::size_t lev = 0; lev < nl; ++lev) {
+      const std::size_t n = mesh.node_id(col, lev);
+      const double w = (lev == 0 || lev + 1 == nl) ? 0.5 : 1.0;
+      su += w * U[2 * n];
+      sv += w * U[2 * n + 1];
+    }
+    ubar[col] = su / static_cast<double>(nl - 1);
+    vbar[col] = sv / static_cast<double>(nl - 1);
+  }
+}
+
+}  // namespace mali::physics

@@ -1,0 +1,24 @@
+#pragma once
+// Depth-averaged horizontal velocity — the bridge between the 3D FO-Stokes
+// solution and the 2D mass-conservation transport (Eq. 2's u_bar).  Hoisted
+// out of examples/thickness_evolution so the forecast driver, the examples,
+// and the CLI all share one audited implementation.
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/extruded_mesh.hpp"
+
+namespace mali::physics {
+
+/// Trapezoidal depth average over the extruded levels of a 2-dof/node
+/// velocity vector U (u, v interleaved): per base column,
+///   ubar = (1/(L-1)) * sum_lev w_lev * u(col, lev),  w = 1/2 at the bed
+/// and surface, 1 in between — the exact trapezoidal rule on the uniform
+/// sigma lattice.  ubar/vbar are resized to base().n_nodes().
+void depth_averaged_velocity(const mesh::ExtrudedMesh& mesh,
+                             const std::vector<double>& U,
+                             std::vector<double>& ubar,
+                             std::vector<double>& vbar);
+
+}  // namespace mali::physics

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "fem/dof_map.hpp"
 #include "portability/parallel.hpp"
@@ -116,6 +117,28 @@ double ThermalModel::max_bed_temperature() const {
   double m = 0.0;
   for (const auto& col : T_) m = std::max(m, col.front());
   return m;
+}
+
+std::vector<double> ThermalModel::temperatures_flat() const {
+  std::vector<double> flat(n_cols_ * levels_);
+  for (std::size_t col = 0; col < n_cols_; ++col) {
+    for (std::size_t lev = 0; lev < levels_; ++lev) {
+      flat[col * levels_ + lev] = T_[col][lev];
+    }
+  }
+  return flat;
+}
+
+void ThermalModel::set_temperatures_flat(const std::vector<double>& flat) {
+  MALI_CHECK_MSG(flat.size() == n_cols_ * levels_,
+                 "ThermalModel::set_temperatures_flat: expected " +
+                     std::to_string(n_cols_ * levels_) + " values, got " +
+                     std::to_string(flat.size()));
+  for (std::size_t col = 0; col < n_cols_; ++col) {
+    for (std::size_t lev = 0; lev < levels_; ++lev) {
+      T_[col][lev] = flat[col * levels_ + lev];
+    }
+  }
 }
 
 }  // namespace mali::physics

@@ -49,6 +49,14 @@ class ThermalModel {
   /// Warmest bed temperature across all columns (diagnostic).
   [[nodiscard]] double max_bed_temperature() const;
 
+  /// The full temperature state flattened column-major (column * levels +
+  /// level) — the transient-checkpoint serialization of the thermal state.
+  [[nodiscard]] std::vector<double> temperatures_flat() const;
+
+  /// Restores the state written by temperatures_flat().  Throws mali::Error
+  /// on a size mismatch.
+  void set_temperatures_flat(const std::vector<double>& flat);
+
  private:
   [[nodiscard]] ColumnForcing forcing_for(
       std::size_t col, const std::vector<std::vector<double>>& heating) const;

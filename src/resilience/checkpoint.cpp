@@ -16,4 +16,15 @@ SolverCheckpoint load_checkpoint(const std::string& path) {
   return c;
 }
 
+void TransientCheckpoint::save(const std::string& path) const {
+  io::write_transient_checkpoint(path, H, T, U, t, dt, step);
+}
+
+TransientCheckpoint load_transient_checkpoint(const std::string& path) {
+  TransientCheckpoint c;
+  io::read_transient_checkpoint(path, c.H, c.T, c.U, c.t, c.dt, c.step);
+  c.valid = true;
+  return c;
+}
+
 }  // namespace mali::resilience

@@ -27,4 +27,27 @@ struct SolverCheckpoint {
 /// mali::Error on a missing or malformed file.
 [[nodiscard]] SolverCheckpoint load_checkpoint(const std::string& path);
 
+/// TransientCheckpoint — the full prognostic state of a coupled forecast
+/// run: cell thickness, flattened column temperatures, the last velocity
+/// solution, the model time, the adaptive dt, and the step index.  A
+/// restarted run that loads one of these reproduces the uninterrupted run
+/// bit-for-bit (DESIGN.md §14).
+struct TransientCheckpoint {
+  std::vector<double> H;  ///< cell-centred thickness
+  std::vector<double> T;  ///< column temperatures, column*levels + level
+  std::vector<double> U;  ///< velocity solution (2 dofs per 3D node)
+  double t = 0.0;         ///< model time, years
+  double dt = 0.0;        ///< adaptive step size at capture
+  int step = 0;           ///< completed step count
+  bool valid = false;     ///< false until first capture
+
+  /// Writes the checkpoint to `path` (bit-exact round trip).
+  void save(const std::string& path) const;
+};
+
+/// Reads a checkpoint written by TransientCheckpoint::save.  Throws
+/// mali::Error on a missing or malformed file.
+[[nodiscard]] TransientCheckpoint load_transient_checkpoint(
+    const std::string& path);
+
 }  // namespace mali::resilience

@@ -1,0 +1,165 @@
+#include "timestepping/forcing.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "portability/common.hpp"
+
+namespace mali::timestepping {
+
+namespace {
+
+/// Prints a double so that a strtod round-trip is exact (%.17g) but short
+/// values stay short — the normalized-spec building block.  Integral values
+/// print as plain integers ("10", not "1e+01").
+std::string fmt(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char ibuf[40];
+    std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
+    return ibuf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+/// Parses "key=value,key=value..." with every value a finite double.
+/// Throws mali::Error on syntax errors, duplicate or unknown keys.
+std::map<std::string, double> parse_kv(const std::string& body,
+                                       const std::string& spec,
+                                       std::initializer_list<const char*> allowed) {
+  std::map<std::string, double> kv;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string item =
+        body.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? body.size() : comma + 1;
+    const std::size_t eq = item.find('=');
+    MALI_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "forcing spec: expected key=value, got '" + item +
+                       "' in '" + spec + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    MALI_CHECK_MSG(known, "forcing spec: unknown key '" + key + "' in '" +
+                              spec + "'");
+    MALI_CHECK_MSG(kv.count(key) == 0,
+                   "forcing spec: duplicate key '" + key + "' in '" + spec +
+                       "'");
+    MALI_CHECK_MSG(!val.empty(),
+                   "forcing spec: empty value for '" + key + "' in '" + spec +
+                       "'");
+    char* end = nullptr;
+    const double v = std::strtod(val.c_str(), &end);
+    MALI_CHECK_MSG(end == val.c_str() + val.size() && std::isfinite(v),
+                   "forcing spec: value for '" + key +
+                       "' is not a finite number in '" + spec + "'");
+    kv[key] = v;
+  }
+  return kv;
+}
+
+double get_or(const std::map<std::string, double>& kv, const char* key,
+              double dflt) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? dflt : it->second;
+}
+
+}  // namespace
+
+// ---- ConstantForcing -------------------------------------------------
+
+double ConstantForcing::smb(double x, double y, double) const {
+  return geom_->surface_mass_balance(x, y) + offset_;
+}
+
+std::string ConstantForcing::spec() const {
+  if (offset_ == 0.0) return "constant";
+  return "constant:offset=" + fmt(offset_);
+}
+
+// ---- AnomalyRampForcing ----------------------------------------------
+
+AnomalyRampForcing::AnomalyRampForcing(const mesh::IceGeometry& geom,
+                                       double anomaly, double start,
+                                       double end)
+    : geom_(&geom), anomaly_(anomaly), start_(start), end_(end) {
+  MALI_CHECK_MSG(end_ > start_, "forcing spec: ramp end must be > start");
+}
+
+double AnomalyRampForcing::smb(double x, double y, double t) const {
+  double ramp = (t - start_) / (end_ - start_);
+  ramp = ramp < 0.0 ? 0.0 : (ramp > 1.0 ? 1.0 : ramp);
+  return geom_->surface_mass_balance(x, y) + anomaly_ * ramp;
+}
+
+std::string AnomalyRampForcing::spec() const {
+  return "ramp:anomaly=" + fmt(anomaly_) + ",start=" + fmt(start_) +
+         ",end=" + fmt(end_);
+}
+
+// ---- YearlyCycleForcing ----------------------------------------------
+
+YearlyCycleForcing::YearlyCycleForcing(const mesh::IceGeometry& geom,
+                                       double amplitude, double period,
+                                       double phase)
+    : geom_(&geom), amplitude_(amplitude), period_(period), phase_(phase) {
+  MALI_CHECK_MSG(period_ > 0.0, "forcing spec: cycle period must be > 0");
+}
+
+double YearlyCycleForcing::smb(double x, double y, double t) const {
+  return geom_->surface_mass_balance(x, y) +
+         amplitude_ * std::sin(2.0 * M_PI * (t - phase_) / period_);
+}
+
+std::string YearlyCycleForcing::spec() const {
+  return "cycle:amplitude=" + fmt(amplitude_) + ",period=" + fmt(period_) +
+         ",phase=" + fmt(phase_);
+}
+
+// ---- factory ---------------------------------------------------------
+
+std::unique_ptr<Forcing> make_forcing(const std::string& spec,
+                                      const mesh::IceGeometry& geom) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string body =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  if (name == "constant") {
+    const auto kv = parse_kv(body, spec, {"offset"});
+    return std::make_unique<ConstantForcing>(geom, get_or(kv, "offset", 0.0));
+  }
+  if (name == "ramp") {
+    const auto kv = parse_kv(body, spec, {"anomaly", "start", "end"});
+    MALI_CHECK_MSG(kv.count("anomaly") == 1,
+                   "forcing spec: ramp requires anomaly= in '" + spec + "'");
+    return std::make_unique<AnomalyRampForcing>(
+        geom, kv.at("anomaly"), get_or(kv, "start", 0.0),
+        get_or(kv, "end", get_or(kv, "start", 0.0) + 1.0));
+  }
+  if (name == "cycle") {
+    const auto kv = parse_kv(body, spec, {"amplitude", "period", "phase"});
+    MALI_CHECK_MSG(kv.count("amplitude") == 1,
+                   "forcing spec: cycle requires amplitude= in '" + spec +
+                       "'");
+    return std::make_unique<YearlyCycleForcing>(
+        geom, kv.at("amplitude"), get_or(kv, "period", 1.0),
+        get_or(kv, "phase", 0.0));
+  }
+  MALI_CHECK_MSG(false, "forcing spec: unknown forcing '" + name + "' in '" +
+                            spec + "' (constant | ramp | cycle)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace mali::timestepping

@@ -1,0 +1,89 @@
+#pragma once
+// Pluggable climate forcing for the transient forecast engine (DESIGN.md
+// §14) — the PISM coupler idiom (PAAnomaly / PAYearlyCycle / the PCFactory
+// spec-string construction) reduced to the one field MiniMALI's mass
+// balance needs: surface mass balance a(x, y, t) in m/yr ice equivalent.
+//
+// Every forcing modulates the geometry's baseline SMB field; scenarios are
+// parsed from a compact spec string:
+//
+//   constant[:offset=F]                    baseline + uniform offset
+//   ramp:anomaly=F[,start=F][,end=F]       anomaly ramped linearly in over
+//                                          [start, end] then held
+//   cycle:amplitude=F[,period=F][,phase=F] baseline + seasonal sinusoid
+//
+// make_forcing throws mali::Error on any malformed spec (unknown name or
+// key, unparsable or non-finite value, end <= start, period <= 0), and
+// Forcing::spec() returns a normalized string that reparses to an
+// identical forcing — the round-trip contract test_fuzz hammers.
+
+#include <memory>
+#include <string>
+
+#include "mesh/ice_geometry.hpp"
+
+namespace mali::timestepping {
+
+class Forcing {
+ public:
+  virtual ~Forcing() = default;
+
+  /// Surface mass balance (m/yr ice equivalent) at (x, y) and time t (yr).
+  [[nodiscard]] virtual double smb(double x, double y, double t) const = 0;
+
+  /// Normalized spec string: make_forcing(spec()) reconstructs this
+  /// forcing exactly, and its spec() returns the same string.
+  [[nodiscard]] virtual std::string spec() const = 0;
+};
+
+/// Baseline geometry SMB plus a uniform offset.
+class ConstantForcing final : public Forcing {
+ public:
+  ConstantForcing(const mesh::IceGeometry& geom, double offset = 0.0)
+      : geom_(&geom), offset_(offset) {}
+  [[nodiscard]] double smb(double x, double y, double t) const override;
+  [[nodiscard]] std::string spec() const override;
+
+ private:
+  const mesh::IceGeometry* geom_;
+  double offset_;
+};
+
+/// PISM PAAnomaly style: a uniform SMB anomaly ramped linearly from 0 at
+/// t = start to its full value at t = end, then held — the standard
+/// warming-scenario shape.
+class AnomalyRampForcing final : public Forcing {
+ public:
+  AnomalyRampForcing(const mesh::IceGeometry& geom, double anomaly,
+                     double start, double end);
+  [[nodiscard]] double smb(double x, double y, double t) const override;
+  [[nodiscard]] std::string spec() const override;
+
+ private:
+  const mesh::IceGeometry* geom_;
+  double anomaly_, start_, end_;
+};
+
+/// PISM PAYearlyCycle style: baseline plus a seasonal sinusoid
+/// amplitude * sin(2 pi (t - phase) / period).  The cycle integrates to
+/// zero over a whole period, so long-run volume trends stay those of the
+/// baseline.
+class YearlyCycleForcing final : public Forcing {
+ public:
+  YearlyCycleForcing(const mesh::IceGeometry& geom, double amplitude,
+                     double period, double phase);
+  [[nodiscard]] double smb(double x, double y, double t) const override;
+  [[nodiscard]] std::string spec() const override;
+
+ private:
+  const mesh::IceGeometry* geom_;
+  double amplitude_, period_, phase_;
+};
+
+/// Parses a forcing spec string (grammar above).  The geometry provides
+/// the baseline SMB field and must outlive the returned forcing.  Throws
+/// mali::Error on any malformed spec — never crashes, never returns null.
+[[nodiscard]] std::unique_ptr<Forcing> make_forcing(
+    const std::string& spec, const mesh::IceGeometry& geom);
+
+}  // namespace mali::timestepping

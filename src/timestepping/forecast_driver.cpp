@@ -1,0 +1,294 @@
+#include "timestepping/forecast_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/semicoarsening_amg.hpp"
+#include "physics/depth_average.hpp"
+#include "portability/common.hpp"
+#include "resilience/guards.hpp"
+
+namespace mali::timestepping {
+
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ForecastDriver::ForecastDriver(physics::StokesFOProblem& problem,
+                               ForecastConfig cfg)
+    : problem_(&problem),
+      cfg_(std::move(cfg)),
+      fv_(problem.mesh().base(), cfg_.transport),
+      forcing_(make_forcing(cfg_.forcing, problem.geometry())),
+      controller_(cfg_.controller) {
+  MALI_CHECK_MSG(std::isfinite(cfg_.years) && cfg_.years > 0.0,
+                 "ForecastConfig.years must be positive and finite");
+  MALI_CHECK_MSG(cfg_.checkpoint_every >= 0,
+                 "ForecastConfig.checkpoint_every must be >= 0");
+  MALI_CHECK_MSG(cfg_.checkpoint_every == 0 || !cfg_.checkpoint_path.empty(),
+                 "ForecastConfig.checkpoint_path required when "
+                 "checkpoint_every > 0");
+  if (cfg_.thermal_enabled) {
+    thermal_ = std::make_unique<physics::ThermalModel>(problem.mesh(),
+                                                       problem.geometry());
+  }
+  if (cfg_.ranks <= 1) {
+    precond_ = cfg_.make_precond
+                   ? cfg_.make_precond(problem)
+                   : std::make_unique<linalg::SemicoarseningAmg>(
+                         problem.extrusion_info(), linalg::AmgConfig{});
+  }
+
+  // Initial prognostic state from the geometry; a restart overwrites it.
+  const auto& base = problem.mesh().base();
+  H_.resize(base.n_cells());
+  for (std::size_t c = 0; c < H_.size(); ++c) {
+    double x, y;
+    base.cell_centroid(c, x, y);
+    H_[c] = problem.geometry().thickness(x, y);
+  }
+  U_ = problem.analytic_initial_guess();
+}
+
+std::vector<double> ForecastDriver::cell_source(double t) const {
+  const auto& base = problem_->mesh().base();
+  std::vector<double> src(base.n_cells());
+  for (std::size_t c = 0; c < src.size(); ++c) {
+    double x, y;
+    base.cell_centroid(c, x, y);
+    src[c] = forcing_->smb(x, y, t);
+  }
+  return src;
+}
+
+void ForecastDriver::apply_temperature_coupling() {
+  // Capture the model by pointer: the field stays live as the thermal
+  // state advances, and the problem re-evaluates A(T) at its quadrature
+  // points on every call.
+  physics::ThermalModel* tm = thermal_.get();
+  problem_->set_temperature_field([tm](double x, double y, double sigma) {
+    return tm->temperature_at(x, y, sigma);
+  });
+}
+
+bool ForecastDriver::solve_velocity(ForecastResult& result,
+                                    int* newton_iters) {
+  ++result.velocity_solves;
+  nonlinear::NewtonConfig ncfg = cfg_.newton;
+  ncfg.jacobian = problem_->config().jacobian;
+
+  if (cfg_.ranks > 1) {
+    dist::DistConfig dcfg = cfg_.dist;
+    dcfg.ranks = cfg_.ranks;
+    dcfg.newton = ncfg;
+    // The injector is not shared across rank threads.
+    dcfg.newton.recovery.injector = nullptr;
+    dist::DistResult r = dist::solve_distributed(*problem_, dcfg, &U_);
+    const nonlinear::NewtonResult& nr = r.ranks[0].newton;
+    *newton_iters = r.newton_iters;
+    if (nr.faulted || !(nr.residual_norm < nr.initial_norm)) return false;
+    U_ = r.U;
+    return all_finite(U_);
+  }
+
+  ncfg.recovery.injector = cfg_.injector;
+  const bool guards_on = cfg_.injector != nullptr;
+  resilience::GuardedProblem guarded(*problem_, {}, cfg_.injector);
+  resilience::GuardedPreconditioner guarded_M(*precond_, cfg_.injector);
+  nonlinear::NonlinearProblem& prob =
+      guards_on ? static_cast<nonlinear::NonlinearProblem&>(guarded)
+                : *problem_;
+  linalg::Preconditioner& M =
+      guards_on ? static_cast<linalg::Preconditioner&>(guarded_M) : *precond_;
+
+  std::vector<double> U = U_;  // keep the warm start intact on failure
+  nonlinear::NewtonSolver newton(ncfg);
+  nonlinear::NewtonResult r;
+  try {
+    r = newton.solve(prob, M, U);
+  } catch (const resilience::SolverFaultError& e) {
+    // Guard fault with recovery disabled or exhausted: reject the step.
+    if (cfg_.verbose) std::printf("  velocity fault: %s\n", e.what());
+    *newton_iters = 0;
+    return false;
+  }
+  *newton_iters = r.iterations;
+  // A solve that hit max_iters with a shrinking residual is accepted (the
+  // paper's production cadence is a fixed 8 Newton steps); a fault or a
+  // residual that failed to decrease rejects the step.
+  if (r.faulted || !(r.residual_norm < r.initial_norm)) return false;
+  if (!all_finite(U)) return false;
+  U_ = std::move(U);
+  return true;
+}
+
+ForecastResult ForecastDriver::run() {
+  ForecastResult result;
+
+  if (!cfg_.restart_path.empty()) {
+    const resilience::TransientCheckpoint c =
+        resilience::load_transient_checkpoint(cfg_.restart_path);
+    MALI_CHECK_MSG(c.H.size() == H_.size(),
+                   "transient restart: thickness size mismatch");
+    MALI_CHECK_MSG(c.U.size() == U_.size(),
+                   "transient restart: velocity size mismatch");
+    H_ = c.H;
+    U_ = c.U;
+    t_ = c.t;
+    step_ = c.step;
+    controller_.set_current(c.dt);
+    if (thermal_) thermal_->set_temperatures_flat(c.T);
+    have_velocity_ = true;  // U rides the checkpoint; never re-solve at k=0
+  }
+  if (thermal_) apply_temperature_coupling();
+
+  result.volume_initial = fv_.volume(H_);
+  const double vol_scale = std::max(result.volume_initial, 1.0);
+  int retries = 0;
+
+  while (cfg_.years - t_ > 1e-12) {
+    // ---- snapshot for the reject/backoff path ----
+    const std::vector<double> H0 = H_;
+    const std::vector<double> U0 = U_;
+    const std::vector<double> T0 =
+        thermal_ ? thermal_->temperatures_flat() : std::vector<double>{};
+
+    bool ok = true;
+    int newton_iters = 0;
+
+    // ---- velocity phase ----
+    const bool need_velocity =
+        cfg_.velocity_every > 0
+            ? (step_ % cfg_.velocity_every == 0)
+            : (cfg_.velocity_every == 0 && !have_velocity_);
+    if (need_velocity) {
+      pk::ScopedTimer st(result.timers, "velocity");
+      ok = solve_velocity(result, &newton_iters);
+      if (ok) have_velocity_ = true;
+    }
+
+    // Depth-averaged cell velocities (zero in the frozen-zero mode).
+    std::vector<double> uc(fv_.n_cells(), 0.0), vc(fv_.n_cells(), 0.0);
+    if (ok && cfg_.velocity_every >= 0) {
+      std::vector<double> ubar, vbar;
+      physics::depth_averaged_velocity(problem_->mesh(), U_, ubar, vbar);
+      uc = fv_.node_to_cell(ubar);
+      vc = fv_.node_to_cell(vbar);
+    }
+
+    // ---- thickness phase ----
+    double dt = 0.0;
+    mpas::FvTransport::StepStats stats;
+    if (ok) {
+      const double cfl = fv_.max_stable_dt(uc, vc);
+      dt = controller_.propose(cfl, cfg_.years - t_);
+      if (cfg_.evolve_thickness) {
+        pk::ScopedTimer st(result.timers, "transport");
+        stats = fv_.step(H_, uc, vc, cell_source(t_), dt);
+        ok = all_finite(H_);
+      }
+    }
+
+    // ---- thermal phase + A(T) feedback ----
+    if (ok && thermal_) {
+      pk::ScopedTimer st(result.timers, "thermal");
+      const auto heating =
+          thermal_->strain_heating(U_, problem_->config().constants);
+      if (cfg_.thermal_steady) {
+        thermal_->solve_steady(heating);
+      } else {
+        thermal_->step(dt, heating);
+      }
+      apply_temperature_coupling();
+    }
+
+    if (!ok) {
+      // Reject: restore the pre-step state and retry with a smaller dt.
+      H_ = H0;
+      U_ = U0;
+      if (thermal_) {
+        thermal_->set_temperatures_flat(T0);
+        apply_temperature_coupling();
+      }
+      ++result.rejections;
+      ++retries;
+      MALI_CHECK_MSG(controller_.on_failure(),
+                     "forecast: step controller bottomed out at dt_min = " +
+                         std::to_string(controller_.config().dt_min) +
+                         " yr at t = " + std::to_string(t_));
+      if (cfg_.verbose) {
+        std::printf("  step %d rejected (retry %d): dt -> %.6g yr\n",
+                    step_ + 1, retries, controller_.current());
+      }
+      continue;
+    }
+
+    // ---- accept ----
+    controller_.on_success();
+    t_ += dt;
+    ++step_;
+    ++result.steps;
+
+    LedgerRow row;
+    row.step = step_;
+    row.t = t_;
+    row.dt = dt;
+    row.volume = fv_.volume(H_);
+    row.smb = stats.smb_volume;
+    row.calving = stats.calving_volume;
+    row.clamp = stats.clamp_volume;
+    const double prev_volume =
+        result.ledger.empty() ? result.volume_initial
+                              : result.ledger.back().volume;
+    row.residual = (row.volume - prev_volume) -
+                   (row.smb - row.calving + row.clamp);
+    row.retries = retries;
+    row.newton_iters = newton_iters;
+    result.ledger.push_back(row);
+    result.max_mass_residual = std::max(result.max_mass_residual,
+                                        std::abs(row.residual) / vol_scale);
+    retries = 0;
+
+    if (cfg_.verbose) {
+      std::printf("  step %4d  t=%9.4f yr  dt=%8.5f  vol=%.6e km^3  "
+                  "smb=%+.3e  calv=%-.3e  clamp=%.3e  resid=%.1e%s\n",
+                  row.step, row.t, row.dt, row.volume / 1e9, row.smb,
+                  row.calving, row.clamp, row.residual,
+                  newton_iters > 0
+                      ? (" newton=" + std::to_string(newton_iters)).c_str()
+                      : "");
+    }
+
+    if (cfg_.checkpoint_every > 0 && step_ % cfg_.checkpoint_every == 0) {
+      pk::ScopedTimer st(result.timers, "io");
+      resilience::TransientCheckpoint c;
+      c.H = H_;
+      c.T = thermal_ ? thermal_->temperatures_flat() : std::vector<double>{};
+      c.U = U_;
+      c.t = t_;
+      c.dt = controller_.current();
+      c.step = step_;
+      c.valid = true;
+      c.save(cfg_.checkpoint_path);
+    }
+  }
+
+  result.completed = true;
+  result.t_final = t_;
+  result.volume_final = fv_.volume(H_);
+  result.H = H_;
+  result.U = U_;
+  if (thermal_) result.T = thermal_->temperatures_flat();
+  result.mean_velocity = problem_->mean_velocity(U_);
+  return result;
+}
+
+}  // namespace mali::timestepping

@@ -1,0 +1,153 @@
+#pragma once
+// ForecastDriver — the transient forecast engine (DESIGN.md §14): the
+// operator-split cycle that turns the diagnostic FO-Stokes solver into a
+// prognostic ice-sheet model,
+//
+//   velocity (Newton/GMRES)  ->  thickness (FV transport, Eq. 2)
+//       ->  thermal (per-column backward Euler)  ->  A(T) feedback,
+//
+// with CFL-aware adaptive dt (StepController), pluggable surface forcing
+// (Forcing), per-phase timers, an exact per-step mass-budget ledger, and
+// bit-exact transient checkpoints for mid-run restart.  A rejected step
+// (Newton fault/divergence, non-finite thickness) restores the pre-step
+// state and retries with a backed-off dt; the Newton recovery ladder and
+// fault injection compose underneath exactly as in the diagnostic solve.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/dist_solver.hpp"
+#include "mpas/fv_transport.hpp"
+#include "nonlinear/newton.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "physics/thermal_model.hpp"
+#include "portability/timer.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "timestepping/forcing.hpp"
+#include "timestepping/step_controller.hpp"
+
+namespace mali::timestepping {
+
+struct ForecastConfig {
+  double years = 10.0;  ///< forecast horizon (model years)
+  StepControllerConfig controller{};
+  /// Forcing spec parsed by make_forcing: constant[:offset=F] |
+  /// ramp:anomaly=F[,start=F][,end=F] |
+  /// cycle:amplitude=F[,period=F][,phase=F].
+  std::string forcing = "constant";
+  /// Velocity re-solve cadence: N > 0 solves at steps where step % N == 0;
+  /// 0 solves once and freezes the field; < 0 never solves (zero velocity —
+  /// pure SMB evolution, the closed-domain conservation configuration).
+  int velocity_every = 1;
+  bool evolve_thickness = true;  ///< run the FV transport phase
+  bool thermal_enabled = true;   ///< run the thermal phase + A(T) feedback
+  /// Thermal phase flavour: false advances columns by dt (backward Euler),
+  /// true solves each column to steady state per cycle — the Picard
+  /// thermo-mechanical iteration of examples/thermal_coupling.
+  bool thermal_steady = false;
+  mpas::TransportConfig transport{};
+  nonlinear::NewtonConfig newton{};
+  /// Preconditioner factory for the serial velocity solve; default (null)
+  /// builds the semicoarsening AMG from the problem's extrusion structure.
+  std::function<std::unique_ptr<linalg::Preconditioner>(
+      const physics::StokesFOProblem&)>
+      make_precond;
+  /// Optional deterministic fault injector (serial velocity path only);
+  /// non-null implies NaN/Inf guards around problem and preconditioner.
+  resilience::FaultInjector* injector = nullptr;
+  /// In-process SPMD velocity solve when ranks > 1 (dist.ranks is
+  /// overwritten with this value).
+  int ranks = 1;
+  dist::DistConfig dist{};
+  /// Write a transient checkpoint every K accepted steps (0 = never).
+  int checkpoint_every = 0;
+  std::string checkpoint_path = "forecast.tckpt";
+  /// Resume from this transient checkpoint before stepping (empty = fresh
+  /// start).  A restarted run reproduces the uninterrupted run bit-for-bit.
+  std::string restart_path;
+  bool verbose = false;  ///< print the per-step ledger
+};
+
+/// One accepted step of the mass-budget ledger.  The budget identity
+///   volume_after - volume_before = smb - calving + clamp
+/// holds to FP roundoff (FvTransport::StepStats); `residual` records the
+/// actual defect so tests and the bench can pin it.
+struct LedgerRow {
+  int step = 0;          ///< global step index (1-based after the step)
+  double t = 0.0;        ///< model time after the step
+  double dt = 0.0;       ///< accepted step size
+  double volume = 0.0;   ///< ice volume after the step
+  double smb = 0.0;      ///< volume added by surface mass balance
+  double calving = 0.0;  ///< volume lost through the margin
+  double clamp = 0.0;    ///< volume created by the thickness floor
+  double residual = 0.0; ///< dV - (smb - calving + clamp)
+  int retries = 0;       ///< rejected attempts before this step accepted
+  int newton_iters = 0;  ///< 0 when the velocity phase was skipped
+};
+
+struct ForecastResult {
+  bool completed = false;  ///< reached the horizon
+  int steps = 0;           ///< accepted steps this run (excludes restart)
+  double t_final = 0.0;
+  double volume_initial = 0.0;
+  double volume_final = 0.0;
+  /// Largest |ledger residual| relative to the initial volume.
+  double max_mass_residual = 0.0;
+  int velocity_solves = 0;
+  int rejections = 0;  ///< rejected step attempts
+  std::vector<LedgerRow> ledger;
+  std::vector<double> H;  ///< final cell thickness
+  std::vector<double> U;  ///< final velocity solution
+  std::vector<double> T;  ///< final column temperatures (flat), empty if off
+  double mean_velocity = 0.0;
+  pk::TimerRegistry timers;  ///< "velocity" / "transport" / "thermal" / "io"
+};
+
+class ForecastDriver {
+ public:
+  /// The problem provides mesh, geometry, physics, and the velocity solve;
+  /// the driver owns every prognostic field.  `problem` must outlive the
+  /// driver and is mutated (temperature coupling, Newton state).
+  ForecastDriver(physics::StokesFOProblem& problem, ForecastConfig cfg);
+
+  /// Runs (or resumes) the forecast to the horizon.  Throws mali::Error
+  /// when the step controller bottoms out at dt_min or a config/restart
+  /// file is invalid; Newton faults and non-finite states are handled by
+  /// the reject/backoff path, not exceptions.
+  ForecastResult run();
+
+  [[nodiscard]] const mpas::FvTransport& transport() const noexcept {
+    return fv_;
+  }
+  [[nodiscard]] const StepController& controller() const noexcept {
+    return controller_;
+  }
+  [[nodiscard]] const Forcing& forcing() const noexcept { return *forcing_; }
+
+ private:
+  /// Runs one velocity solve (serial or distributed) updating U_ in place.
+  /// Returns false when the step must be rejected (fault, divergence).
+  bool solve_velocity(ForecastResult& result, int* newton_iters);
+  void apply_temperature_coupling();
+  [[nodiscard]] std::vector<double> cell_source(double t) const;
+
+  physics::StokesFOProblem* problem_;
+  ForecastConfig cfg_;
+  mpas::FvTransport fv_;
+  std::unique_ptr<physics::ThermalModel> thermal_;
+  std::unique_ptr<Forcing> forcing_;
+  StepController controller_;
+  std::unique_ptr<linalg::Preconditioner> precond_;
+
+  // Prognostic state.
+  std::vector<double> H_;  ///< cell thickness
+  std::vector<double> U_;  ///< velocity (warm start between solves)
+  double t_ = 0.0;
+  int step_ = 0;
+  bool have_velocity_ = false;
+};
+
+}  // namespace mali::timestepping

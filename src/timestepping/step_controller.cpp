@@ -1,0 +1,50 @@
+#include "timestepping/step_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mali::timestepping {
+
+StepController::StepController(StepControllerConfig cfg) : cfg_(cfg) {
+  MALI_CHECK_MSG(cfg_.dt_min > 0.0 && std::isfinite(cfg_.dt_min),
+                 "StepController: dt_min must be positive and finite");
+  MALI_CHECK_MSG(cfg_.dt_max >= cfg_.dt_min,
+                 "StepController: dt_max must be >= dt_min");
+  MALI_CHECK_MSG(cfg_.dt_init >= cfg_.dt_min && cfg_.dt_init <= cfg_.dt_max,
+                 "StepController: dt_init must lie in [dt_min, dt_max]");
+  MALI_CHECK_MSG(cfg_.growth >= 1.0, "StepController: growth must be >= 1");
+  MALI_CHECK_MSG(cfg_.backoff > 0.0 && cfg_.backoff < 1.0,
+                 "StepController: backoff must lie in (0, 1)");
+  MALI_CHECK_MSG(cfg_.cfl_fraction > 0.0 && std::isfinite(cfg_.cfl_fraction),
+                 "StepController: cfl_fraction must be positive and finite");
+  dt_ = cfg_.dt_init;
+}
+
+double StepController::propose(double cfl_limit, double remaining) const {
+  MALI_CHECK_MSG(remaining > 0.0, "StepController: remaining must be > 0");
+  double dt = std::min(dt_, cfg_.dt_max);
+  if (std::isfinite(cfl_limit)) {
+    MALI_CHECK_MSG(cfl_limit > 0.0, "StepController: cfl_limit must be > 0");
+    dt = std::min(dt, cfg_.cfl_fraction * cfl_limit);
+  }
+  return std::min(dt, remaining);
+}
+
+void StepController::on_success() {
+  ++successes_;
+  dt_ = std::min(dt_ * cfg_.growth, cfg_.dt_max);
+}
+
+bool StepController::on_failure() {
+  ++failures_;
+  dt_ *= cfg_.backoff;
+  return dt_ >= cfg_.dt_min;
+}
+
+void StepController::set_current(double dt) {
+  MALI_CHECK_MSG(std::isfinite(dt) && dt >= cfg_.dt_min && dt <= cfg_.dt_max,
+                 "StepController: restored dt outside [dt_min, dt_max]");
+  dt_ = dt;
+}
+
+}  // namespace mali::timestepping

@@ -1,0 +1,67 @@
+#pragma once
+// StepController — CFL-aware adaptive time stepping for the transient
+// forecast engine (DESIGN.md §14).  The policy is PISM's iMadaptive idiom:
+// every *accepted* step lets dt grow by a fixed factor, every *rejected*
+// step (CFL violation, Newton/transport failure, non-finite state) backs
+// off geometrically, and a hard [dt_min, dt_max] clamp bounds both
+// directions.  The controller is deliberately a pure deterministic state
+// machine — no clocks, no randomness — so adaptive-dt schedules can be
+// pinned bit-for-bit by tests and reproduced across restarts (the current
+// dt rides the transient checkpoint).
+
+#include <cstddef>
+
+#include "portability/common.hpp"
+
+namespace mali::timestepping {
+
+struct StepControllerConfig {
+  double dt_init = 1.0;          ///< starting step, years
+  double dt_min = 1.0 / 1024.0;  ///< below this a rejected step is fatal
+  double dt_max = 10.0;          ///< hard ceiling, years
+  double growth = 1.25;          ///< multiplier applied after a success
+  double backoff = 0.5;          ///< multiplier applied after a failure
+  /// Fraction of the transport CFL limit a proposed step may use (the
+  /// classic 0.5 safety factor; 1.0 rides the stability boundary; values
+  /// above 1 deliberately exceed it — e.g. Picard iterations where the
+  /// thickness is frozen and CFL is meaningless).
+  double cfl_fraction = 0.5;
+};
+
+class StepController {
+ public:
+  explicit StepController(StepControllerConfig cfg);
+
+  /// The dt to attempt next: the current adaptive step clamped by the CFL
+  /// budget (cfl_fraction * cfl_limit), dt_max, and the remaining time to
+  /// the horizon (so the run lands exactly on `years`).  Pure — repeated
+  /// calls with the same arguments return the same value.
+  [[nodiscard]] double propose(double cfl_limit, double remaining) const;
+
+  /// Accepts the last step: the adaptive step grows by `growth`, clamped
+  /// to dt_max.
+  void on_success();
+
+  /// Rejects the last step: the adaptive step shrinks by `backoff`.
+  /// Returns false when the step would fall below dt_min — the caller
+  /// should abort the run rather than loop forever.
+  [[nodiscard]] bool on_failure();
+
+  [[nodiscard]] double current() const noexcept { return dt_; }
+  /// Restores the adaptive step from a transient checkpoint.
+  void set_current(double dt);
+
+  [[nodiscard]] int successes() const noexcept { return successes_; }
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+  [[nodiscard]] const StepControllerConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  StepControllerConfig cfg_;
+  double dt_;
+  int successes_ = 0;
+  int failures_ = 0;
+};
+
+}  // namespace mali::timestepping

@@ -19,8 +19,10 @@
 #include "linalg/krylov.hpp"
 #include "linalg/linear_operator.hpp"
 #include "linalg/pipelined_krylov.hpp"
+#include "mesh/ice_geometry.hpp"
 #include "physics/matrix_free_operator.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "timestepping/forcing.hpp"
 
 using namespace mali;
 
@@ -595,3 +597,42 @@ TEST_P(CacheFuzz, LargerCacheNeverReadsMore) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(3u, 13u, 31u));
+
+// ---- forcing-spec parser fuzz -----------------------------------------
+// Random byte soup and random mutations of valid specs: the parser must
+// either return a working Forcing or throw mali::Error — never crash,
+// never accept a spec whose normalized form fails to re-parse.
+
+class ForcingFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ForcingFuzz, RandomSpecsNeverCrashAndRoundTripWhenAccepted) {
+  std::mt19937 rng(GetParam());
+  const mali::mesh::IceGeometry geom;
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789=,.:+-eE ";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 40);
+  const char* stems[] = {"", "constant", "ramp", "cycle", "constant:",
+                         "ramp:anomaly=1", "cycle:amplitude=1,period=2"};
+  std::uniform_int_distribution<std::size_t> stem(0, std::size(stems) - 1);
+
+  for (int it = 0; it < 500; ++it) {
+    std::string spec = stems[stem(rng)];
+    const int n = len(rng);
+    for (int k = 0; k < n; ++k) spec.push_back(alphabet[pick(rng)]);
+    try {
+      const auto f = mali::timestepping::make_forcing(spec, geom);
+      // Accepted: smb must be finite and the normalized spec re-parses to
+      // an identical normalized spec.
+      const double s = f->smb(1.0e5, -2.0e5, 3.5);
+      EXPECT_TRUE(std::isfinite(s)) << "spec '" << spec << "'";
+      const auto g = mali::timestepping::make_forcing(f->spec(), geom);
+      EXPECT_EQ(g->spec(), f->spec()) << "spec '" << spec << "'";
+    } catch (const mali::Error&) {
+      // Rejected with the typed error: the only acceptable failure mode.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForcingFuzz,
+                         ::testing::Values(5u, 17u, 29u, 41u));

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <string>
 
 #include "mesh/ice_geometry.hpp"
+#include "portability/common.hpp"
 #include "mesh/quad_grid.hpp"
 #include "linalg/semicoarsening_amg.hpp"
 #include "mpas/fv_transport.hpp"
@@ -247,4 +250,96 @@ TEST(FvTransport, CoupledVelocityTransportIntegration) {
   // 100 years of <1 m/yr forcing on ~2 km thickness: small relative change.
   EXPECT_NEAR(v1 / v0, 1.0, 0.05);
   EXPECT_NE(v1, v0);
+}
+
+// ---- input validation at the library boundary ------------------------
+// step() promises typed mali::Error on bad dt, mismatched sizes, and
+// non-finite fields, naming the offending input.
+
+TEST(FvTransportValidation, RejectsNonPositiveOrNonFiniteDt) {
+  Fixture f;
+  FvTransport fv(*f.grid);
+  std::vector<double> H(fv.n_cells(), 100.0), zero(fv.n_cells(), 0.0);
+  EXPECT_THROW(fv.step(H, zero, zero, zero, 0.0), mali::Error);
+  EXPECT_THROW(fv.step(H, zero, zero, zero, -1.0), mali::Error);
+  EXPECT_THROW(fv.step(H, zero, zero, zero,
+                       std::numeric_limits<double>::quiet_NaN()),
+               mali::Error);
+  EXPECT_THROW(fv.step(H, zero, zero, zero,
+                       std::numeric_limits<double>::infinity()),
+               mali::Error);
+}
+
+TEST(FvTransportValidation, RejectsMismatchedFieldSizes) {
+  Fixture f;
+  FvTransport fv(*f.grid);
+  std::vector<double> H(fv.n_cells(), 100.0), zero(fv.n_cells(), 0.0);
+  std::vector<double> wrong(fv.n_cells() + 1, 0.0);
+  EXPECT_THROW(fv.step(wrong, zero, zero, zero, 1.0), mali::Error);
+  EXPECT_THROW(fv.step(H, wrong, zero, zero, 1.0), mali::Error);
+  EXPECT_THROW(fv.step(H, zero, wrong, zero, 1.0), mali::Error);
+  EXPECT_THROW(fv.step(H, zero, zero, wrong, 1.0), mali::Error);
+  std::vector<double> dHdt;
+  EXPECT_THROW(fv.tendency(wrong, zero, zero, zero, dHdt), mali::Error);
+}
+
+TEST(FvTransportValidation, RejectsNonFiniteFieldsNamingTheField) {
+  Fixture f;
+  FvTransport fv(*f.grid);
+  const std::vector<double> zero(fv.n_cells(), 0.0);
+  const auto poisoned = [&](const char* name) {
+    std::vector<double> H(fv.n_cells(), 100.0);
+    std::vector<double> u = zero, v = zero, src = zero;
+    std::vector<double>* target = nullptr;
+    if (std::string(name) == "thickness") target = &H;
+    if (std::string(name) == "u velocity") target = &u;
+    if (std::string(name) == "v velocity") target = &v;
+    if (std::string(name) == "source") target = &src;
+    (*target)[3] = std::numeric_limits<double>::quiet_NaN();
+    try {
+      fv.step(H, u, v, src, 1.0);
+      ADD_FAILURE() << "expected mali::Error for non-finite " << name;
+    } catch (const mali::Error& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "error message should name the field: " << e.what();
+      EXPECT_NE(std::string(e.what()).find("cell 3"), std::string::npos)
+          << "error message should name the entry: " << e.what();
+    }
+  };
+  poisoned("thickness");
+  poisoned("u velocity");
+  poisoned("v velocity");
+  poisoned("source");
+}
+
+// ---- exact mass budget ------------------------------------------------
+// step() returns StepStats with the discrete identity
+//   volume(H_new) - volume(H_old) = smb - calving + clamp
+// holding to roundoff for both time schemes and both flux schemes.
+
+TEST_P(FvSchemes, StepStatsBudgetIdentityIsExact) {
+  Fixture f;
+  auto [flux, time] = GetParam();
+  TransportConfig cfg;
+  cfg.flux = flux;
+  cfg.time = time;
+  cfg.min_thickness = 1.0;  // exercise the clamp term as well
+  FvTransport fv(*f.grid, cfg);
+  auto H = gaussian_bump(*f.grid, 0.0, 0.0, 400.0e3);
+  std::vector<double> u(fv.n_cells(), 90.0), v(fv.n_cells(), -40.0);
+  std::vector<double> src(fv.n_cells());
+  for (std::size_t c = 0; c < src.size(); ++c) {
+    src[c] = -0.5 + 0.01 * static_cast<double>(c % 7);
+  }
+  const double dt = 0.4 * fv.max_stable_dt(u, v);
+  double volume = fv.volume(H);
+  for (int s = 0; s < 10; ++s) {
+    const auto stats = fv.step(H, u, v, src, dt);
+    const double next = fv.volume(H);
+    const double budget =
+        stats.smb_volume - stats.calving_volume + stats.clamp_volume;
+    EXPECT_NEAR(next - volume, budget, 1e-12 * std::max(1.0, volume))
+        << "step " << s;
+    volume = next;
+  }
 }

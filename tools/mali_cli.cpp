@@ -35,6 +35,7 @@
 #include "physics/stokes_fo_problem.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/guards.hpp"
+#include "timestepping/forecast_driver.hpp"
 
 namespace {
 
@@ -455,6 +456,115 @@ int cmd_transport(const Args& args) {
   return 0;
 }
 
+int cmd_forecast(const Args& args) {
+  physics::StokesFOProblem problem(problem_config(args));
+  std::printf("mesh: %zu hexahedra, %zu dofs (%s Jacobian)\n",
+              problem.mesh().n_cells(), problem.n_dofs(),
+              linalg::to_string(problem.config().jacobian));
+
+  timestepping::ForecastConfig fcfg;
+  fcfg.years = args.num("years", 10.0);
+  fcfg.controller.dt_init = args.num("dt-init", 1.0);
+  fcfg.controller.dt_min = args.num("dt-min", 1.0 / 1024.0);
+  fcfg.controller.dt_max = args.num("dt-max", 10.0);
+  fcfg.controller.growth = args.num("dt-growth", 1.25);
+  fcfg.controller.backoff = args.num("dt-backoff", 0.5);
+  fcfg.controller.cfl_fraction = args.num("cfl", 0.5);
+  fcfg.forcing = args.str("forcing", "constant");
+  fcfg.velocity_every = static_cast<int>(args.num("velocity-every", 1));
+  fcfg.thermal_enabled = !args.has("no-thermal");
+  fcfg.thermal_steady = args.has("thermal-steady");
+  fcfg.transport.flux = args.str("flux", "muscl") == "upwind"
+                            ? mpas::FluxScheme::kUpwind
+                            : mpas::FluxScheme::kVanLeerMuscl;
+  fcfg.transport.time = mpas::TimeScheme::kHeunRk2;
+  fcfg.transport.min_thickness = args.num("min-thickness", 0.0);
+  fcfg.newton.max_iters = static_cast<int>(args.num("steps", 8));
+  fcfg.newton.krylov =
+      linalg::krylov_kind_from_string(args.str("krylov", "gmres"));
+  fcfg.make_precond = [&args](const physics::StokesFOProblem& p) {
+    return make_preconditioner(args, p);
+  };
+  fcfg.ranks = static_cast<int>(args.num("ranks", 1));
+  if (fcfg.ranks > 1) {
+    fcfg.dist.decomp =
+        dist::decomp_from_string(args.str("decomp", "strips"));
+    fcfg.dist.krylov = fcfg.newton.krylov;
+    fcfg.dist.newton.max_iters = fcfg.newton.max_iters;
+  }
+  fcfg.checkpoint_every = static_cast<int>(args.num("checkpoint-every", 0));
+  if (args.has("checkpoint")) fcfg.checkpoint_path = args.str("checkpoint");
+  fcfg.restart_path = args.str("restart", "");
+  fcfg.verbose = !args.has("quiet");
+
+  std::unique_ptr<resilience::FaultInjector> injector;
+  if (args.has("inject-fault")) {
+    const auto spec =
+        resilience::fault_spec_from_string(args.str("inject-fault"));
+    injector = std::make_unique<resilience::FaultInjector>(spec);
+    std::printf("fault injection: %s\n", resilience::to_string(spec).c_str());
+    fcfg.injector = injector.get();
+  }
+  if (args.has("resilience")) {
+    fcfg.newton.recovery.enabled = true;
+    const linalg::ExtrusionInfo extrusion = problem.extrusion_info();
+    fcfg.newton.recovery.precond_ladder = {
+        [] { return std::make_unique<linalg::JacobiPreconditioner>(); },
+        [] { return std::make_unique<linalg::BlockJacobiPreconditioner>(2); },
+        [extrusion] {
+          return std::make_unique<linalg::SemicoarseningAmg>(
+              extrusion, linalg::AmgConfig{});
+        },
+    };
+  }
+
+  std::printf("forecast: %.4g yr horizon, forcing %s, velocity every %d "
+              "step(s)%s%s\n",
+              fcfg.years, fcfg.forcing.c_str(), fcfg.velocity_every,
+              fcfg.thermal_enabled ? ", thermal coupled" : "",
+              fcfg.ranks > 1 ? (", " + std::to_string(fcfg.ranks) +
+                                " in-process ranks").c_str()
+                             : "");
+
+  timestepping::ForecastDriver driver(problem, fcfg);
+  const timestepping::ForecastResult res = driver.run();
+
+  double smb = 0.0, calving = 0.0, clamp = 0.0;
+  for (const auto& row : res.ledger) {
+    smb += row.smb;
+    calving += row.calving;
+    clamp += row.clamp;
+  }
+  std::printf(
+      "forecast complete: %d step(s) to t = %.4f yr (%d rejection(s), %d "
+      "velocity solve(s))\n"
+      "volume %.6e -> %.6e km^3; budget smb %+.4e calving %.4e clamp %.4e "
+      "km^3; max |mass residual| %.3e (relative)\n",
+      res.steps, res.t_final, res.rejections, res.velocity_solves,
+      res.volume_initial / 1e9, res.volume_final / 1e9, smb / 1e9,
+      calving / 1e9, clamp / 1e9, res.max_mass_residual);
+  double total_s = 0.0;
+  for (const auto& [name, e] : res.timers.entries()) total_s += e.total;
+  if (total_s > 0.0) {
+    std::printf("phase split:");
+    for (const auto& [name, e] : res.timers.entries()) {
+      std::printf("  %s %.3fs (%.1f%%, %zu calls)", name.c_str(), e.total,
+                  100.0 * e.total / total_s, e.count);
+    }
+    std::printf("\n");
+  }
+  std::printf("mean velocity: %.6f m/yr\n", res.mean_velocity);
+
+  if (args.has("ppm")) {
+    io::HeatmapConfig hm;
+    hm.pixels_per_cell = 6;
+    io::write_heatmap_ppm(args.str("ppm"), problem.mesh().base(), res.H, hm);
+    std::printf("final thickness map written to %s\n",
+                args.str("ppm").c_str());
+  }
+  return res.completed ? 0 : 1;
+}
+
 int cmd_export_jacobian(const Args& args) {
   MALI_CHECK_MSG(args.has("out"), "export-jacobian requires --out PATH.mtx");
   auto cfg = problem_config(args);
@@ -539,6 +649,20 @@ void usage() {
       "                   [--cells N] [--scale F] [--out PATH]\n"
       "  transport        Eq. 2 thickness transport demo [--dx-km F]\n"
       "                   [--years F] [--ppm PATH]\n"
+      "  forecast         transient velocity-thickness-thermal forecast\n"
+      "                   [--years F] [--dx-km F] [--layers N]\n"
+      "                   [--dt-init F] [--dt-min F] [--dt-max F]\n"
+      "                   [--dt-growth F] [--dt-backoff F] [--cfl F]\n"
+      "                   [--forcing constant[:offset=F] |\n"
+      "                             ramp:anomaly=F[,start=F][,end=F] |\n"
+      "                             cycle:amplitude=F[,period=F][,phase=F]]\n"
+      "                   [--velocity-every N]  (0 freeze, <0 zero velocity)\n"
+      "                   [--no-thermal] [--thermal-steady]\n"
+      "                   [--flux upwind|muscl] [--min-thickness F]\n"
+      "                   [--checkpoint-every K] [--checkpoint PATH]\n"
+      "                   [--restart PATH] [--quiet] [--ppm PATH]\n"
+      "                   plus solve's --jacobian/--krylov/--precond/\n"
+      "                   --steps/--ranks/--decomp/--inject-fault/--resilience\n"
       "  export-jacobian  assemble and dump the Jacobian as MatrixMarket\n"
       "                   --out PATH.mtx [--dx-km F] [--layers N]\n"
       "  launch-bounds    evaluate a LaunchBounds<T,B> choice on the GCD\n"
@@ -559,6 +683,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transport") return cmd_transport(args);
+    if (cmd == "forecast") return cmd_forecast(args);
     if (cmd == "export-jacobian") return cmd_export_jacobian(args);
     if (cmd == "launch-bounds") return cmd_launch_bounds(args);
     if (cmd == "archs") return cmd_archs();
