@@ -22,6 +22,7 @@
 
 #include "physics/stokes_fo_problem.hpp"
 #include "timestepping/forecast_driver.hpp"
+#include "util/json_writer.hpp"
 
 using namespace mali;
 
@@ -149,35 +150,42 @@ int main(int argc, char** argv) {
               all_completed ? "PASS" : "FAIL");
   std::printf("mass residual <= 1e-10:        %s\n", mass_ok ? "PASS" : "FAIL");
 
-  // JSON record for CI artifact upload and the repo-root snapshot.
+  // JSON record for CI artifact upload and the repo-root snapshot.  Fixed
+  // key order, doubles shortest-round-trip (never truncated): identical
+  // measurements produce byte-identical files.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("forecast");
+  w.key("problem").begin_object();
+  w.key("dx_km").value(dx_km);
+  w.key("layers").value(layers);
+  w.key("years").value(years);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("config").value(r.name);
+    w.key("wall_s").value(r.wall_s);
+    w.key("steps").value(r.steps);
+    w.key("velocity_solves").value(r.velocity_solves);
+    w.key("rejections").value(r.rejections);
+    w.key("steps_per_hour").value(r.steps_per_hour);
+    w.key("model_years_per_hour").value(r.model_years_per_hour);
+    w.key("velocity_frac").value(r.velocity_frac);
+    w.key("transport_frac").value(r.transport_frac);
+    w.key("thermal_frac").value(r.thermal_frac);
+    w.key("max_mass_residual").value(r.max_mass_residual);
+    w.key("volume_change_frac").value(r.volume_change_frac);
+    w.key("completed").value(r.completed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("all_completed").value(all_completed);
+  w.key("mass_residual_ok").value(mass_ok);
+  w.end_object();
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"forecast\",\n");
-    std::fprintf(f,
-                 "  \"problem\": {\"dx_km\": %.1f, \"layers\": %d, "
-                 "\"years\": %.1f},\n",
-                 dx_km, layers, years);
-    std::fprintf(f, "  \"rows\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(
-          f,
-          "    {\"config\": \"%s\", \"wall_s\": %.6f, \"steps\": %d, "
-          "\"velocity_solves\": %d, \"rejections\": %d, "
-          "\"steps_per_hour\": %.1f, \"model_years_per_hour\": %.1f, "
-          "\"velocity_frac\": %.4f, \"transport_frac\": %.4f, "
-          "\"thermal_frac\": %.4f, \"max_mass_residual\": %.3e, "
-          "\"volume_change_frac\": %.6e, \"completed\": %s}%s\n",
-          r.name.c_str(), r.wall_s, r.steps, r.velocity_solves, r.rejections,
-          r.steps_per_hour, r.model_years_per_hour, r.velocity_frac,
-          r.transport_frac, r.thermal_frac, r.max_mass_residual,
-          r.volume_change_frac, r.completed ? "true" : "false",
-          i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"all_completed\": %s,\n",
-                 all_completed ? "true" : "false");
-    std::fprintf(f, "  \"mass_residual_ok\": %s\n", mass_ok ? "true" : "false");
-    std::fprintf(f, "}\n");
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("\nwrote %s\n", out_path.c_str());
   } else {

@@ -24,6 +24,7 @@
 #include "linalg/pipelined_krylov.hpp"
 #include "perf/reduction_latency.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "util/json_writer.hpp"
 
 using namespace mali;
 
@@ -157,32 +158,39 @@ int main(int argc, char** argv) {
   std::printf("no slower at ranks >= 4:       %s\n",
               not_slower_at_scale ? "PASS" : "FAIL");
 
-  // JSON record for CI artifact upload and the repo-root snapshot.
+  // JSON record for CI artifact upload and the repo-root snapshot.  Fixed
+  // key order, doubles shortest-round-trip (never truncated): identical
+  // measurements produce byte-identical files.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("pipelined_krylov");
+  w.key("problem").begin_object();
+  w.key("dx_km").value(dx_km);
+  w.key("layers").value(layers);
+  w.key("dofs").value(problem.n_dofs());
+  w.end_object();
+  w.key("reps").value(reps);
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("ranks").value(r.ranks);
+    w.key("krylov").value(linalg::to_string(r.kind));
+    w.key("wall_s").value(r.wall_s);
+    w.key("linear_iters").value(r.linear_iters);
+    w.key("allreduces").value(r.allreduces);
+    w.key("reduced_values").value(r.reduced_values);
+    w.key("collectives_per_iter").value(r.collectives_per_iter);
+    w.key("model_sync_per_iter_us").value(r.model_sync_per_iter_us);
+    w.key("converged").value(r.converged);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("one_collective_per_iter").value(one_collective_ok);
+  w.key("no_slower_at_ranks_ge_4").value(not_slower_at_scale);
+  w.end_object();
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"pipelined_krylov\",\n");
-    std::fprintf(f, "  \"problem\": {\"dx_km\": %.1f, \"layers\": %d, "
-                    "\"dofs\": %zu},\n",
-                 dx_km, layers, problem.n_dofs());
-    std::fprintf(f, "  \"reps\": %d,\n  \"rows\": [\n", reps);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(
-          f,
-          "    {\"ranks\": %d, \"krylov\": \"%s\", \"wall_s\": %.6f, "
-          "\"linear_iters\": %zu, \"allreduces\": %zu, "
-          "\"reduced_values\": %zu, \"collectives_per_iter\": %.4f, "
-          "\"model_sync_per_iter_us\": %.4f, \"converged\": %s}%s\n",
-          r.ranks, linalg::to_string(r.kind), r.wall_s, r.linear_iters,
-          r.allreduces, r.reduced_values, r.collectives_per_iter,
-          r.model_sync_per_iter_us, r.converged ? "true" : "false",
-          i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"one_collective_per_iter\": %s,\n",
-                 one_collective_ok ? "true" : "false");
-    std::fprintf(f, "  \"no_slower_at_ranks_ge_4\": %s\n",
-                 not_slower_at_scale ? "true" : "false");
-    std::fprintf(f, "}\n");
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("\nwrote %s\n", out_path.c_str());
   } else {

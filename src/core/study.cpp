@@ -1,5 +1,7 @@
 #include "core/study.hpp"
 
+#include "ensemble/sweep.hpp"
+
 namespace mali::core {
 
 OptimizationStudy::OptimizationStudy(StudyConfig cfg)
@@ -18,23 +20,32 @@ gpusim::SimResult OptimizationStudy::simulate(
 }
 
 std::vector<CaseResult> OptimizationStudy::run_standard_cases() const {
+  // The paper's fixed 8-case study is just a tiny parameter sweep — arch x
+  // kernel x variant — so it enumerates through the same deterministic
+  // cross-product core the ensemble engine uses (ensemble/sweep.hpp); the
+  // tuple order (last dimension fastest) reproduces the historical nesting
+  // exactly.
+  const std::vector<KernelKind> kinds{KernelKind::kJacobian,
+                                      KernelKind::kResidual};
+  const std::vector<physics::KernelVariant> variants{
+      physics::KernelVariant::kBaseline, physics::KernelVariant::kOptimized};
+
   std::vector<CaseResult> results;
-  for (const auto& arch : archs_) {
-    for (const auto kind : {KernelKind::kJacobian, KernelKind::kResidual}) {
-      for (const auto variant : {physics::KernelVariant::kBaseline,
-                                 physics::KernelVariant::kOptimized}) {
-        // The paper's headline optimized numbers on the MI250X include the
-        // LaunchBounds tuning of Table II (best setting: <128,2>); elsewhere
-        // the vendor defaults are used (on A100 block size had no effect).
-        pk::LaunchConfig launch{};
-        if (arch.has_accum_vgprs &&
-            variant == physics::KernelVariant::kOptimized) {
-          launch = pk::LaunchConfig{128, 2};
-        }
-        results.push_back(CaseResult{kind, variant, arch.name,
-                                     simulate(arch, kind, variant, launch)});
-      }
+  for (const auto& tuple : ensemble::cross_product_indices(
+           {archs_.size(), kinds.size(), variants.size()})) {
+    const gpusim::GpuArch& arch = archs_[tuple[0]];
+    const KernelKind kind = kinds[tuple[1]];
+    const physics::KernelVariant variant = variants[tuple[2]];
+    // The paper's headline optimized numbers on the MI250X include the
+    // LaunchBounds tuning of Table II (best setting: <128,2>); elsewhere
+    // the vendor defaults are used (on A100 block size had no effect).
+    pk::LaunchConfig launch{};
+    if (arch.has_accum_vgprs &&
+        variant == physics::KernelVariant::kOptimized) {
+      launch = pk::LaunchConfig{128, 2};
     }
+    results.push_back(CaseResult{kind, variant, arch.name,
+                                 simulate(arch, kind, variant, launch)});
   }
   return results;
 }

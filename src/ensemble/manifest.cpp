@@ -1,0 +1,225 @@
+#include "ensemble/manifest.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "ensemble/sweep.hpp"
+#include "portability/common.hpp"
+#include "util/fp_format.hpp"
+
+namespace mali::ensemble {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+double parse_double(const std::string& val, const std::string& line) {
+  char* end = nullptr;
+  const std::string v = trim(val);
+  MALI_CHECK_MSG(!v.empty(),
+                 "ensemble manifest: empty value in '" + line + "'");
+  const double x = std::strtod(v.c_str(), &end);
+  MALI_CHECK_MSG(end == v.c_str() + v.size() && std::isfinite(x),
+                 "ensemble manifest: '" + v +
+                     "' is not a finite number in '" + line + "'");
+  return x;
+}
+
+int parse_int(const std::string& val, const std::string& line) {
+  const double x = parse_double(val, line);
+  MALI_CHECK_MSG(x == std::floor(x) && std::abs(x) < 1e9,
+                 "ensemble manifest: '" + trim(val) +
+                     "' is not an integer in '" + line + "'");
+  return static_cast<int>(x);
+}
+
+std::vector<double> parse_double_list(const std::string& val,
+                                      const std::string& line) {
+  std::vector<double> out;
+  std::stringstream ss(val);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(parse_double(item, line));
+  MALI_CHECK_MSG(!out.empty(),
+                 "ensemble manifest: empty sweep in '" + line + "'");
+  return out;
+}
+
+std::vector<std::string> parse_spec_list(const std::string& val,
+                                         const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(val);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    const std::string spec = trim(item);
+    MALI_CHECK_MSG(!spec.empty(),
+                   "ensemble manifest: empty forcing spec in '" + line + "'");
+    out.push_back(spec);
+  }
+  MALI_CHECK_MSG(!out.empty(),
+                 "ensemble manifest: empty sweep in '" + line + "'");
+  return out;
+}
+
+std::string join_doubles(const std::vector<double>& v) {
+  std::string s;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ',';
+    s += util::format_double(v[i]);
+  }
+  return s;
+}
+
+std::string join_specs(const std::vector<std::string>& v) {
+  std::string s;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ';';
+    s += v[i];
+  }
+  return s;
+}
+
+void validate(const EnsembleManifest& m) {
+  MALI_CHECK_MSG(std::isfinite(m.dx_km) && m.dx_km > 0.0,
+                 "ensemble manifest: dx_km must be positive");
+  MALI_CHECK_MSG(m.layers >= 1, "ensemble manifest: layers must be >= 1");
+  MALI_CHECK_MSG(std::isfinite(m.years) && m.years > 0.0,
+                 "ensemble manifest: years must be positive");
+  MALI_CHECK_MSG(m.velocity_every >= -1,
+                 "ensemble manifest: velocity_every must be >= -1");
+  MALI_CHECK_MSG(m.newton_max_iters >= 1,
+                 "ensemble manifest: newton_max_iters must be >= 1");
+  MALI_CHECK_MSG(std::isfinite(m.newton_tol) && m.newton_tol > 0.0,
+                 "ensemble manifest: newton_tol must be positive");
+  MALI_CHECK_MSG(m.rank_groups >= 1,
+                 "ensemble manifest: rank_groups must be >= 1");
+  for (const double v : m.glen_n) {
+    MALI_CHECK_MSG(v >= 1.0, "ensemble manifest: sweep.glen_n values must "
+                             "be >= 1");
+  }
+  for (const double v : m.glen_A) {
+    MALI_CHECK_MSG(v > 0.0,
+                   "ensemble manifest: sweep.glen_A values must be > 0");
+  }
+  for (const double v : m.friction_scale) {
+    MALI_CHECK_MSG(v > 0.0, "ensemble manifest: sweep.friction_scale values "
+                            "must be > 0");
+  }
+  MALI_CHECK_MSG(m.n_members() >= 1, "ensemble manifest: no members");
+}
+
+}  // namespace
+
+EnsembleManifest parse_manifest(const std::string& text) {
+  EnsembleManifest m;
+  std::set<std::string> seen;
+  std::stringstream ss(text);
+  std::string raw;
+  while (std::getline(ss, raw)) {
+    // Strip trailing comment, then whitespace.
+    const std::size_t hash = raw.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    MALI_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "ensemble manifest: expected key = value, got '" + line +
+                       "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    MALI_CHECK_MSG(seen.insert(key).second,
+                   "ensemble manifest: duplicate key '" + key + "'");
+
+    if (key == "name") {
+      MALI_CHECK_MSG(!val.empty(), "ensemble manifest: empty name");
+      m.name = val;
+    } else if (key == "dx_km") {
+      m.dx_km = parse_double(val, line);
+    } else if (key == "layers") {
+      m.layers = parse_int(val, line);
+    } else if (key == "years") {
+      m.years = parse_double(val, line);
+    } else if (key == "velocity_every") {
+      m.velocity_every = parse_int(val, line);
+    } else if (key == "newton_max_iters") {
+      m.newton_max_iters = parse_int(val, line);
+    } else if (key == "newton_tol") {
+      m.newton_tol = parse_double(val, line);
+    } else if (key == "rank_groups") {
+      m.rank_groups = parse_int(val, line);
+    } else if (key == "sweep.glen_n") {
+      m.glen_n = parse_double_list(val, line);
+    } else if (key == "sweep.glen_A") {
+      m.glen_A = parse_double_list(val, line);
+    } else if (key == "sweep.friction_scale") {
+      m.friction_scale = parse_double_list(val, line);
+    } else if (key == "sweep.forcing") {
+      m.forcing = parse_spec_list(val, line);
+    } else {
+      MALI_CHECK_MSG(false, "ensemble manifest: unknown key '" + key +
+                                "' (name | dx_km | layers | years | "
+                                "velocity_every | newton_max_iters | "
+                                "newton_tol | rank_groups | sweep.glen_n | "
+                                "sweep.glen_A | sweep.friction_scale | "
+                                "sweep.forcing)");
+    }
+  }
+  validate(m);
+  return m;
+}
+
+EnsembleManifest load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  MALI_CHECK_MSG(in.good(),
+                 "ensemble manifest: cannot read '" + path + "'");
+  std::ostringstream body;
+  body << in.rdbuf();
+  return parse_manifest(body.str());
+}
+
+std::string EnsembleManifest::canonical() const {
+  std::string s;
+  s += "name = " + name + "\n";
+  s += "dx_km = " + util::format_double(dx_km) + "\n";
+  s += "layers = " + std::to_string(layers) + "\n";
+  s += "years = " + util::format_double(years) + "\n";
+  s += "velocity_every = " + std::to_string(velocity_every) + "\n";
+  s += "newton_max_iters = " + std::to_string(newton_max_iters) + "\n";
+  s += "newton_tol = " + util::format_double(newton_tol) + "\n";
+  s += "rank_groups = " + std::to_string(rank_groups) + "\n";
+  s += "sweep.glen_n = " + join_doubles(glen_n) + "\n";
+  s += "sweep.glen_A = " + join_doubles(glen_A) + "\n";
+  s += "sweep.friction_scale = " + join_doubles(friction_scale) + "\n";
+  s += "sweep.forcing = " + join_specs(forcing) + "\n";
+  return s;
+}
+
+std::vector<MemberParams> expand_members(const EnsembleManifest& m) {
+  const auto tuples = cross_product_indices(
+      {m.glen_n.size(), m.glen_A.size(), m.friction_scale.size(),
+       m.forcing.size()});
+  std::vector<MemberParams> members;
+  members.reserve(tuples.size());
+  for (std::size_t k = 0; k < tuples.size(); ++k) {
+    MemberParams p;
+    p.id = k;
+    p.glen_n = m.glen_n[tuples[k][0]];
+    p.glen_A = m.glen_A[tuples[k][1]];
+    p.friction_scale = m.friction_scale[tuples[k][2]];
+    p.forcing = m.forcing[tuples[k][3]];
+    members.push_back(std::move(p));
+  }
+  return members;
+}
+
+}  // namespace mali::ensemble

@@ -1,0 +1,81 @@
+#pragma once
+// Ensemble batch manifest — the strict key=value grammar (PR-7 Forcing
+// spec style) that declares a parameter sweep.  One manifest = one shared
+// mesh/solver setup plus up to four sweep dimensions:
+//
+//   # comments and blank lines are ignored
+//   name = warming-sweep          # optional label
+//   dx_km = 220                   # horizontal resolution (km)
+//   layers = 3                    # vertical extrusion layers
+//   years = 0.5                   # forecast horizon per member
+//   velocity_every = 1            # ForecastConfig cadence (-1 | 0 | N)
+//   newton_max_iters = 8
+//   newton_tol = 1e-6
+//   rank_groups = 1               # scheduler groups (ensemble/scheduler)
+//   sweep.glen_n = 3,3.2          # comma-separated doubles
+//   sweep.glen_A = 1e-16
+//   sweep.friction_scale = 1,1.2
+//   sweep.forcing = constant;ramp:anomaly=-0.5,end=2   # ';'-separated
+//                                                      # Forcing specs
+//
+// Members are the cross product of the sweep dimensions in the fixed order
+// glen_n x glen_A x friction_scale x forcing, last dimension fastest
+// (ensemble/sweep.hpp) — member ids are stable across runs by definition.
+// Every malformed line (unknown key, duplicate key, unparsable or
+// non-finite value, empty sweep, out-of-range setting) is a typed
+// mali::Error naming the offending line.  canonical() emits a normalized
+// manifest that reparses to an identical object, doubles formatted
+// shortest-round-trip (util/fp_format.hpp).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mali::ensemble {
+
+struct EnsembleManifest {
+  std::string name = "ensemble";
+  double dx_km = 220.0;
+  int layers = 3;
+  double years = 0.5;
+  int velocity_every = 1;
+  int newton_max_iters = 8;
+  double newton_tol = 1.0e-6;
+  int rank_groups = 1;
+  std::vector<double> glen_n{3.0};
+  std::vector<double> glen_A{1.0e-16};
+  std::vector<double> friction_scale{1.0};
+  std::vector<std::string> forcing{"constant"};
+
+  [[nodiscard]] std::size_t n_members() const {
+    return glen_n.size() * glen_A.size() * friction_scale.size() *
+           forcing.size();
+  }
+
+  /// Normalized manifest text: parse_manifest(canonical()) == *this
+  /// field-for-field (doubles bitwise).
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// One expanded sweep point.  `id` is the cross-product position (the
+/// scheduler and the results document are keyed by it).
+struct MemberParams {
+  std::size_t id = 0;
+  double glen_n = 3.0;
+  double glen_A = 1.0e-16;
+  double friction_scale = 1.0;
+  std::string forcing = "constant";
+};
+
+/// Parses manifest text (grammar above).  Throws mali::Error on any
+/// malformed line; never returns a partially-filled manifest.
+[[nodiscard]] EnsembleManifest parse_manifest(const std::string& text);
+
+/// Reads and parses a manifest file; throws mali::Error if unreadable.
+[[nodiscard]] EnsembleManifest load_manifest(const std::string& path);
+
+/// Deterministic cross-product expansion (member id = tuple index).
+[[nodiscard]] std::vector<MemberParams> expand_members(
+    const EnsembleManifest& m);
+
+}  // namespace mali::ensemble

@@ -1,0 +1,53 @@
+#include "ensemble/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "portability/common.hpp"
+
+namespace mali::ensemble {
+
+std::vector<std::size_t> Schedule::execution_order() const {
+  std::vector<std::size_t> order;
+  std::size_t longest = 0;
+  for (const auto& g : groups) longest = std::max(longest, g.size());
+  for (std::size_t pos = 0; pos < longest; ++pos) {
+    for (const auto& g : groups) {
+      if (pos < g.size()) order.push_back(g[pos]);
+    }
+  }
+  return order;
+}
+
+Schedule schedule_members(std::size_t n_members, std::size_t n_groups,
+                          const std::vector<double>& cost) {
+  MALI_CHECK_MSG(n_groups >= 1, "scheduler: need at least one rank group");
+  MALI_CHECK_MSG(cost.empty() || cost.size() == n_members,
+                 "scheduler: cost vector size must match member count");
+
+  // Descending cost, stable on equal costs so ids stay ordered.
+  std::vector<std::size_t> by_cost(n_members);
+  std::iota(by_cost.begin(), by_cost.end(), std::size_t{0});
+  if (!cost.empty()) {
+    std::stable_sort(by_cost.begin(), by_cost.end(),
+                     [&cost](std::size_t a, std::size_t b) {
+                       return cost[a] > cost[b];
+                     });
+  }
+
+  Schedule s;
+  s.groups.resize(n_groups);
+  s.load.assign(n_groups, 0.0);
+  for (const std::size_t id : by_cost) {
+    // Least-loaded group, lowest index on ties.
+    std::size_t best = 0;
+    for (std::size_t g = 1; g < n_groups; ++g) {
+      if (s.load[g] < s.load[best]) best = g;
+    }
+    s.groups[best].push_back(id);
+    s.load[best] += cost.empty() ? 1.0 : cost[id];
+  }
+  return s;
+}
+
+}  // namespace mali::ensemble

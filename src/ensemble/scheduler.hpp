@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic member scheduler: packs ensemble members onto rank groups
+// with longest-processing-time-first (LPT) greedy packing.  All ties break
+// toward the lower id, so the same manifest always produces the same
+// member -> group packing — the scheduler-determinism contract test_ensemble
+// pins (DESIGN.md §15).
+
+#include <cstddef>
+#include <vector>
+
+namespace mali::ensemble {
+
+struct Schedule {
+  /// groups[g] = member ids assigned to group g, in execution order.
+  std::vector<std::vector<std::size_t>> groups;
+  /// Per-group total estimated cost (same units as the input costs).
+  std::vector<double> load;
+
+  /// Members flattened in the engine's execution order: round-robin over
+  /// the groups (position 0 of every group, then position 1, ...), so
+  /// early members of every group complete first and become warm-start
+  /// donors for their group peers.
+  [[nodiscard]] std::vector<std::size_t> execution_order() const;
+};
+
+/// LPT packing of `n_members` onto `n_groups`.  `cost` estimates per-member
+/// work (empty = uniform); members are placed in descending-cost order
+/// (ties: lower id first) onto the least-loaded group (ties: lowest group).
+/// Deterministic: a pure function of (n_members, n_groups, cost).
+[[nodiscard]] Schedule schedule_members(std::size_t n_members,
+                                        std::size_t n_groups,
+                                        const std::vector<double>& cost = {});
+
+}  // namespace mali::ensemble

@@ -1,0 +1,25 @@
+#include "ensemble/sweep.hpp"
+
+namespace mali::ensemble {
+
+std::vector<std::vector<std::size_t>> cross_product_indices(
+    const std::vector<std::size_t>& dims) {
+  std::size_t total = 1;
+  for (const std::size_t n : dims) total *= n;
+  std::vector<std::vector<std::size_t>> tuples;
+  if (total == 0) return tuples;
+  tuples.reserve(total);
+
+  std::vector<std::size_t> cur(dims.size(), 0);
+  for (std::size_t k = 0; k < total; ++k) {
+    tuples.push_back(cur);
+    // Odometer increment, last dimension fastest.
+    for (std::size_t d = dims.size(); d-- > 0;) {
+      if (++cur[d] < dims[d]) break;
+      cur[d] = 0;
+    }
+  }
+  return tuples;
+}
+
+}  // namespace mali::ensemble

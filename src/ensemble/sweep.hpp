@@ -1,0 +1,19 @@
+#pragma once
+// Deterministic parameter-sweep expansion — the cross-product core shared
+// by the ensemble manifest (ensemble/manifest.hpp) and the paper's fixed
+// 8-case study (core/study.hpp, refactored in PR 8 to be a client of this).
+
+#include <cstddef>
+#include <vector>
+
+namespace mali::ensemble {
+
+/// Expands dimension sizes {n0, n1, ...} into every index tuple, row-major
+/// with the LAST dimension fastest — tuple k enumerates like an odometer.
+/// The order is the member-id order everywhere in the ensemble engine, so
+/// it is part of the determinism contract (DESIGN.md §15).  An empty dims
+/// list yields one empty tuple; a zero-sized dimension yields no tuples.
+[[nodiscard]] std::vector<std::vector<std::size_t>> cross_product_indices(
+    const std::vector<std::size_t>& dims);
+
+}  // namespace mali::ensemble

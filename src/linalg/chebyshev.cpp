@@ -56,6 +56,18 @@ void ChebyshevSmoother::finish_setup(std::vector<double> diag) {
     inv_diag_[i] = 1.0 / diag[i];
   }
 
+  // A supplied spectral hint (ensemble recycling between nearby parameter
+  // points) skips the power iteration entirely — degree applies are the
+  // only remaining setup cost.
+  if (cfg_.lambda_hint > 0.0 && std::isfinite(cfg_.lambda_hint)) {
+    lambda_est_ = cfg_.lambda_hint;
+    used_hint_ = true;
+    lmax_ = cfg_.boost * lambda_est_;
+    lmin_ = cfg_.lower_frac * lmax_;
+    return;
+  }
+  used_hint_ = false;
+
   // Power iteration on D^{-1} A for the dominant eigenvalue.  Deterministic
   // pseudo-random start so repeated computes give identical smoothers.
   std::vector<double> v(n), w(n);
@@ -87,6 +99,7 @@ void ChebyshevSmoother::finish_setup(std::vector<double> diag) {
   }
   if (!std::isfinite(lambda) || lambda <= 0.0) lambda = 1.0;
 
+  lambda_est_ = lambda;
   lmax_ = cfg_.boost * lambda;
   lmin_ = cfg_.lower_frac * lmax_;
 }

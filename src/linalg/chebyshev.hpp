@@ -24,6 +24,12 @@ struct ChebyshevConfig {
   int power_iters = 10;     ///< power-iteration steps for lambda_max
   double boost = 1.1;       ///< safety factor on the lambda_max estimate
   double lower_frac = 0.3;  ///< lambda_min = lower_frac * lambda_max
+  /// Raw lambda_max estimate to reuse instead of running the power
+  /// iteration (<= 0 runs it).  The ensemble engine harvests
+  /// lambda_estimate() from a neighbor member's smoother and feeds it back
+  /// here; boost/lower_frac apply to the hint exactly as to a fresh
+  /// estimate, so a hint equal to the fresh estimate is bit-identical.
+  double lambda_hint = 0.0;
 };
 
 class ChebyshevSmoother final : public Preconditioner {
@@ -54,6 +60,13 @@ class ChebyshevSmoother final : public Preconditioner {
   /// Estimated spectral bounds of D^{-1} A (after boost); for tests.
   [[nodiscard]] double lambda_max() const noexcept { return lmax_; }
   [[nodiscard]] double lambda_min() const noexcept { return lmin_; }
+  /// Raw dominant-eigenvalue estimate before the boost factor — the value
+  /// to pass as ChebyshevConfig::lambda_hint to skip the power iteration.
+  [[nodiscard]] double lambda_estimate() const noexcept {
+    return lambda_est_;
+  }
+  /// True when the last compute() used the hint (no power iteration ran).
+  [[nodiscard]] bool used_hint() const noexcept { return used_hint_; }
 
  private:
   void finish_setup(std::vector<double> diag);
@@ -64,6 +77,8 @@ class ChebyshevSmoother final : public Preconditioner {
   const LinearOperator* op_ = nullptr;
   std::vector<double> inv_diag_;
   double lmax_ = 0.0, lmin_ = 0.0;
+  double lambda_est_ = 0.0;
+  bool used_hint_ = false;
   // Chebyshev scratch (apply is logically const).
   mutable std::vector<double> d_, res_, tmp_;
 };

@@ -89,6 +89,29 @@ void SemicoarseningAmg::build_hierarchy(CrsMatrix A_fine) {
   levels_.clear();
   use_direct_coarse_ = false;
 
+  // Recycled path: the aggregation maps are a pure function of the
+  // ExtrusionInfo, so once cached they replay exactly — only the Galerkin
+  // products run against the new matrix values.  Bit-identical to a fresh
+  // build by construction (the derivation below produces these same maps).
+  if (cfg_.reuse_structure && have_cached_structure_) {
+    MALI_CHECK_MSG(A_fine.n_rows() == cached_fine_rows_,
+                   "AMG reuse_structure: fine matrix size changed since the "
+                   "cached build");
+    ++structure_reuses_;
+    levels_.emplace_back();
+    levels_.back().A = std::move(A_fine);
+    for (std::size_t l = 0; l < cached_agg_.size(); ++l) {
+      Level& fine = levels_.back();
+      fine.agg = cached_agg_[l];
+      fine.n_coarse = cached_n_coarse_[l];
+      Level coarse;
+      coarse.A = galerkin_coarse(fine.A, fine.agg, fine.n_coarse);
+      levels_.push_back(std::move(coarse));
+    }
+    factor_coarse();
+    return;
+  }
+
   const int dpn = info_.dofs_per_node;
   const std::size_t n_columns = info_.n_nodes / info_.levels;
 
@@ -179,6 +202,21 @@ void SemicoarseningAmg::build_hierarchy(CrsMatrix A_fine) {
     }
   }
 
+  ++hierarchy_builds_;
+  if (cfg_.reuse_structure) {
+    have_cached_structure_ = true;
+    cached_fine_rows_ = levels_.front().A.n_rows();
+    cached_agg_.clear();
+    cached_n_coarse_.clear();
+    for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+      cached_agg_.push_back(levels_[l].agg);
+      cached_n_coarse_.push_back(levels_[l].n_coarse);
+    }
+  }
+  factor_coarse();
+}
+
+void SemicoarseningAmg::factor_coarse() {
   const CrsMatrix& Ac = levels_.back().A;
   const std::size_t coarse_n = Ac.n_rows();
   if (coarse_n <= cfg_.coarse_max_dofs) {
@@ -200,7 +238,11 @@ void SemicoarseningAmg::setup_smoothers() {
   for (std::size_t l = 0; l < levels_.size(); ++l) {
     Level& lvl = levels_[l];
     if (cfg_.smoother == AmgSmoother::kChebyshev) {
-      auto cheb = std::make_unique<ChebyshevSmoother>(cfg_.cheb);
+      ChebyshevConfig ccfg = cfg_.cheb;
+      if (l < cheb_hints_.size() && cheb_hints_[l] > 0.0) {
+        ccfg.lambda_hint = cheb_hints_[l];  // skip this level's power iters
+      }
+      auto cheb = std::make_unique<ChebyshevSmoother>(ccfg);
       if (l == 0 && fine_op_ != nullptr) {
         // Matrix-free fine level: operator applies + probed diagonal only.
         const std::size_t n = lvl.A.n_rows();
@@ -218,6 +260,17 @@ void SemicoarseningAmg::setup_smoothers() {
       lvl.smoother = std::move(sgs);
     }
   }
+}
+
+std::vector<double> SemicoarseningAmg::chebyshev_lambda_estimates() const {
+  std::vector<double> est;
+  for (const Level& lvl : levels_) {
+    const auto* cheb =
+        dynamic_cast<const ChebyshevSmoother*>(lvl.smoother.get());
+    if (cheb == nullptr) return {};  // SGS hierarchy: nothing to recycle
+    est.push_back(cheb->lambda_estimate());
+  }
+  return est;
 }
 
 void SemicoarseningAmg::level_apply(std::size_t l,

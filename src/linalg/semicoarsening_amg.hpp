@@ -48,6 +48,13 @@ struct AmgConfig {
   int coarse_sgs_sweeps = 40;  ///< fallback if the coarsest level stays large
   AmgSmoother smoother = AmgSmoother::kSgs;
   ChebyshevConfig cheb{};  ///< Chebyshev smoother parameters
+  /// Cache the aggregation maps from the first compute() and reuse them on
+  /// every later compute() (the ensemble engine's hierarchy recycling).
+  /// The aggregation is a pure function of the ExtrusionInfo — never of
+  /// matrix values — so a recycled hierarchy is bit-identical to a rebuilt
+  /// one; only the derivation work is skipped.  The Galerkin products are
+  /// always recomputed from the new matrix.
+  bool reuse_structure = false;
 };
 
 /// Mesh structure the semicoarsening (and the operator probing) needs:
@@ -114,6 +121,28 @@ class SemicoarseningAmg final : public Preconditioner {
     return levels_.front().A;
   }
 
+  // ---- recycling instrumentation (ensemble engine / tests / bench) ----
+  /// compute() calls that derived the aggregation maps from scratch.
+  [[nodiscard]] std::size_t hierarchy_builds() const noexcept {
+    return hierarchy_builds_;
+  }
+  /// compute() calls served from the cached structure (reuse_structure).
+  [[nodiscard]] std::size_t structure_reuses() const noexcept {
+    return structure_reuses_;
+  }
+
+  /// Per-level raw Chebyshev lambda estimates from the last compute()
+  /// (empty when the SGS smoother is configured) — feed these back via
+  /// set_chebyshev_lambda_hints to skip the power iterations on a nearby
+  /// parameter point.
+  [[nodiscard]] std::vector<double> chebyshev_lambda_estimates() const;
+  /// Per-level raw lambda hints for the *next* compute(); entries <= 0 or
+  /// beyond the hierarchy depth fall back to the power iteration.  Pass an
+  /// empty vector to clear.
+  void set_chebyshev_lambda_hints(std::vector<double> hints) {
+    cheb_hints_ = std::move(hints);
+  }
+
  private:
   struct Level {
     CrsMatrix A;
@@ -125,6 +154,8 @@ class SemicoarseningAmg final : public Preconditioner {
   };
 
   void build_hierarchy(CrsMatrix A_fine);
+  /// Direct-LU factorization of the coarsest level (tail of the build).
+  void factor_coarse();
   void setup_smoothers();
   /// y = A_l x, through the live operator on a matrix-free fine level.
   void level_apply(std::size_t l, const std::vector<double>& x,
@@ -140,6 +171,18 @@ class SemicoarseningAmg final : public Preconditioner {
   /// only); nullptr on the assembled path.  Not owned.
   const LinearOperator* fine_op_ = nullptr;
   std::size_t probe_applies_ = 0;
+
+  // Cached aggregation structure (reuse_structure) + recycle counters.
+  // The explicit flag (not cached_agg_.empty()) is the "have a cached
+  // build" sentinel: a hierarchy small enough to stay single-level has no
+  // aggregation maps at all, yet still recycles.
+  bool have_cached_structure_ = false;
+  std::size_t cached_fine_rows_ = 0;
+  std::vector<std::vector<std::size_t>> cached_agg_;
+  std::vector<std::size_t> cached_n_coarse_;
+  std::size_t hierarchy_builds_ = 0;
+  std::size_t structure_reuses_ = 0;
+  std::vector<double> cheb_hints_;
 
   // Dense LU coarse solve.
   DenseLu coarse_lu_;

@@ -184,6 +184,37 @@ StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
     range.coloring = mesh::lattice_color_cells(*mesh_, c0, range.count);
     workset_ranges_.push_back(std::move(range));
   }
+
+  // Pristine basal friction field, kept so set_basal_friction_scale is a
+  // pure function of the scale (beta = scale * beta0, never a chain of
+  // in-place rescales that would drift bitwise with call order).
+  beta0_global_.resize(ws_.n_basal_faces);
+  for (std::size_t f = 0; f < ws_.n_basal_faces; ++f) {
+    beta0_global_[f] = ws_.basal_beta(f);
+  }
+}
+
+void StokesFOProblem::set_basal_friction_scale(double scale) {
+  MALI_CHECK_MSG(std::isfinite(scale) && scale > 0.0,
+                 "basal friction scale must be positive and finite");
+  basal_friction_scale_ = scale;
+  // Rewrite both the workset source field (the dist subdomains stage from
+  // ws_) and the already-staged per-workset views from the pristine copy.
+  for (std::size_t f = 0; f < beta0_global_.size(); ++f) {
+    ws_.basal_beta(f) = beta0_global_[f] * scale;
+  }
+  // The staged views were copied face-by-face at construction in global
+  // face order restricted to each range, so re-walk the same selection.
+  for (auto& range : workset_ranges_) {
+    std::size_t i = 0;
+    for (std::size_t fidx = 0; fidx < ws_.n_basal_faces; ++fidx) {
+      const std::size_t cell = ws_.basal_face_cell(fidx);
+      if (cell >= range.c0 && cell < range.c0 + range.count) {
+        range.face_beta(i++) = beta0_global_[fidx] * scale;
+      }
+    }
+    MALI_CHECK(i == range.face_beta.size());
+  }
 }
 
 linalg::CrsMatrix StokesFOProblem::create_matrix() const {

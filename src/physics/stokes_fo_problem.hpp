@@ -193,6 +193,23 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
     cfg_.constants.eps_reg2 = eps_reg2;
   }
 
+  /// Replaces the physical-constants block (Glen A, exponent n, eps_reg2,
+  /// rho, g) read by every subsequent assembly — the ensemble engine's
+  /// parameter-sweep hook.  Mesh, geometry, partition, and coloring are
+  /// untouched, which is what makes setup sharing across members valid.
+  void set_constants(const PhysicalConstants& c) noexcept {
+    cfg_.constants = c;
+  }
+
+  /// Scales basal friction uniformly: beta(x) = scale * beta0(x), where
+  /// beta0 is the construction-time field.  Pure in `scale` — the staged
+  /// values are recomputed from pristine copies, never rescaled in place,
+  /// so any call history ending at the same scale is bit-identical.
+  void set_basal_friction_scale(double scale);
+  [[nodiscard]] double basal_friction_scale() const noexcept {
+    return basal_friction_scale_;
+  }
+
   /// Replaces the flow-rate factor field with A(T) evaluated from the given
   /// temperature function T(x, y, sigma) — the hook a thermal solver uses
   /// to couple into the viscosity (see examples/thermal_coupling).
@@ -280,6 +297,10 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   double dirichlet_scale_ = 1.0;
   /// Imposed Dirichlet values (zero except in MMS mode).
   std::vector<double> dirichlet_values_;
+  /// Pristine basal friction (construction-time ws_.basal_beta) and the
+  /// currently applied uniform scale (set_basal_friction_scale).
+  std::vector<double> beta0_global_;
+  double basal_friction_scale_ = 1.0;
   /// Per-phase assembly wall-clock (evaluate / kernel / scatter).
   pk::TimerRegistry phase_timers_;
 

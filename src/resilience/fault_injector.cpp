@@ -110,7 +110,14 @@ bool FaultInjector::fire(FaultSite site) {
 
 std::size_t FaultInjector::target_dof(std::size_t n) const {
   MALI_CHECK(n > 0);
-  return static_cast<std::size_t>(splitmix64(spec_.seed) % n);
+  // member == 0 must reproduce the legacy splitmix64(seed) bits exactly
+  // (test_resilience pins them), so the salt is mixed in only when set.
+  std::uint64_t x = spec_.seed;
+  if (spec_.member != 0) {
+    x ^= splitmix64(static_cast<std::uint64_t>(spec_.member) *
+                    0xD1B54A32D192ED03ull);
+  }
+  return static_cast<std::size_t>(splitmix64(x) % n);
 }
 
 double FaultInjector::poison() const {

@@ -29,6 +29,11 @@ struct FaultSpec {
   bool repeat = false;
   /// Seed for the poisoned-dof choice (and any future randomized sites).
   unsigned seed = 0x9E3779B9u;
+  /// Member/run id mixed into the dof hash.  Without it every ensemble
+  /// member with the same spec poisons the *same* dof; distinct ids give
+  /// decorrelated faults.  0 (the default) reproduces the legacy
+  /// single-run hash bit-for-bit, so existing determinism pins hold.
+  unsigned member = 0;
 };
 
 /// Parses "kind:site[:evaluation][:repeat]", e.g. "nan:residual:2",
@@ -51,7 +56,8 @@ class FaultInjector {
   [[nodiscard]] bool fire(FaultSite site);
 
   /// Deterministic dof to poison in an n-entry output (seeded splitmix64
-  /// hash — stable across runs and independent of when it is asked).
+  /// hash over seed and member id — stable across runs and independent of
+  /// when it is asked; member 0 matches the pre-ensemble hash exactly).
   [[nodiscard]] std::size_t target_dof(std::size_t n) const;
 
   /// The value the configured kind plants (quiet NaN or +Inf).

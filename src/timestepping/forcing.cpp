@@ -1,35 +1,19 @@
 #include "timestepping/forcing.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <map>
 
 #include "portability/common.hpp"
+#include "util/fp_format.hpp"
 
 namespace mali::timestepping {
 
 namespace {
 
-/// Prints a double so that a strtod round-trip is exact (%.17g) but short
-/// values stay short — the normalized-spec building block.  Integral values
-/// print as plain integers ("10", not "1e+01").
-std::string fmt(double v) {
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char ibuf[40];
-    std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
-    return ibuf;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer the shortest representation that round-trips.
-  for (int prec = 1; prec < 17; ++prec) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
-}
+// Spec strings must reparse bitwise (parse(f.spec()) == f), so every double
+// goes through the repo-wide shortest-round-trip formatter.
+std::string fmt(double v) { return util::format_double(v); }
 
 /// Parses "key=value,key=value..." with every value a finite double.
 /// Throws mali::Error on syntax errors, duplicate or unknown keys.
@@ -84,7 +68,9 @@ double ConstantForcing::smb(double x, double y, double) const {
 }
 
 std::string ConstantForcing::spec() const {
-  if (offset_ == 0.0) return "constant";
+  // Only +0.0 may collapse to the bare form: -0.0 compares == 0.0 but is a
+  // different bit pattern, and the round-trip contract is bitwise.
+  if (offset_ == 0.0 && !std::signbit(offset_)) return "constant";
   return "constant:offset=" + fmt(offset_);
 }
 

@@ -43,6 +43,7 @@ class ConstantForcing final : public Forcing {
       : geom_(&geom), offset_(offset) {}
   [[nodiscard]] double smb(double x, double y, double t) const override;
   [[nodiscard]] std::string spec() const override;
+  [[nodiscard]] double offset() const { return offset_; }
 
  private:
   const mesh::IceGeometry* geom_;
@@ -58,6 +59,9 @@ class AnomalyRampForcing final : public Forcing {
                      double start, double end);
   [[nodiscard]] double smb(double x, double y, double t) const override;
   [[nodiscard]] std::string spec() const override;
+  [[nodiscard]] double anomaly() const { return anomaly_; }
+  [[nodiscard]] double start() const { return start_; }
+  [[nodiscard]] double end() const { return end_; }
 
  private:
   const mesh::IceGeometry* geom_;
@@ -74,6 +78,9 @@ class YearlyCycleForcing final : public Forcing {
                      double period, double phase);
   [[nodiscard]] double smb(double x, double y, double t) const override;
   [[nodiscard]] std::string spec() const override;
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+  [[nodiscard]] double period() const { return period_; }
+  [[nodiscard]] double phase() const { return phase_; }
 
  private:
   const mesh::IceGeometry* geom_;

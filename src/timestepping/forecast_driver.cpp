@@ -56,6 +56,16 @@ ForecastDriver::ForecastDriver(physics::StokesFOProblem& problem,
     H_[c] = problem.geometry().thickness(x, y);
   }
   U_ = problem.analytic_initial_guess();
+  if (!cfg_.initial_U.empty()) {
+    MALI_CHECK_MSG(cfg_.initial_U.size() == U_.size(),
+                   "ForecastConfig.initial_U has " +
+                       std::to_string(cfg_.initial_U.size()) +
+                       " entries but the problem has " +
+                       std::to_string(U_.size()) + " dofs");
+    MALI_CHECK_MSG(all_finite(cfg_.initial_U),
+                   "ForecastConfig.initial_U contains non-finite entries");
+    U_ = cfg_.initial_U;
+  }
 }
 
 std::vector<double> ForecastDriver::cell_source(double t) const {
@@ -132,6 +142,23 @@ bool ForecastDriver::solve_velocity(ForecastResult& result,
 
 ForecastResult ForecastDriver::run() {
   ForecastResult result;
+
+  // The problem outlives the driver and may be rebound or remeshed between
+  // run() calls (the ensemble engine re-runs drivers on shared problems).
+  // A warm-start vector sized for a different mesh must never be read —
+  // that was a silent stale-state bug before this check existed.
+  MALI_CHECK_MSG(U_.size() == problem_->n_dofs(),
+                 "ForecastDriver: warm-start velocity has " +
+                     std::to_string(U_.size()) +
+                     " entries but the problem now has " +
+                     std::to_string(problem_->n_dofs()) +
+                     " dofs — the mesh changed under the driver; construct "
+                     "a new driver for the new resolution");
+  MALI_CHECK_MSG(H_.size() == problem_->mesh().base().n_cells(),
+                 "ForecastDriver: thickness state has " +
+                     std::to_string(H_.size()) +
+                     " cells but the problem's base mesh now has " +
+                     std::to_string(problem_->mesh().base().n_cells()));
 
   if (!cfg_.restart_path.empty()) {
     const resilience::TransientCheckpoint c =

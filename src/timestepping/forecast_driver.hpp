@@ -68,6 +68,12 @@ struct ForecastConfig {
   /// Resume from this transient checkpoint before stepping (empty = fresh
   /// start).  A restarted run reproduces the uninterrupted run bit-for-bit.
   std::string restart_path;
+  /// Optional Newton warm start for the first velocity solve (the ensemble
+  /// engine seeds this from the nearest converged neighbor member).  Empty
+  /// keeps the analytic initial guess; a non-empty vector must match the
+  /// problem's dof count exactly — a mismatch is a typed error, never a
+  /// silent read of a wrong-sized vector.
+  std::vector<double> initial_U;
   bool verbose = false;  ///< print the per-step ledger
 };
 
@@ -142,7 +148,10 @@ class ForecastDriver {
   StepController controller_;
   std::unique_ptr<linalg::Preconditioner> precond_;
 
-  // Prognostic state.
+  // Prognostic state.  U_ warm-starts Newton between solves; run()
+  // revalidates both sizes against the live problem before every use so a
+  // problem whose mesh changed under the driver is a typed error, not a
+  // stale read (DESIGN.md §15).
   std::vector<double> H_;  ///< cell thickness
   std::vector<double> U_;  ///< velocity (warm start between solves)
   double t_ = 0.0;

@@ -1,0 +1,42 @@
+#pragma once
+// Shortest-round-trip formatting for doubles — the one way every spec
+// string, manifest, and BENCH_*.json file in the repo prints a floating
+// value.  The contract: strtod(format_double(v)) == v BITWISE (sign of
+// zero included), and the representation is the shortest %.*g that
+// achieves it, so short values stay short ("0.5", "10") while awkward
+// ones get the full 17 digits.  Locale-independent by construction:
+// snprintf with the "C" numeric conventions is assumed repo-wide (no
+// call site ever installs a locale).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace mali::util {
+
+/// Prints a double so that a strtod round-trip is bitwise exact but short
+/// values stay short.  Integral values print as plain integers ("10", not
+/// "1e+01"); -0.0 keeps its sign ("-0").  Non-finite values print as
+/// "nan" / "inf" / "-inf" (callers that forbid them must check first).
+inline std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char ibuf[40];
+    std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
+    return ibuf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that round-trips bitwise.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace mali::util

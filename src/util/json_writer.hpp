@@ -1,0 +1,143 @@
+#pragma once
+// Deterministic JSON emitter for the BENCH_*.json trajectory files and the
+// ensemble results document.  Keys are emitted in the exact order the
+// caller writes them (never map order), doubles go through the
+// shortest-round-trip formatter of util/fp_format.hpp (so values reparse
+// bitwise and the files diff cleanly across runs), and nothing here is
+// locale-dependent.  This is a writer, not a parser — the repo never
+// consumes JSON.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "portability/common.hpp"
+#include "util/fp_format.hpp"
+
+namespace mali::util {
+
+/// Streaming JSON writer with explicit, caller-controlled key order.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("bench").value("ensemble");
+///   w.key("rows").begin_array();
+///   ... w.begin_object(); w.key("x").value(1.5); w.end_object(); ...
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    pending_key_ = false;  // the '{' consumed the key's slot
+    out_ += '{';
+    stack_.push_back(kObject);
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    pop(kObject);
+    newline_indent();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    pending_key_ = false;  // the '[' consumed the key's slot
+    out_ += '[';
+    stack_.push_back(kArray);
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    pop(kArray);
+    newline_indent();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Names the next value inside an object.
+  JsonWriter& key(const std::string& k) {
+    MALI_CHECK_MSG(!stack_.empty() && stack_.back() == kObject,
+                   "JsonWriter: key() outside an object");
+    prefix();
+    out_ += quote(k);
+    out_ += ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& s) { return raw(quote(s)); }
+  JsonWriter& value(const char* s) { return raw(quote(s)); }
+  JsonWriter& value(double v) { return raw(format_double(v)); }
+  JsonWriter& value(int v) { return raw(std::to_string(v)); }
+  JsonWriter& value(std::size_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  /// Embeds a pre-rendered JSON fragment verbatim (caller guarantees
+  /// validity) — used to splice a deterministic section built elsewhere
+  /// into an envelope without re-rendering it.
+  JsonWriter& value_fragment(const std::string& json) { return raw(json); }
+
+  [[nodiscard]] const std::string& str() const {
+    MALI_CHECK_MSG(stack_.empty(), "JsonWriter: unclosed object/array");
+    return out_;
+  }
+
+ private:
+  enum Kind { kObject, kArray };
+
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        default: q += c;
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  /// Comma/indent bookkeeping before a key or a container/array element.
+  void prefix() {
+    if (pending_key_) return;  // value directly after key(): no separator
+    if (stack_.empty()) return;
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+    newline_indent_inner();
+  }
+
+  JsonWriter& raw(const std::string& s) {
+    if (!pending_key_) prefix();
+    pending_key_ = false;
+    out_ += s;
+    return *this;
+  }
+
+  void pop(Kind k) {
+    MALI_CHECK_MSG(!stack_.empty() && stack_.back() == k,
+                   "JsonWriter: mismatched end_object/end_array");
+    stack_.pop_back();
+    first_.pop_back();
+  }
+
+  void newline_indent() {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  void newline_indent_inner() {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+
+  std::string out_;
+  std::vector<Kind> stack_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mali::util

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <random>
@@ -23,6 +26,7 @@
 #include "physics/matrix_free_operator.hpp"
 #include "physics/stokes_fo_problem.hpp"
 #include "timestepping/forcing.hpp"
+#include "util/fp_format.hpp"
 
 using namespace mali;
 
@@ -605,6 +609,39 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(3u, 13u, 31u));
 
 class ForcingFuzz : public ::testing::TestWithParam<unsigned> {};
 
+// Bitwise parameter equality across a spec() -> parse round trip: every
+// numeric field of the reconstructed forcing carries the exact bit pattern
+// of the original (the shortest-round-trip formatter guarantees it).
+void expect_forcing_params_bitwise(const mali::timestepping::Forcing& a,
+                                   const mali::timestepping::Forcing& b,
+                                   const std::string& spec) {
+  using namespace mali::timestepping;
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  if (const auto* ca = dynamic_cast<const ConstantForcing*>(&a)) {
+    const auto* cb = dynamic_cast<const ConstantForcing*>(&b);
+    ASSERT_NE(cb, nullptr) << "spec '" << spec << "'";
+    EXPECT_EQ(bits(ca->offset()), bits(cb->offset())) << "spec '" << spec << "'";
+  } else if (const auto* ra = dynamic_cast<const AnomalyRampForcing*>(&a)) {
+    const auto* rb = dynamic_cast<const AnomalyRampForcing*>(&b);
+    ASSERT_NE(rb, nullptr) << "spec '" << spec << "'";
+    EXPECT_EQ(bits(ra->anomaly()), bits(rb->anomaly())) << spec;
+    EXPECT_EQ(bits(ra->start()), bits(rb->start())) << spec;
+    EXPECT_EQ(bits(ra->end()), bits(rb->end())) << spec;
+  } else if (const auto* ya = dynamic_cast<const YearlyCycleForcing*>(&a)) {
+    const auto* yb = dynamic_cast<const YearlyCycleForcing*>(&b);
+    ASSERT_NE(yb, nullptr) << "spec '" << spec << "'";
+    EXPECT_EQ(bits(ya->amplitude()), bits(yb->amplitude())) << spec;
+    EXPECT_EQ(bits(ya->period()), bits(yb->period())) << spec;
+    EXPECT_EQ(bits(ya->phase()), bits(yb->phase())) << spec;
+  } else {
+    FAIL() << "unknown forcing type for spec '" << spec << "'";
+  }
+}
+
 TEST_P(ForcingFuzz, RandomSpecsNeverCrashAndRoundTripWhenAccepted) {
   std::mt19937 rng(GetParam());
   const mali::mesh::IceGeometry geom;
@@ -628,10 +665,75 @@ TEST_P(ForcingFuzz, RandomSpecsNeverCrashAndRoundTripWhenAccepted) {
       EXPECT_TRUE(std::isfinite(s)) << "spec '" << spec << "'";
       const auto g = mali::timestepping::make_forcing(f->spec(), geom);
       EXPECT_EQ(g->spec(), f->spec()) << "spec '" << spec << "'";
+      expect_forcing_params_bitwise(*f, *g, spec);
     } catch (const mali::Error&) {
       // Rejected with the typed error: the only acceptable failure mode.
     }
   }
+}
+
+TEST_P(ForcingFuzz, RandomParametersRoundTripBitwise) {
+  // Forcings built from random double bit patterns (finite ones) must
+  // survive parse(f.spec()) with every parameter bit-for-bit intact —
+  // the stronger guarantee behind the spec-string equality above.
+  std::mt19937_64 rng(GetParam() * 2654435761u + 1);
+  const mali::mesh::IceGeometry geom;
+  std::uniform_int_distribution<int> kind(0, 2);
+  const auto rand_double = [&rng]() {
+    for (;;) {
+      const std::uint64_t u = rng();
+      double v;
+      std::memcpy(&v, &u, sizeof v);
+      if (std::isfinite(v)) return v;
+    }
+  };
+  for (int it = 0; it < 200; ++it) {
+    std::string spec;
+    switch (kind(rng)) {
+      case 0:
+        spec = "constant:offset=" + mali::util::format_double(rand_double());
+        break;
+      case 1:
+        spec = "ramp:anomaly=" + mali::util::format_double(rand_double()) +
+               ",start=" + mali::util::format_double(rand_double()) +
+               ",end=" + mali::util::format_double(rand_double());
+        break;
+      default:
+        spec = "cycle:amplitude=" + mali::util::format_double(rand_double()) +
+               ",period=" +
+               mali::util::format_double(std::fabs(rand_double()) + 1.0) +
+               ",phase=" + mali::util::format_double(rand_double());
+    }
+    std::unique_ptr<mali::timestepping::Forcing> f;
+    try {
+      f = mali::timestepping::make_forcing(spec, geom);
+    } catch (const mali::Error&) {
+      continue;  // out-of-domain parameter (e.g. non-positive period)
+    }
+    const auto g = mali::timestepping::make_forcing(f->spec(), geom);
+    EXPECT_EQ(g->spec(), f->spec()) << "spec '" << spec << "'";
+    expect_forcing_params_bitwise(*f, *g, spec);
+  }
+}
+
+TEST_P(ForcingFuzz, FormatDoubleRoundTripsRandomBitPatterns) {
+  // The shortest-round-trip formatter must reproduce ANY finite double
+  // bit-for-bit through strtod, including subnormals and -0.0.
+  std::mt19937_64 rng(GetParam() * 0x9E3779B97F4A7C15ull + 3);
+  for (int it = 0; it < 5000; ++it) {
+    const std::uint64_t u = rng();
+    double v;
+    std::memcpy(&v, &u, sizeof v);
+    if (!std::isfinite(v)) continue;
+    const std::string s = mali::util::format_double(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    std::uint64_t ub;
+    std::memcpy(&ub, &back, sizeof ub);
+    EXPECT_EQ(u, ub) << "v=" << v << " formatted '" << s << "'";
+  }
+  // The signed-zero pair, explicitly.
+  EXPECT_EQ(mali::util::format_double(0.0), "0");
+  EXPECT_EQ(mali::util::format_double(-0.0), "-0");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ForcingFuzz,

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -245,6 +246,37 @@ TEST(FaultInjector, TargetDofIsSeededAndStable) {
   spec.seed = 12345;
   const FaultInjector c(spec);
   EXPECT_NE(a.target_dof(1000000), c.target_dof(1000000));
+}
+
+TEST(FaultInjector, MemberSaltDivergesPerMemberAndKeepsLegacyBits) {
+  // The ensemble engine runs many members against the same seed; the
+  // member salt must move the fault site between members (otherwise every
+  // member of an injected ensemble corrupts the identical dof and the
+  // sweep measures one fault, not N).  Member 0 is the un-salted legacy
+  // path: its target must be bit-for-bit what a memberless spec produces.
+  FaultSpec spec = fault_spec_from_string("nan:residual:0");
+  const FaultInjector legacy(spec);
+  spec.member = 0;
+  const FaultInjector member0(spec);
+  for (const std::size_t n : {7u, 1000u, 1000000u}) {
+    EXPECT_EQ(legacy.target_dof(n), member0.target_dof(n)) << n;
+  }
+
+  // Distinct members must hit distinct dofs somewhere in a large space
+  // (equal targets for all of these pairs would mean the salt is dead).
+  const std::size_t n = 1000000;
+  std::set<std::size_t> targets;
+  for (unsigned m = 0; m < 8; ++m) {
+    FaultSpec s = fault_spec_from_string("nan:residual:0");
+    s.member = m;
+    targets.insert(FaultInjector(s).target_dof(n));
+  }
+  EXPECT_GT(targets.size(), 6u);
+
+  // Salting is deterministic: same member, same target.
+  FaultSpec s1 = fault_spec_from_string("nan:residual:0");
+  s1.member = 3;
+  EXPECT_EQ(FaultInjector(s1).target_dof(n), FaultInjector(s1).target_dof(n));
 }
 
 // ---------------------------------------------------------------------------

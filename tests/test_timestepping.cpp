@@ -15,13 +15,17 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "linalg/block_jacobi.hpp"
+#include "linalg/semicoarsening_amg.hpp"
 #include "mesh/ice_geometry.hpp"
 #include "mesh/quad_grid.hpp"
 #include "mpas/fv_transport.hpp"
@@ -33,6 +37,7 @@
 #include "timestepping/forcing.hpp"
 #include "timestepping/forecast_driver.hpp"
 #include "timestepping/step_controller.hpp"
+#include "util/fp_format.hpp"
 
 using namespace mali;
 using timestepping::ForecastConfig;
@@ -597,6 +602,140 @@ TEST(Forcing, MalformedSpecsAreTypedErrors) {
     EXPECT_THROW((void)timestepping::make_forcing(s, geom), mali::Error)
         << "spec should be rejected: '" << s << "'";
   }
+}
+
+TEST(Forcing, ParametersRoundTripBitwiseIncludingSignedZero) {
+  // parse(f.spec()) must reconstruct every numeric parameter bit-for-bit
+  // (the ensemble cache key embeds forcing specs, so a lossy round trip
+  // would silently split or merge cache entries).
+  mesh::IceGeometry geom;
+  const auto bits = [](double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+
+  // Values chosen to break fixed-precision printf formatting: 0.1 has no
+  // short exact decimal, 1/3 needs all 17 digits, and the subnormal is
+  // far outside %.6f's range.
+  for (const double off : {0.1, 1.0 / 3.0, 4.9406564584124654e-324,
+                           -1.7976931348623157e308, 123456789.123456789}) {
+    const auto f = timestepping::make_forcing(
+        "constant:offset=" + util::format_double(off), geom);
+    const auto* cf =
+        dynamic_cast<const timestepping::ConstantForcing*>(f.get());
+    ASSERT_NE(cf, nullptr);
+    EXPECT_EQ(bits(cf->offset()), bits(off));
+    const auto g = timestepping::make_forcing(f->spec(), geom);
+    const auto* cg =
+        dynamic_cast<const timestepping::ConstantForcing*>(g.get());
+    ASSERT_NE(cg, nullptr);
+    EXPECT_EQ(bits(cg->offset()), bits(off));
+  }
+
+  // -0.0 is the nasty one: it must NOT collapse to the bare "constant"
+  // spec (that would round-trip to +0.0 and flip the sign bit).
+  const auto plus = timestepping::make_forcing("constant", geom);
+  EXPECT_EQ(plus->spec(), "constant");
+  const auto minus = timestepping::make_forcing("constant:offset=-0", geom);
+  EXPECT_EQ(minus->spec(), "constant:offset=-0");
+  const auto minus2 = timestepping::make_forcing(minus->spec(), geom);
+  const auto* cm =
+      dynamic_cast<const timestepping::ConstantForcing*>(minus2.get());
+  ASSERT_NE(cm, nullptr);
+  EXPECT_TRUE(std::signbit(cm->offset()));
+  EXPECT_EQ(bits(cm->offset()), bits(-0.0));
+
+  // All three ramp/cycle parameters, awkward values at once.
+  const std::string rspec = "ramp:anomaly=" + util::format_double(-0.1) +
+                            ",start=" + util::format_double(1.0 / 3.0) +
+                            ",end=" + util::format_double(2.0 / 3.0);
+  const auto r = timestepping::make_forcing(rspec, geom);
+  const auto r2 = timestepping::make_forcing(r->spec(), geom);
+  const auto* ra =
+      dynamic_cast<const timestepping::AnomalyRampForcing*>(r2.get());
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(bits(ra->anomaly()), bits(-0.1));
+  EXPECT_EQ(bits(ra->start()), bits(1.0 / 3.0));
+  EXPECT_EQ(bits(ra->end()), bits(2.0 / 3.0));
+
+  const std::string yspec = "cycle:amplitude=" + util::format_double(0.3) +
+                            ",period=" + util::format_double(1.0 / 7.0) +
+                            ",phase=" + util::format_double(-0.0);
+  const auto y = timestepping::make_forcing(yspec, geom);
+  const auto y2 = timestepping::make_forcing(y->spec(), geom);
+  const auto* ya =
+      dynamic_cast<const timestepping::YearlyCycleForcing*>(y2.get());
+  ASSERT_NE(ya, nullptr);
+  EXPECT_EQ(bits(ya->amplitude()), bits(0.3));
+  EXPECT_EQ(bits(ya->period()), bits(1.0 / 7.0));
+  EXPECT_EQ(bits(ya->phase()), bits(-0.0));
+}
+
+// ---- warm-start state validation --------------------------------------
+
+TEST(ForecastWarmStart, InitialVelocitySeedsTheDriver) {
+  auto cfg = small_problem_config();
+  physics::StokesFOProblem problem(cfg);
+  timestepping::ForecastConfig fcfg;
+  fcfg.years = 0.25;
+  fcfg.thermal_enabled = false;
+  // Purely absolute Newton criterion, like the ensemble engine: with a
+  // relative test the convergence target depends on the start point, and
+  // warm and cold would legitimately stop at different roots.  The AMG
+  // (not the weak Jacobi) is needed to actually reach it.
+  fcfg.make_precond = [](const physics::StokesFOProblem& p) {
+    linalg::AmgConfig acfg;
+    acfg.smoother = linalg::AmgSmoother::kChebyshev;
+    return std::unique_ptr<linalg::Preconditioner>(
+        std::make_unique<linalg::SemicoarseningAmg>(p.extrusion_info(),
+                                                    acfg));
+  };
+  fcfg.newton.max_iters = 40;
+  fcfg.newton.abs_tol = 1e-9;
+  fcfg.newton.rel_tol = 0.0;
+  const timestepping::ForecastResult cold =
+      timestepping::ForecastDriver(problem, fcfg).run();
+
+  // Re-run seeded with the cold run's converged velocity: the warm run
+  // must still complete and land on the same root (same mesh, same
+  // physics — only the Newton iteration path may differ).
+  fcfg.initial_U = cold.U;
+  const timestepping::ForecastResult warm =
+      timestepping::ForecastDriver(problem, fcfg).run();
+  EXPECT_TRUE(warm.completed);
+  ASSERT_EQ(warm.U.size(), cold.U.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < warm.U.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(warm.U[i] - cold.U[i]));
+  }
+  EXPECT_LE(max_diff / static_cast<double>(warm.U.size()), 1e-10);
+}
+
+TEST(ForecastWarmStart, StaleStateFromAnotherResolutionIsATypedError) {
+  // Regression: recycling a converged velocity across a mesh-resolution
+  // change used to be accepted silently (the driver solved garbage from a
+  // wrong-size vector).  It must be a typed error at construction.
+  auto cfg = small_problem_config();
+  physics::StokesFOProblem coarse(cfg);
+  timestepping::ForecastConfig fcfg;
+  fcfg.years = 0.25;
+  fcfg.thermal_enabled = false;
+  fcfg.make_precond = make_jacobi;
+  const timestepping::ForecastResult res =
+      timestepping::ForecastDriver(coarse, fcfg).run();
+
+  auto fine_cfg = small_problem_config();
+  fine_cfg.dx_m = cfg.dx_m / 2.0;  // different resolution, different dofs
+  physics::StokesFOProblem fine(fine_cfg);
+  ASSERT_NE(fine.n_dofs(), coarse.n_dofs());
+  fcfg.initial_U = res.U;
+  EXPECT_THROW(timestepping::ForecastDriver(fine, fcfg), mali::Error);
+
+  // Non-finite warm starts are rejected too.
+  fcfg.initial_U.assign(coarse.n_dofs(),
+                        std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(timestepping::ForecastDriver(coarse, fcfg), mali::Error);
 }
 
 // ---- fault injection mid-transient ------------------------------------

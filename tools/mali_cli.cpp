@@ -4,6 +4,7 @@
 //                  [--thermal] [--weertman] [--csv PATH] [--ppm PATH]
 //   mali study     [--cells N] [--scale F] [--out report.md]
 //   mali transport [--dx-km F] [--layers N] [--years F] [--ppm PATH]
+//   mali ensemble  --manifest FILE [--out results.json] [--cache DIR]
 //   mali export-jacobian [--dx-km F] [--layers N] --out PATH.mtx
 //   mali archs
 //
@@ -21,6 +22,7 @@
 #include "core/report_generator.hpp"
 #include "core/study.hpp"
 #include "dist/dist_solver.hpp"
+#include "ensemble/engine.hpp"
 #include "perf/phase_report.hpp"
 #include "io/field_writer.hpp"
 #include "io/vtk_writer.hpp"
@@ -565,6 +567,82 @@ int cmd_forecast(const Args& args) {
   return res.completed ? 0 : 1;
 }
 
+/// `mali ensemble --manifest FILE`: run a scenario ensemble through the
+/// EnsembleEngine (shared problem, recycled AMG, warm starts, result
+/// cache) and emit the mali-ensemble-results-v1 JSON document.
+/// --expect-cached turns a rerun into an assertion that every member was
+/// served from the cache (the CI smoke uses it: second run must be free).
+int cmd_ensemble(const Args& args) {
+  MALI_CHECK_MSG(args.has("manifest"),
+                 "ensemble requires --manifest PATH (key = value manifest, "
+                 "see DESIGN.md section 15)");
+  ensemble::EnsembleManifest manifest =
+      ensemble::load_manifest(args.str("manifest"));
+  // Scheduling is a label, not physics: overriding the group count on the
+  // command line never changes a member's result (or its cache key).
+  if (args.has("rank-groups")) {
+    manifest.rank_groups = static_cast<int>(args.num("rank-groups", 1));
+    MALI_CHECK_MSG(manifest.rank_groups >= 1,
+                   "ensemble: --rank-groups must be >= 1");
+  }
+
+  ensemble::EnsembleConfig ecfg;
+  ecfg.warm_start = !args.has("no-warm-start");
+  ecfg.recycle = !args.has("no-recycle");
+  ecfg.use_cache = !args.has("no-cache");
+  ecfg.cache_dir = args.str("cache", "");
+  ecfg.ranks_per_group = static_cast<int>(args.num("ranks-per-group", 1));
+  ecfg.verbose = !args.has("quiet");
+
+  if (ecfg.verbose) {
+    std::printf("ensemble '%s': %zu member(s), %d rank group(s), cache %s\n",
+                manifest.name.c_str(), manifest.n_members(),
+                manifest.rank_groups,
+                ecfg.use_cache
+                    ? (ecfg.cache_dir.empty() ? "memory" : ecfg.cache_dir.c_str())
+                    : "off");
+  }
+
+  ensemble::EnsembleEngine engine(manifest, ecfg);
+  const auto out = engine.run();
+
+  const std::string doc =
+      ensemble::EnsembleEngine::results_json(out, manifest,
+                                             !args.has("no-stats"));
+  const std::string path = args.str("out", "");
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    MALI_CHECK_MSG(f != nullptr, "ensemble: cannot open --out " + path);
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (ecfg.verbose) {
+      std::printf("results written to %s\n", path.c_str());
+    }
+  } else {
+    std::fputs(doc.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  if (ecfg.verbose) {
+    std::printf("ensemble done: %zu member(s), %zu cache hit(s), %zu "
+                "computed, %zu warm start(s), AMG %zu build(s) + %zu "
+                "reuse(s), %.3f s\n",
+                out.stats.members, out.stats.cache_hits,
+                out.stats.cache_misses, out.stats.warm_starts,
+                out.stats.amg_builds, out.stats.amg_reuses,
+                out.stats.wall_seconds);
+  }
+  if (args.has("expect-cached") && out.stats.cache_misses != 0) {
+    std::fprintf(stderr,
+                 "error: --expect-cached but %zu member(s) were computed "
+                 "instead of served from the cache\n",
+                 out.stats.cache_misses);
+    return 4;
+  }
+  return 0;
+}
+
 int cmd_export_jacobian(const Args& args) {
   MALI_CHECK_MSG(args.has("out"), "export-jacobian requires --out PATH.mtx");
   auto cfg = problem_config(args);
@@ -663,6 +741,20 @@ void usage() {
       "                   [--restart PATH] [--quiet] [--ppm PATH]\n"
       "                   plus solve's --jacobian/--krylov/--precond/\n"
       "                   --steps/--ranks/--decomp/--inject-fault/--resilience\n"
+      "  ensemble         batched scenario sweep with amortized setup\n"
+      "                   --manifest PATH  (key = value manifest; keys:\n"
+      "                     name, dx_km, layers, years, velocity_every,\n"
+      "                     newton_max_iters, newton_tol, rank_groups,\n"
+      "                     sweep.glen_n, sweep.glen_A,\n"
+      "                     sweep.friction_scale, sweep.forcing)\n"
+      "                   [--out results.json]  (default: stdout)\n"
+      "                   [--cache DIR] persist the result cache on disk\n"
+      "                   [--rank-groups N] override the manifest's groups\n"
+      "                   [--ranks-per-group N] [--no-warm-start]\n"
+      "                   [--no-recycle] [--no-cache] [--no-stats]\n"
+      "                   [--expect-cached] exit nonzero unless every\n"
+      "                     member was served from the cache\n"
+      "                   [--quiet]\n"
       "  export-jacobian  assemble and dump the Jacobian as MatrixMarket\n"
       "                   --out PATH.mtx [--dx-km F] [--layers N]\n"
       "  launch-bounds    evaluate a LaunchBounds<T,B> choice on the GCD\n"
@@ -684,6 +776,7 @@ int main(int argc, char** argv) {
     if (cmd == "study") return cmd_study(args);
     if (cmd == "transport") return cmd_transport(args);
     if (cmd == "forecast") return cmd_forecast(args);
+    if (cmd == "ensemble") return cmd_ensemble(args);
     if (cmd == "export-jacobian") return cmd_export_jacobian(args);
     if (cmd == "launch-bounds") return cmd_launch_bounds(args);
     if (cmd == "archs") return cmd_archs();
