@@ -1,0 +1,138 @@
+// Comm-guard overhead: the fault-tolerance layer frames every halo
+// payload and reduction contribution with an FNV-1a checksum and bounds
+// every wait with a timeout (DESIGN.md §16).  Both are O(payload) scans /
+// O(1) bookkeeping next to the assembly and Krylov work they protect, so
+// the guarded distributed solve must stay within a few percent of the
+// unguarded one — and bit-identical, since the guards only observe.
+//
+//   ./bench_comm_guards [--dx-km=F] [--layers=N] [--ranks=N] [--reps=N]
+//                       [--gate-pct=F] [--out=BENCH_comm_guards.json]
+//
+// Exit status: 0 when the overhead gate holds, 2 when it does not, 1 on
+// I/O failure.  CI uploads the JSON as an artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/dist_solver.hpp"
+#include "physics/stokes_fo_problem.hpp"
+#include "util/json_writer.hpp"
+
+using namespace mali;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double dx_km = 150.0, gate_pct = 3.0;
+  int layers = 3, ranks = 4, reps = 5;
+  std::string out_path = "BENCH_comm_guards.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dx-km=", 8) == 0) dx_km = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--layers=", 9) == 0) layers = std::atoi(argv[i] + 9);
+    if (std::strncmp(argv[i], "--ranks=", 8) == 0) ranks = std::atoi(argv[i] + 8);
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--gate-pct=", 11) == 0)
+      gate_pct = std::atof(argv[i] + 11);
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  physics::StokesFOConfig cfg;
+  cfg.dx_m = dx_km * 1e3;
+  cfg.n_layers = layers;
+  physics::StokesFOProblem problem(cfg);
+  std::printf("comm-guard bench: dome dx=%.0f km, %d layers, %zu dofs, "
+              "%d ranks, best of %d reps\n\n",
+              dx_km, layers, problem.n_dofs(), ranks, reps);
+
+  dist::DistConfig base;
+  base.ranks = ranks;
+  base.decomp = dist::Decomp::kStrips;
+  base.jacobian = linalg::JacobianMode::kMatrixFree;
+  base.overlap = true;
+  base.newton.max_iters = 12;
+  base.newton.rel_tol = 1e-8;
+  base.newton.gmres.rel_tol = 1e-6;
+  base.newton.gmres.max_iters = 600;
+  base.newton.gmres.restart = 200;
+
+  dist::DistConfig guarded_cfg = base;
+  guarded_cfg.guards.checksums = true;
+  guarded_cfg.guards.timeout_s = 30.0;
+
+  // Interleave the reps so thermal/allocator drift hits both arms evenly;
+  // min-of-reps discards scheduler noise.
+  double t_plain = 1e300, t_guarded = 1e300;
+  dist::DistResult r_plain, r_guarded;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    r_plain = dist::solve_distributed(problem, base);
+    t_plain = std::min(t_plain, seconds_since(t0));
+    t0 = std::chrono::steady_clock::now();
+    r_guarded = dist::solve_distributed(problem, guarded_cfg);
+    t_guarded = std::min(t_guarded, seconds_since(t0));
+  }
+
+  // The guards only observe: the guarded solve is bitwise the plain one.
+  bool bit_identical = r_plain.converged == r_guarded.converged &&
+                       r_plain.U.size() == r_guarded.U.size();
+  if (bit_identical) {
+    for (std::size_t i = 0; i < r_plain.U.size(); ++i) {
+      if (std::memcmp(&r_plain.U[i], &r_guarded.U[i], sizeof(double)) != 0) {
+        bit_identical = false;
+        break;
+      }
+    }
+  }
+
+  const double overhead_pct = 100.0 * (t_guarded / t_plain - 1.0);
+  const bool gate_ok = overhead_pct <= gate_pct;
+  std::printf("%-22s %10s %12s\n", "arm", "wall [s]", "checksums");
+  std::printf("%-22s %10.3f %12s%s\n", "unguarded", t_plain, "off",
+              r_plain.converged ? "" : "  [NOT CONVERGED]");
+  std::printf("%-22s %10.3f %12s%s\n", "guarded", t_guarded, "on",
+              r_guarded.converged ? "" : "  [NOT CONVERGED]");
+  std::printf("\noverhead: %+.2f%% (gate <= %.1f%%): %s\n", overhead_pct,
+              gate_pct, gate_ok ? "PASS" : "FAIL");
+  std::printf("guarded solve bit-identical:      %s\n",
+              bit_identical ? "PASS" : "FAIL");
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("comm_guards");
+  w.key("problem").begin_object();
+  w.key("dx_km").value(dx_km);
+  w.key("layers").value(layers);
+  w.key("dofs").value(problem.n_dofs());
+  w.end_object();
+  w.key("ranks").value(ranks);
+  w.key("reps").value(reps);
+  w.key("wall_s_unguarded").value(t_plain);
+  w.key("wall_s_guarded").value(t_guarded);
+  w.key("overhead_pct").value(overhead_pct);
+  w.key("gate_pct").value(gate_pct);
+  w.key("gate_ok").value(gate_ok);
+  w.key("bit_identical").value(bit_identical);
+  w.key("converged").value(r_plain.converged && r_guarded.converged);
+  w.end_object();
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  return (gate_ok && bit_identical) ? 0 : 2;
+}

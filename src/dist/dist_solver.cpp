@@ -1,17 +1,23 @@
 #include "dist/dist_solver.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <exception>
 #include <memory>
+#include <sstream>
+#include <thread>
 #include <utility>
 
+#include "dist/dist_checkpoint.hpp"
 #include "linalg/block_jacobi.hpp"
 #include "linalg/crs_matrix.hpp"
 #include "linalg/preconditioner.hpp"
 #include "portability/common.hpp"
 #include "portability/thread_pool.hpp"
 #include "portability/timer.hpp"
+#include "resilience/guards.hpp"
 
 namespace mali::dist {
 
@@ -281,94 +287,226 @@ void accumulate(HaloStats& into, const HaloStats& s) {
 
 }  // namespace
 
+std::string DistRestartAttempt::to_string() const {
+  std::ostringstream os;
+  os << "attempt " << attempt << ": ";
+  if (comm_fault) {
+    os << fault.describe();
+  } else {
+    os << error;
+  }
+  if (rolled_back) os << " -> rolled back to replicated checkpoint";
+  return os.str();
+}
+
+std::string DistRecoveryLog::to_string() const {
+  std::ostringstream os;
+  for (const DistRestartAttempt& a : attempts) os << a.to_string() << '\n';
+  return os.str();
+}
+
+std::string DistRecoveryLog::tail(std::size_t n) const {
+  std::ostringstream os;
+  const std::size_t from = attempts.size() > n ? attempts.size() - n : 0;
+  if (from > 0) os << "... (" << from << " earlier attempts)\n";
+  for (std::size_t i = from; i < attempts.size(); ++i) {
+    os << attempts[i].to_string() << '\n';
+  }
+  return os.str();
+}
+
 DistResult solve_distributed(const physics::StokesFOProblem& problem,
                              const DistConfig& cfg,
-                             const std::vector<double>* U0) {
+                             const std::vector<double>* U0,
+                             DistRecoveryLog* log_out) {
   MALI_CHECK_MSG(cfg.ranks >= 1, "DistConfig.ranks must be >= 1");
   const std::size_t n = problem.n_dofs();
   const auto N = static_cast<std::size_t>(cfg.ranks);
 
-  DistResult result;
-  result.partition = make_partition(problem.mesh().base(), cfg.ranks,
-                                    cfg.decomp);
-  const mesh::Partition& part = result.partition;
+  const mesh::Partition part =
+      make_partition(problem.mesh().base(), cfg.ranks, cfg.decomp);
 
-  result.U.assign(n, 0.0);
+  std::vector<double> U_init(n, 0.0);
   if (U0 != nullptr) {
     MALI_CHECK(U0->size() == n);
-    result.U = *U0;
+    U_init = *U0;
   }
-  std::vector<double>& U_shared = result.U;
 
-  result.ranks.resize(N);
-  std::vector<std::exception_ptr> errs(N);
+  // Injectors persist ACROSS restart attempts (one per rank: the per-site
+  // counters are thread-local by construction), so a one-shot injected
+  // fault fires once and the retried attempt runs clean — the restart loop
+  // is the transient-fault recovery, not a fault replay.
+  const bool use_solver_guards = cfg.solver_guards || cfg.inject_solver_fault;
+  std::vector<std::unique_ptr<resilience::CommFaultInjector>> comm_inj;
+  std::vector<std::unique_ptr<resilience::FaultInjector>> solver_inj;
+  for (std::size_t r = 0; r < N; ++r) {
+    comm_inj.push_back(
+        cfg.inject_comm_fault
+            ? std::make_unique<resilience::CommFaultInjector>(cfg.comm_fault)
+            : nullptr);
+    solver_inj.push_back(
+        cfg.inject_solver_fault
+            ? std::make_unique<resilience::FaultInjector>(cfg.solver_fault)
+            : nullptr);
+  }
 
-  CommWorld world(cfg.ranks);
+  DistCheckpoint ckpt;
+  if (cfg.checkpoint) ckpt.U.assign(n, 0.0);
 
-  pk::ThreadPool::parallel_tasks(N, [&](std::size_t r) {
-    try {
-      const pk::Timer t_total;
-      Communicator comm(world, static_cast<int>(r));
-      Subdomain sub(problem, part, static_cast<int>(r));
-      HaloExchange halo_dof(comm, part, static_cast<int>(r),
-                            problem.mesh().levels(), /*per_node=*/2,
-                            /*tag_base=*/0);
-      HaloExchange halo_blk(comm, part, static_cast<int>(r),
-                            problem.mesh().levels(), /*per_node=*/4,
-                            /*tag_base=*/8);
-      RankContext ctx;
-      DistInnerProduct ip(comm, sub.owned_dofs());
-      RankStokesProblem rank_problem(sub, halo_dof, halo_blk, comm,
-                                     cfg.jacobian, cfg.overlap, ctx);
+  DistRecoveryLog rlog;
+  const int total_attempts = 1 + std::max(0, cfg.max_restarts);
 
-      nonlinear::NewtonConfig ncfg = cfg.newton;
-      ncfg.jacobian = linalg::JacobianMode::kMatrixFree;
-      ncfg.krylov = cfg.krylov;
-      ncfg.inner = &ip;
-      ncfg.gmres.inner = &ip;
-      ncfg.recovery = resilience::RecoveryConfig{};  // no assembled fallback
-      ncfg.verbose = cfg.verbose && r == 0;
-      ncfg.gmres.verbose = ncfg.gmres.verbose && r == 0;
-
-      std::unique_ptr<linalg::Preconditioner> M = make_rank_precond(cfg.precond);
-
-      std::vector<double> U = U_shared;  // all ranks copy before any writes
-      comm.barrier();                    // ... and the barrier makes it so
-
-      nonlinear::NewtonSolver newton(ncfg);
-      const nonlinear::NewtonResult nr = newton.solve(rank_problem, *M, U);
-
-      comm.barrier();  // everyone done solving before gathering
-      for (const std::size_t d : sub.owned_dofs()) U_shared[d] = U[d];
-
-      DistRankReport& rep = result.ranks[r];
-      rep.owned_cells = part.owned_cells[r];
-      rep.owned_columns = part.owned_column_ids[r].size();
-      rep.halo_columns = part.ghost_column_ids[r].size();
-      rep.n_neighbors = part.neighbor_count(static_cast<int>(r));
-      accumulate(rep.halo, halo_dof.stats());
-      accumulate(rep.halo, halo_blk.stats());
-      rep.comm = comm.counters();
-      rep.kernel_s = sub.kernel_seconds();
-      rep.total_s = t_total.seconds();
-      rep.newton = nr;
-    } catch (const CommAborted&) {
-      // Another rank failed first; its error is the one worth reporting.
-    } catch (...) {
-      errs[r] = std::current_exception();
-      world.abort();
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0 && cfg.restart_backoff_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          cfg.restart_backoff_s * static_cast<double>(1 << (attempt - 1))));
     }
-  });
+    // Coordinated rollback: a later attempt resumes from the last
+    // globally-consistent accepted Newton iterate the mirror replicated.
+    const bool rolled_back = attempt > 0 && cfg.checkpoint && ckpt.valid;
 
-  for (const std::exception_ptr& e : errs) {
-    if (e) std::rethrow_exception(e);
+    DistResult result;
+    result.U = rolled_back ? ckpt.U : U_init;
+    std::vector<double>& U_shared = result.U;
+    result.ranks.resize(N);
+    std::vector<std::exception_ptr> errs(N);
+
+    // A FRESH world per attempt: the previous one is poisoned beyond reuse
+    // (mailboxes, barrier generations, abort flag) — exactly like
+    // re-spawning the job after a node loss.
+    CommWorld world(cfg.ranks);
+    world.set_guards(cfg.guards);
+
+    pk::ThreadPool::parallel_tasks(N, [&](std::size_t r) {
+      try {
+        const pk::Timer t_total;
+        Communicator comm(world, static_cast<int>(r));
+        if (comm_inj[r]) comm.set_fault_injector(comm_inj[r].get());
+        Subdomain sub(problem, part, static_cast<int>(r));
+        HaloExchange halo_dof(comm, part, static_cast<int>(r),
+                              problem.mesh().levels(), /*per_node=*/2,
+                              /*tag_base=*/0);
+        HaloExchange halo_blk(comm, part, static_cast<int>(r),
+                              problem.mesh().levels(), /*per_node=*/4,
+                              /*tag_base=*/8);
+        RankContext ctx;
+        DistInnerProduct ip(comm, sub.owned_dofs());
+        RankStokesProblem rank_problem(sub, halo_dof, halo_blk, comm,
+                                       cfg.jacobian, cfg.overlap, ctx);
+        // Guard decorators when armed: the residual/operator outputs are
+        // zero-initialized and fully finite on the clean path, and every
+        // rank holds the same seed, so a detection (organic or injected)
+        // throws the identical typed SolverFaultError in lockstep.
+        resilience::GuardedProblem guarded(rank_problem, {},
+                                           solver_inj[r].get());
+        nonlinear::NonlinearProblem& prob =
+            use_solver_guards
+                ? static_cast<nonlinear::NonlinearProblem&>(guarded)
+                : rank_problem;
+
+        nonlinear::NewtonConfig ncfg = cfg.newton;
+        ncfg.jacobian = linalg::JacobianMode::kMatrixFree;
+        ncfg.krylov = cfg.krylov;
+        ncfg.inner = &ip;
+        ncfg.gmres.inner = &ip;
+        // The per-rank recovery ladder stays disabled: rungs retry solves
+        // locally, which would desynchronize the SPMD lockstep.  The
+        // coordinated restart loop around this body is the distributed
+        // recovery path.
+        ncfg.recovery = resilience::RecoveryConfig{};
+        ncfg.verbose = cfg.verbose && r == 0;
+        ncfg.gmres.verbose = ncfg.gmres.verbose && r == 0;
+
+        std::unique_ptr<linalg::Preconditioner> M =
+            make_rank_precond(cfg.precond);
+        resilience::GuardedPreconditioner guarded_M(*M, solver_inj[r].get());
+        linalg::Preconditioner& M_use =
+            use_solver_guards ? static_cast<linalg::Preconditioner&>(guarded_M)
+                              : *M;
+
+        // Replicated checkpoint mirror, fed from the accepted-step hook
+        // (SPMD lockstep, so the mirror traffic is itself collective).
+        std::unique_ptr<CheckpointMirror> mirror;
+        if (cfg.checkpoint) {
+          mirror = std::make_unique<CheckpointMirror>(problem.mesh(), part,
+                                                      comm, ckpt);
+          ncfg.on_accepted_step = [&mirror](int step,
+                                            const std::vector<double>& Uacc,
+                                            double fnorm) {
+            mirror->capture(Uacc, fnorm, step);
+          };
+        }
+
+        std::vector<double> U = U_shared;  // all ranks copy before any writes
+        comm.barrier();                    // ... and the barrier makes it so
+
+        nonlinear::NewtonSolver newton(ncfg);
+        const nonlinear::NewtonResult nr = newton.solve(prob, M_use, U);
+
+        comm.barrier();  // everyone done solving before gathering
+        for (const std::size_t d : sub.owned_dofs()) U_shared[d] = U[d];
+
+        DistRankReport& rep = result.ranks[r];
+        rep.owned_cells = part.owned_cells[r];
+        rep.owned_columns = part.owned_column_ids[r].size();
+        rep.halo_columns = part.ghost_column_ids[r].size();
+        rep.n_neighbors = part.neighbor_count(static_cast<int>(r));
+        accumulate(rep.halo, halo_dof.stats());
+        accumulate(rep.halo, halo_blk.stats());
+        rep.comm = comm.counters();
+        rep.kernel_s = sub.kernel_seconds();
+        rep.total_s = t_total.seconds();
+        rep.newton = nr;
+      } catch (const CommAborted&) {
+        // Another rank failed first; its error is the one worth reporting.
+      } catch (const resilience::CommFaultError& e) {
+        errs[r] = std::current_exception();
+        world.abort_with(e.fault());  // typed poison: deterministic agreement
+      } catch (...) {
+        errs[r] = std::current_exception();
+        world.abort();
+      }
+    });
+
+    std::exception_ptr first;
+    for (const std::exception_ptr& e : errs) {
+      if (e) {
+        first = e;
+        break;
+      }
+    }
+
+    if (!first) {
+      result.partition = part;
+      result.restarts = attempt;
+      result.recovery = rlog;
+      if (log_out != nullptr) *log_out = rlog;
+      const nonlinear::NewtonResult& nr0 = result.ranks[0].newton;
+      result.converged = nr0.converged;
+      result.newton_iters = nr0.iterations;
+      result.residual_norm = nr0.residual_norm;
+      return result;
+    }
+
+    DistRestartAttempt a;
+    a.attempt = attempt;
+    a.fault = world.fault();
+    a.comm_fault = a.fault.type != resilience::CommFaultType::kNone;
+    try {
+      std::rethrow_exception(first);
+    } catch (const std::exception& e) {
+      a.error = e.what();
+    } catch (...) {
+      a.error = "unknown error";
+    }
+    a.rolled_back = cfg.checkpoint && ckpt.valid && attempt + 1 < total_attempts;
+    if (cfg.verbose) {
+      std::printf("dist restart: %s\n", a.to_string().c_str());
+    }
+    rlog.attempts.push_back(std::move(a));
+    if (log_out != nullptr) *log_out = rlog;
+    if (attempt + 1 >= total_attempts) std::rethrow_exception(first);
   }
-
-  const nonlinear::NewtonResult& nr0 = result.ranks[0].newton;
-  result.converged = nr0.converged;
-  result.newton_iters = nr0.iterations;
-  result.residual_norm = nr0.residual_norm;
-  return result;
 }
 
 }  // namespace mali::dist

@@ -41,6 +41,8 @@
 #include "mesh/partition.hpp"
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "resilience/comm_fault.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace mali::dist {
 
@@ -239,6 +241,62 @@ struct DistConfig {
   std::string precond = "block-jacobi";
   nonlinear::NewtonConfig newton{};
   bool verbose = false;  ///< rank 0 prints Newton progress
+
+  // ---- fault tolerance (DESIGN.md §16) --------------------------------
+  /// Comm-layer guards: checksum framing + bounded waits.  Off by default;
+  /// the clean path with guards on is bit-identical (pinned by tests).
+  CommGuardConfig guards{};
+  /// Solver-level guard decorators (whole-vector finite checks) around
+  /// every rank's problem/preconditioner — the same seed on every rank
+  /// makes any detection lockstep-identical, so a typed SolverFaultError
+  /// surfaces collectively instead of desynchronizing the ranks.
+  bool solver_guards = false;
+  /// Deterministic comm-level fault injection (tests / CLI).  Every rank
+  /// holds its own injector built from this spec; only the seeded victim
+  /// rank acts.
+  bool inject_comm_fault = false;
+  resilience::CommFaultSpec comm_fault{};
+  /// Deterministic solver-level fault injection on every rank (implies the
+  /// guard decorators above).
+  bool inject_solver_fault = false;
+  resilience::FaultSpec solver_fault{};
+  /// Coordinated restarts: after a typed comm/solver fault poisons the
+  /// world, rebuild it and re-solve, up to max_restarts times.  Injectors
+  /// persist across attempts (a one-shot fault does not refire), so the
+  /// retry IS the transient-fault recovery.
+  int max_restarts = 0;
+  /// Base delay before restart attempt k, doubled per attempt (seconds).
+  double restart_backoff_s = 0.0;
+  /// Replicated distributed checkpoint: each rank mirrors its owned state
+  /// to its successor every accepted Newton step; a restart seeds from the
+  /// last consistent iterate instead of re-converging from scratch.
+  bool checkpoint = false;
+};
+
+/// One failed solve attempt in the coordinated-restart loop.
+struct DistRestartAttempt {
+  int attempt = 0;     ///< 0-based attempt that failed
+  std::string error;   ///< what the attempt died with
+  /// True when the world agreed on a typed comm fault for this attempt
+  /// (`fault` then holds the agreed record).
+  bool comm_fault = false;
+  resilience::CommFault fault{};
+  /// True when the NEXT attempt was seeded from the replicated checkpoint.
+  bool rolled_back = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Structured log of the coordinated-restart loop — the distributed
+/// counterpart of resilience::RecoveryLog, one entry per failed attempt.
+struct DistRecoveryLog {
+  std::vector<DistRestartAttempt> attempts;
+
+  [[nodiscard]] bool empty() const noexcept { return attempts.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return attempts.size(); }
+  [[nodiscard]] std::string to_string() const;
+  /// Last `n` entries, for compact failure reports (the CLI prints this).
+  [[nodiscard]] std::string tail(std::size_t n = 8) const;
 };
 
 struct DistRankReport {
@@ -260,14 +318,24 @@ struct DistResult {
   bool converged = false;
   int newton_iters = 0;
   double residual_norm = 0.0;
+  /// Restarts it took to produce this result (0 on the clean path) and the
+  /// per-failure log.
+  int restarts = 0;
+  DistRecoveryLog recovery;
 };
 
 /// Runs the domain-decomposed Newton solve over cfg.ranks in-process ranks.
 /// `U0` (global extent) seeds every rank; nullptr means zero.  The shared
-/// problem is only read.  Throws the first rank failure after poisoning the
-/// CommWorld so no rank deadlocks in a collective.
+/// problem is only read.  On a rank failure the CommWorld is poisoned (no
+/// rank deadlocks in a collective); with cfg.max_restarts the solve is
+/// retried — rolled back to the replicated checkpoint when one exists —
+/// and only a fault that survives the whole restart budget propagates
+/// (typed: CommFaultError / SolverFaultError).  `log_out`, when non-null,
+/// receives the restart log even when the solve ultimately throws (the CLI
+/// prints its tail on failure).
 [[nodiscard]] DistResult solve_distributed(
     const physics::StokesFOProblem& problem, const DistConfig& cfg,
-    const std::vector<double>* U0 = nullptr);
+    const std::vector<double>* U0 = nullptr,
+    DistRecoveryLog* log_out = nullptr);
 
 }  // namespace mali::dist

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "ensemble/sweep.hpp"
@@ -187,11 +188,89 @@ EnsembleEngine::RunOutput EnsembleEngine::run() {
       }
     }
 
-    timestepping::ForecastDriver driver(problem, fcfg);
-    const timestepping::ForecastResult r = driver.run();
+    // Per-member injector persists ACROSS retry attempts: a one-shot spec
+    // fires on the first attempt only (the retry runs clean — the
+    // transient-fault model); a repeat spec keeps firing and the member
+    // ends quarantined (the permanent-fault model).  The member salt
+    // decorrelates which dof each member poisons.
+    std::unique_ptr<resilience::FaultInjector> injector;
+    if (cfg_.inject_fault &&
+        (cfg_.fault_member < 0 ||
+         static_cast<std::size_t>(cfg_.fault_member) == id)) {
+      resilience::FaultSpec spec = cfg_.fault;
+      spec.member = static_cast<unsigned>(id + 1);
+      injector = std::make_unique<resilience::FaultInjector>(spec);
+    }
+    if (cfg_.resilience && cfg_.ranks_per_group <= 1) {
+      fcfg.newton.recovery.enabled = true;
+    }
+    if (cfg_.resilience && cfg_.ranks_per_group > 1) {
+      // Distributed members recover through the coordinated restart loop
+      // (the per-rank ladder would desynchronize the SPMD lockstep).
+      fcfg.dist.solver_guards = true;
+      fcfg.dist.checkpoint = true;
+      fcfg.dist.max_restarts = std::max(fcfg.dist.max_restarts, 2);
+    }
+    fcfg.injector = injector.get();
+
+    const int max_attempts = 1 + std::max(0, cfg_.member_retries);
+    // Member failures are absorbed (retry, then quarantine) only when the
+    // caller opted into degradation; a plain run keeps the documented
+    // contract that configuration errors (malformed forcing specs, solver
+    // misconfiguration) throw out of run().
+    const bool degrade = cfg_.member_retries > 0 || cfg_.inject_fault ||
+                         cfg_.resilience || cfg_.before_attempt != nullptr;
+    timestepping::ForecastResult r;
+    bool member_ok = false;
+    int attempts = 0;
+    std::string fault_msg;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      ++attempts;
+      if (attempt > 0 && cfg_.retry_backoff_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            cfg_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
+      }
+      try {
+        if (cfg_.before_attempt) cfg_.before_attempt(id, attempt);
+        timestepping::ForecastDriver driver(problem, fcfg);
+        r = driver.run();
+        member_ok = true;
+        break;
+      } catch (const Error& e) {
+        if (!degrade) throw;
+        fault_msg = e.what();
+        if (cfg_.verbose) {
+          std::printf("  member %zu: attempt %d failed: %s\n", id,
+                      attempt + 1, e.what());
+        }
+      }
+    }
+
+    if (!member_ok) {
+      // Quarantine: record the failure, keep the batch going.  The record
+      // carries no fields, is never cached, and never donates warm starts.
+      MemberRecord rec;
+      rec.canonical = key;
+      rec.status = "quarantined";
+      rec.attempts = attempts;
+      rec.fault = fault_msg;
+      out.records[id] = std::move(rec);
+      ++out.stats.quarantined;
+      if (cfg_.verbose) {
+        std::printf("  member %zu: quarantined after %d attempts\n", id,
+                    attempts);
+      }
+      continue;
+    }
 
     MemberRecord rec;
     rec.canonical = key;
+    if (attempts > 1) {
+      rec.status = "retried";
+      rec.attempts = attempts;
+      rec.fault = fault_msg;
+      ++out.stats.retried;
+    }
     rec.steps = r.steps;
     rec.velocity_solves = r.velocity_solves;
     rec.newton_iters = total_newton_iters(r);
@@ -238,6 +317,9 @@ std::string EnsembleEngine::members_json(const RunOutput& out) {
     w.begin_object();
     w.key("id").value(id);
     w.key("key").value(ResultCache::key_hex(ResultCache::fnv1a(r.canonical)));
+    w.key("status").value(r.status);
+    w.key("attempts").value(r.attempts);
+    w.key("fault").value(r.fault);
     w.key("glen_n").value(p.glen_n);
     w.key("glen_A").value(p.glen_A);
     w.key("friction_scale").value(p.friction_scale);
@@ -261,7 +343,7 @@ std::string EnsembleEngine::results_json(const RunOutput& out,
                                          bool include_stats) {
   util::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("mali-ensemble-results-v1");
+  w.key("schema").value("mali-ensemble-results-v2");  // v2: member status keys
   w.key("name").value(m.name);
   w.key("manifest").value(m.canonical());
   w.key("n_members").value(out.members.size());
@@ -279,6 +361,8 @@ std::string EnsembleEngine::results_json(const RunOutput& out,
     w.key("cache_hits").value(out.stats.cache_hits);
     w.key("cache_misses").value(out.stats.cache_misses);
     w.key("warm_starts").value(out.stats.warm_starts);
+    w.key("retried").value(out.stats.retried);
+    w.key("quarantined").value(out.stats.quarantined);
     w.key("amg_builds").value(out.stats.amg_builds);
     w.key("amg_reuses").value(out.stats.amg_reuses);
     w.key("wall_seconds").value(out.stats.wall_seconds);

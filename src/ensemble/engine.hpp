@@ -26,12 +26,14 @@
 // Newton tolerance (pinned <= 1e-10/dof by test_ensemble).
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "ensemble/manifest.hpp"
 #include "ensemble/result_cache.hpp"
 #include "ensemble/scheduler.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace mali::ensemble {
 
@@ -44,6 +46,29 @@ struct EnsembleConfig {
   /// runtime; the shared-AMG recycling applies to the serial path only).
   int ranks_per_group = 1;
   bool verbose = false;
+
+  // ---- graceful degradation (DESIGN.md §16) ---------------------------
+  /// Failed member solves are retried up to this many times before the
+  /// member is quarantined; the batch never aborts on a member failure.
+  int member_retries = 0;
+  /// Base delay before retry attempt k, doubled per attempt (seconds).
+  double retry_backoff_s = 0.0;
+  /// Arm the PR-4 resilience surface inside each member's forecast (the
+  /// serial recovery ladder / the distributed coordinated-restart loop,
+  /// depending on ranks_per_group).
+  bool resilience = false;
+  /// Deterministic member fault injection (CLI / tests).  The member id is
+  /// mixed into the spec's member salt, so ensemble members fault
+  /// decorrelated dofs.
+  bool inject_fault = false;
+  resilience::FaultSpec fault{};
+  /// Restrict injection to one member id; -1 injects into every member.
+  int fault_member = -1;
+  /// Test seam: invoked before each attempt of each member (member id,
+  /// 0-based attempt).  A throwing seam counts as that attempt's failure,
+  /// which is how tests exercise the retried/quarantined paths without
+  /// depending on driver-internal fault absorption.
+  std::function<void(std::size_t, int)> before_attempt;
 };
 
 /// Non-deterministic run accounting (never part of the members document).
@@ -52,6 +77,8 @@ struct EnsembleStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t warm_starts = 0;
+  std::size_t retried = 0;      ///< members that needed >= 1 retry
+  std::size_t quarantined = 0;  ///< members that exhausted the retry budget
   std::size_t amg_builds = 0;   ///< hierarchy derivations from scratch
   std::size_t amg_reuses = 0;   ///< hierarchy builds served from the cache
   double wall_seconds = 0.0;

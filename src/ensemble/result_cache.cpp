@@ -13,7 +13,10 @@ namespace mali::ensemble {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'A', 'L', 'I', 'E', 'N', 'S', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// v2 adds the degradation fields (status / attempts / fault).  A version
+// mismatch is a miss, so v1 files degrade to recomputation, never to a
+// misparse.
+constexpr std::uint32_t kVersion = 2;
 
 template <class T>
 void put(std::ofstream& out, const T& v) {
@@ -101,11 +104,13 @@ const MemberRecord* ResultCache::find(const std::string& canonical) {
   // The filename is only the 64-bit hash; the stored canonical string is
   // the real key.  A mismatch (collision or corruption) is a miss.
   if (rec.canonical != canonical) return nullptr;
-  bool ok = get(in, rec.steps) && get(in, rec.velocity_solves) &&
-            get(in, rec.newton_iters) && get(in, rec.rejections) &&
-            get(in, rec.volume_initial) && get(in, rec.volume_final) &&
-            get(in, rec.mean_velocity) && get(in, rec.max_mass_residual) &&
-            get_vector(in, rec.U) && get_vector(in, rec.H);
+  bool ok = get_string(in, rec.status) && get(in, rec.attempts) &&
+            get_string(in, rec.fault) && get(in, rec.steps) &&
+            get(in, rec.velocity_solves) && get(in, rec.newton_iters) &&
+            get(in, rec.rejections) && get(in, rec.volume_initial) &&
+            get(in, rec.volume_final) && get(in, rec.mean_velocity) &&
+            get(in, rec.max_mass_residual) && get_vector(in, rec.U) &&
+            get_vector(in, rec.H);
   if (!ok) return nullptr;
 
   const auto [pos, inserted] = mem_.emplace(canonical, std::move(rec));
@@ -130,6 +135,9 @@ void ResultCache::store(const MemberRecord& rec) {
   out.write(kMagic, sizeof(kMagic));
   put(out, kVersion);
   put_string(out, rec.canonical);
+  put_string(out, rec.status);
+  put(out, rec.attempts);
+  put_string(out, rec.fault);
   put(out, rec.steps);
   put(out, rec.velocity_solves);
   put(out, rec.newton_iters);

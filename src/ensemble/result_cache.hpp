@@ -29,6 +29,13 @@ namespace mali::ensemble {
 /// plus the final fields (U doubles as the warm-start donor state).
 struct MemberRecord {
   std::string canonical;  ///< full canonical key (collision guard)
+  /// Degradation status: "ok" (first attempt succeeded), "retried"
+  /// (succeeded after >= 1 failed attempt), "quarantined" (every attempt
+  /// in the retry budget failed; the scalar diagnostics and fields below
+  /// are absent/zero and the record is never cached or warm-start donated).
+  std::string status = "ok";
+  int attempts = 1;   ///< solve attempts consumed (1 on the clean path)
+  std::string fault;  ///< last failure message ("" when attempts == 1)
   int steps = 0;
   int velocity_solves = 0;
   int newton_iters = 0;  ///< summed over accepted steps

@@ -444,6 +444,10 @@ NewtonResult NewtonSolver::solve(NonlinearProblem& problem,
     if (!last_good.valid || fnorm < last_good.residual_norm) {
       capture_checkpoint(U, fnorm, it + 1);
     }
+    // Accepted-step hook, after the finite check: observers (and the SPMD
+    // checkpoint mirror) only ever see healthy iterates, and every rank of
+    // a distributed solve reaches this point in lockstep.
+    if (cfg_.on_accepted_step) cfg_.on_accepted_step(it + 1, U, fnorm);
   }
 
   result.residual_norm = fnorm;

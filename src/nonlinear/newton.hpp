@@ -76,6 +76,13 @@ struct NewtonConfig {
   /// either way — the ladder only engages on a detected fault, linear
   /// failure, or line-search stall).  See resilience/recovery.hpp.
   resilience::RecoveryConfig recovery{};
+  /// Observation hook fired after each ACCEPTED Newton step (post
+  /// line-search, post finite-check) with the new iterate.  Runs at the
+  /// same point of the iteration on every rank of an SPMD solve, so
+  /// collective work (e.g. the distributed checkpoint mirror of
+  /// dist/dist_checkpoint.hpp) is safe inside it.  nullptr -> no-op.
+  std::function<void(int step, const std::vector<double>& U, double fnorm)>
+      on_accepted_step;
   /// Optional reduced inner product for every ||F|| the solver computes
   /// (initial norm, post-linearization refresh, line-search trials).
   /// Distributed runs inject a rank-reduced one — combined with

@@ -1,0 +1,157 @@
+#pragma once
+// Communication-layer fault taxonomy — the typed events the distributed
+// runtime turns lost messages, corrupt payloads, and dead or straggling
+// ranks into.  See DESIGN.md §16.
+//
+// Mirrors the solver-level taxonomy of resilience/fault.hpp one layer down:
+//  * CommFaultKind / CommSite describe what the comm-level *injector*
+//    plants (drop a message, corrupt a payload, delay or straggle a rank,
+//    kill a rank outright) and where (halo send/recv, an allreduce
+//    contribution, a barrier).
+//  * CommFaultType describes what a *guard* observed: a bounded mailbox
+//    wait that expired (kTimeout), a checksum frame that failed to verify
+//    (kChecksumMismatch), an allreduce round missing a rank's deposit
+//    (kLostContribution), or the injected event itself surfacing at the
+//    victim (kRankDeath / kInjected).  An injected drop manifests as
+//    exactly the timeout an organic network loss would — the coordinated
+//    recovery path treats both identically, which is the point.
+//
+// CommFaultError is the typed exception the guarded Communicator throws.
+// It carries the full CommFault record (type, site, detecting rank,
+// offending source rank when known) so the restart loop can log, agree on,
+// and recover from the precise failure instead of deadlocking.
+
+#include <cstddef>
+#include <string>
+
+#include "portability/common.hpp"
+
+namespace mali::resilience {
+
+/// What a comm-level fault injector plants.
+enum class CommFaultKind {
+  kDrop,       ///< a message / contribution / barrier arrival is lost
+  kCorrupt,    ///< a payload is perturbed in flight (after checksumming)
+  kDelay,      ///< the victim stalls briefly (well inside the timeout)
+  kRankDeath,  ///< the victim dies at the injection point (typed throw)
+  kStraggler,  ///< the victim stalls past the first timeout round
+};
+
+/// Where a comm fault is planted / detected.
+enum class CommSite {
+  kHaloSend,   ///< point-to-point send (halo import/export traffic)
+  kHaloRecv,   ///< point-to-point receive
+  kAllreduce,  ///< a reduction contribution (scalar, batched, split-phase)
+  kBarrier,    ///< barrier arrival
+};
+inline constexpr int kNumCommSites = 4;
+
+/// What a comm guard observed.
+enum class CommFaultType {
+  kNone,
+  kTimeout,            ///< a bounded wait expired (dead or straggling peer)
+  kChecksumMismatch,   ///< payload checksum failed to verify
+  kLostContribution,   ///< an allreduce combined without a rank's deposit
+  kRankDeath,          ///< a rank died at the injection point
+  kInjected,           ///< an injected event with no organic analogue here
+};
+
+[[nodiscard]] const char* to_string(CommFaultKind k);
+[[nodiscard]] const char* to_string(CommSite s);
+[[nodiscard]] const char* to_string(CommFaultType t);
+
+/// One detected comm fault — everything a guard knows at detection time.
+struct CommFault {
+  CommFaultType type = CommFaultType::kNone;
+  CommSite site = CommSite::kHaloSend;
+  /// Rank that detected (or raised) the fault; -1 when unknown.
+  int rank = -1;
+  /// Offending peer when known (checksum mismatch names the sender, a lost
+  /// contribution names the missing depositor); -1 when unknown.
+  int source_rank = -1;
+  /// Site-local evaluation counter at detection (0-based) on the detecting
+  /// rank; meaningful for injected faults, 0 for derived ones.
+  std::size_t evaluation = 0;
+  std::string message;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Typed exception carrying a CommFault.  The guarded Communicator throws
+/// it; solve_distributed's coordinated restart loop catches it (or lets it
+/// propagate to the caller once the restart budget is exhausted).
+class CommFaultError : public Error {
+ public:
+  explicit CommFaultError(CommFault fault)
+      : Error(fault.describe()), fault_(std::move(fault)) {}
+  [[nodiscard]] const CommFault& fault() const noexcept { return fault_; }
+
+ private:
+  CommFault fault_;
+};
+
+/// What / where / when to inject at the comm layer.  Parsed from the
+/// "comm:"-prefixed extension of the PR-4 fault-spec grammar:
+///
+///   comm:kind:site[:evaluation][:repeat]
+///
+/// e.g. "comm:drop:halo-send:2", "comm:corrupt:allreduce",
+/// "comm:rank-death:barrier:1", "comm:straggler:halo-recv:0:repeat".
+/// The un-prefixed grammar still parses exactly as before (the CLI
+/// dispatches on the prefix), so every legacy spec and its pins hold.
+struct CommFaultSpec {
+  CommFaultKind kind = CommFaultKind::kDrop;
+  CommSite site = CommSite::kHaloSend;
+  /// Fire at the N-th evaluation of `site` ON THE VICTIM RANK (0-based).
+  std::size_t at_evaluation = 0;
+  /// Fire at every evaluation >= at_evaluation instead of exactly once.
+  bool repeat = false;
+  /// Seed for the victim-rank choice (and the corrupted payload entry).
+  unsigned seed = 0x9E3779B9u;
+  /// Member/run id mixed into the victim hash (ensemble decorrelation);
+  /// 0 keeps the single-run choice.
+  unsigned member = 0;
+};
+
+/// True iff `s` uses the comm-spec grammar (has the "comm:" prefix).
+[[nodiscard]] bool is_comm_fault_spec(const std::string& s);
+
+/// Parses "comm:kind:site[:evaluation][:repeat]" (prefix required).
+/// Kinds: drop | corrupt | delay | rank-death | straggler.  Sites:
+/// halo-send | halo-recv | allreduce | barrier.  Every kind is valid at
+/// every site.  Throws mali::Error on a malformed spec.
+[[nodiscard]] CommFaultSpec comm_fault_spec_from_string(const std::string& s);
+
+/// Human-readable round-trip of a spec ("comm:drop:halo-send:2").
+[[nodiscard]] std::string to_string(const CommFaultSpec& spec);
+
+/// Deterministic comm-level injector.  One instance per rank thread (the
+/// per-site counters are not synchronized); every rank constructs one from
+/// the same spec, counts its own site evaluations, and only the seeded
+/// victim rank acts on a firing.  Determinism: the victim and the firing
+/// evaluation depend only on the spec — never on thread interleaving.
+class CommFaultInjector {
+ public:
+  explicit CommFaultInjector(CommFaultSpec spec) : spec_(spec) {}
+
+  /// Counts one evaluation of `site` and returns true iff the configured
+  /// fault fires for it (the caller still checks victimhood).
+  [[nodiscard]] bool fire(CommSite site);
+
+  /// The rank this spec victimizes in an n-rank world (seeded splitmix64
+  /// hash — stable across runs, independent of when it is asked).
+  [[nodiscard]] int target_rank(int n_ranks) const;
+
+  [[nodiscard]] const CommFaultSpec& spec() const noexcept { return spec_; }
+  /// Evaluations of `site` seen so far on this rank.
+  [[nodiscard]] std::size_t count(CommSite site) const;
+  /// How many times the fault has fired on this rank.
+  [[nodiscard]] int fired() const noexcept { return fired_; }
+
+ private:
+  CommFaultSpec spec_;
+  std::size_t counts_[kNumCommSites] = {0, 0, 0, 0};
+  int fired_ = 0;
+};
+
+}  // namespace mali::resilience

@@ -99,9 +99,43 @@ bool ForecastDriver::solve_velocity(ForecastResult& result,
     dist::DistConfig dcfg = cfg_.dist;
     dcfg.ranks = cfg_.ranks;
     dcfg.newton = ncfg;
-    // The injector is not shared across rank threads.
-    dcfg.newton.recovery.injector = nullptr;
-    dist::DistResult r = dist::solve_distributed(*problem_, dcfg, &U_);
+    // The serial injector object cannot be shared across rank threads (its
+    // counters are unsynchronized) — the dist path carries the SPEC
+    // instead: every rank rebuilds an identical injector from it, so the
+    // detection is lockstep and typed.  A one-shot spec is carried into
+    // exactly one solve call (whose internal restart loop may already
+    // absorb it); afterwards it is spent, mirroring the serial injector
+    // firing once per forecast.
+    dcfg.newton.recovery = resilience::RecoveryConfig{};
+    if (cfg_.injector != nullptr && !dist_fault_spent_) {
+      dcfg.inject_solver_fault = true;
+      dcfg.solver_fault = cfg_.injector->spec();
+      if (!dcfg.solver_fault.repeat) dist_fault_spent_ = true;
+    }
+    dist::DistResult r;
+    dist::DistRecoveryLog rlog;
+    struct LogMerge {  // the log reaches the result even when the solve throws
+      dist::DistRecoveryLog* from;
+      dist::DistRecoveryLog* into;
+      ~LogMerge() {
+        for (auto& a : from->attempts) {
+          into->attempts.push_back(std::move(a));
+        }
+      }
+    } merge{&rlog, &result.dist_recovery};
+    try {
+      r = dist::solve_distributed(*problem_, dcfg, &U_, &rlog);
+    } catch (const resilience::CommFaultError& e) {
+      // Typed comm fault that survived the restart budget: reject the step
+      // (the controller backs dt off and retries, same as a solver fault).
+      if (cfg_.verbose) std::printf("  velocity comm fault: %s\n", e.what());
+      *newton_iters = 0;
+      return false;
+    } catch (const resilience::SolverFaultError& e) {
+      if (cfg_.verbose) std::printf("  velocity fault: %s\n", e.what());
+      *newton_iters = 0;
+      return false;
+    }
     const nonlinear::NewtonResult& nr = r.ranks[0].newton;
     *newton_iters = r.newton_iters;
     if (nr.faulted || !(nr.residual_norm < nr.initial_norm)) return false;

@@ -108,6 +108,10 @@ struct ForecastResult {
   std::vector<double> H;  ///< final cell thickness
   std::vector<double> U;  ///< final velocity solution
   std::vector<double> T;  ///< final column temperatures (flat), empty if off
+  /// Coordinated-restart log accumulated over every distributed velocity
+  /// solve of the run (empty on the serial path and on clean runs) — the
+  /// CLI prints its tail when a forecast fails.
+  dist::DistRecoveryLog dist_recovery;
   double mean_velocity = 0.0;
   pk::TimerRegistry timers;  ///< "velocity" / "transport" / "thermal" / "io"
 };
@@ -157,6 +161,9 @@ class ForecastDriver {
   double t_ = 0.0;
   int step_ = 0;
   bool have_velocity_ = false;
+  /// One-shot injected fault already carried into a distributed solve call
+  /// (the spec must not re-fire on every velocity re-solve).
+  bool dist_fault_spent_ = false;
 };
 
 }  // namespace mali::timestepping

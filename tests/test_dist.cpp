@@ -749,3 +749,369 @@ TEST(DistSolve, RankFailurePropagatesWithoutDeadlock) {
   EXPECT_THROW((void)dist::solve_distributed(problem, cfg),
                std::runtime_error);
 }
+
+// ---------------------------------------------------------------------------
+// Comm guards: integrity checks and bounded waits (DESIGN.md §16).  The
+// guard contract has two halves — a dead or straggling peer surfaces as a
+// TYPED CommFaultError instead of a hang, and arming the guards on a clean
+// run changes nothing, not even a bit.
+// ---------------------------------------------------------------------------
+
+TEST(CommGuards, BoundedRecvTimesOutTypedInsteadOfHanging) {
+  dist::CommWorld world(2);
+  dist::CommGuardConfig g;
+  g.timeout_s = 0.02;
+  world.set_guards(g);
+  resilience::CommFault seen;
+  pk::ThreadPool::parallel_tasks(2, [&](std::size_t r) {
+    dist::Communicator comm(world, static_cast<int>(r));
+    if (r == 0) return;  // dead peer: the promised message never arrives
+    try {
+      (void)comm.recv(0, /*tag=*/7);
+      ADD_FAILURE() << "recv from a dead peer must not return";
+    } catch (const resilience::CommFaultError& e) {
+      seen = e.fault();
+    }
+  });
+  EXPECT_EQ(seen.type, resilience::CommFaultType::kTimeout);
+  EXPECT_EQ(seen.site, resilience::CommSite::kHaloRecv);
+  EXPECT_EQ(seen.rank, 1);
+}
+
+TEST(CommGuards, BoundedBarrierTimesOutTyped) {
+  dist::CommWorld world(2);
+  dist::CommGuardConfig g;
+  g.timeout_s = 0.02;
+  world.set_guards(g);
+  resilience::CommFault seen;
+  pk::ThreadPool::parallel_tasks(2, [&](std::size_t r) {
+    dist::Communicator comm(world, static_cast<int>(r));
+    if (r == 0) return;  // never arrives at the barrier
+    try {
+      comm.barrier();
+      ADD_FAILURE() << "barrier with a dead peer must not complete";
+    } catch (const resilience::CommFaultError& e) {
+      seen = e.fault();
+    }
+  });
+  EXPECT_EQ(seen.type, resilience::CommFaultType::kTimeout);
+  EXPECT_EQ(seen.site, resilience::CommSite::kBarrier);
+}
+
+TEST(CommGuards, ChecksumCatchesInFlightCorruption) {
+  dist::CommWorld world(2);
+  dist::CommGuardConfig g;
+  g.checksums = true;
+  g.timeout_s = 0.5;  // bounded so a miswired test fails, not hangs
+  world.set_guards(g);
+  resilience::CommFault seen;
+  pk::ThreadPool::parallel_tasks(2, [&](std::size_t r) {
+    if (r == 0) {
+      // The corrupt flag perturbs the payload AFTER the frame was computed
+      // — exactly an in-flight flip.
+      world.send(0, 1, /*tag=*/3, {1.0, 2.0, 3.0}, /*corrupt=*/true);
+      return;
+    }
+    try {
+      (void)world.recv(0, 1, 3);
+      ADD_FAILURE() << "corrupted frame must not verify";
+    } catch (const resilience::CommFaultError& e) {
+      seen = e.fault();
+    }
+  });
+  EXPECT_EQ(seen.type, resilience::CommFaultType::kChecksumMismatch);
+  EXPECT_EQ(seen.site, resilience::CommSite::kHaloRecv);
+  EXPECT_EQ(seen.rank, 1);
+  EXPECT_EQ(seen.source_rank, 0);
+}
+
+TEST(CommGuards, CleanFramedSendRecvRoundTripsExactly) {
+  dist::CommWorld world(2);
+  dist::CommGuardConfig g;
+  g.checksums = true;
+  g.timeout_s = 0.5;
+  world.set_guards(g);
+  const std::vector<double> payload{1.5, -2.25, 3.0e-17, 0.0};
+  std::vector<double> got;
+  pk::ThreadPool::parallel_tasks(2, [&](std::size_t r) {
+    if (r == 0) {
+      world.send(0, 1, 3, payload);
+    } else {
+      got = world.recv(0, 1, 3);
+    }
+  });
+  EXPECT_EQ(got, payload) << "the checksum frame must be stripped exactly";
+}
+
+TEST(CommGuards, DroppedReductionDepositIsTypedIdenticallyOnEveryRank) {
+  constexpr int kRanks = 3;
+  dist::CommWorld world(kRanks);
+  dist::CommGuardConfig g;
+  g.checksums = true;  // generation counting rides the checksum switch
+  g.timeout_s = 0.5;
+  world.set_guards(g);
+  std::vector<resilience::CommFault> seen(kRanks);
+  pk::ThreadPool::parallel_tasks(kRanks, [&](std::size_t r) {
+    try {
+      // Rank 1's deposit is lost on the wire; the combine must surface an
+      // identical lost-contribution fault on every rank (the collective
+      // fault agreement needs them to already agree).
+      (void)world.allreduce_sum(static_cast<int>(r), 1.0,
+                                /*skip_deposit=*/r == 1);
+      ADD_FAILURE() << "combine with a missing deposit must not return";
+    } catch (const resilience::CommFaultError& e) {
+      seen[r] = e.fault();
+    }
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)].type,
+              resilience::CommFaultType::kLostContribution);
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)].site,
+              resilience::CommSite::kAllreduce);
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)].source_rank, 1)
+        << "the fault must name the missing depositor";
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)].message, seen[0].message)
+        << "detection must be bit-identical across ranks";
+  }
+}
+
+TEST(CommGuards, CleanSolveIsBitIdenticalWithGuardsOn) {
+  // Arming checksums + bounded waits must not move a single bit of a clean
+  // solve: the frames are stripped before use and the combine order is
+  // untouched.
+  physics::StokesFOProblem problem(small_mms());
+  auto run = [&](bool guarded) {
+    dist::DistConfig cfg;
+    cfg.ranks = 4;
+    cfg.newton = tight_newton();
+    if (guarded) {
+      cfg.guards.checksums = true;
+      cfg.guards.timeout_s = 10.0;
+    }
+    const auto res = dist::solve_distributed(problem, cfg);
+    EXPECT_TRUE(res.converged);
+    return res.U;
+  };
+  const auto plain = run(false);
+  const auto guarded = run(true);
+  ASSERT_EQ(plain.size(), guarded.size());
+  for (std::size_t d = 0; d < plain.size(); ++d) {
+    ASSERT_EQ(plain[d], guarded[d])
+        << "guards changed dof " << d << " — framing leaked into the math";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Abort propagation through the split-phase paths: a posted-but-unfinished
+// allreduce and an overlapped halo import must unwind via CommAborted on
+// every blocked rank when any rank poisons the world — finish() can never
+// strand a rank after abort.
+// ---------------------------------------------------------------------------
+
+TEST(Communicator, AbortUnwindsSplitPhaseAllreduceFinishOnAllRanks) {
+  constexpr int kRanks = 3;
+  dist::CommWorld world(kRanks);
+  std::atomic<int> aborted{0};
+  pk::ThreadPool::parallel_tasks(kRanks, [&](std::size_t r) {
+    dist::Communicator comm(world, static_cast<int>(r));
+    try {
+      if (r == 0) {
+        world.abort();  // dies between the others' post and finish
+      } else {
+        comm.allreduce_post({static_cast<double>(r), 1.0});
+        (void)comm.allreduce_finish();
+        ADD_FAILURE() << "finish must not complete without rank 0's deposit";
+      }
+    } catch (const dist::CommAborted&) {
+      ++aborted;
+    }
+  });
+  EXPECT_EQ(aborted.load(), kRanks - 1)
+      << "every rank blocked in allreduce_finish must unwind via CommAborted";
+}
+
+TEST(Communicator, AbortUnwindsOverlappedHaloImportWithoutDeadlock) {
+  HaloFixture f;
+  constexpr int kRanks = 4;
+  constexpr std::size_t kLevels = 2;
+  const auto part = mesh::partition_strips(f.grid, kRanks);
+  const std::size_t n = f.grid.n_nodes() * kLevels * 2;
+  dist::CommWorld world(kRanks);
+  std::atomic<int> aborted{0};
+  std::atomic<int> completed{0};
+  pk::ThreadPool::parallel_tasks(kRanks, [&](std::size_t r) {
+    dist::Communicator comm(world, static_cast<int>(r));
+    if (r == 0) {
+      world.abort();  // rank 0 dies before posting its halo sends
+      return;
+    }
+    dist::HaloExchange halo(comm, part, static_cast<int>(r), kLevels, 2, 0);
+    std::vector<double> x(n, 1.0);
+    try {
+      halo.post_import(x);
+      halo.finish_import(x);
+      ++completed;  // a rank with no rank-0 traffic may legitimately finish
+    } catch (const dist::CommAborted&) {
+      ++aborted;
+    }
+  });
+  // The key assertion is that this test RETURNS: nobody may hang waiting
+  // for rank 0's messages.  Rank 1 (rank 0's halo neighbor) can never
+  // complete its import, so at least one rank must take the abort path.
+  EXPECT_GE(aborted.load(), 1);
+  EXPECT_EQ(aborted.load() + completed.load(), kRanks - 1);
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix: every injected kind at every comm site, across rank
+// counts.  The acceptance contract (ISSUE 9): each case either RECOVERS —
+// converges within 1e-10/dof of the clean solution through the coordinated
+// restart loop — or exits with a typed CommFaultError.  It never hangs
+// (the bounded waits turn every silent loss into a typed fault) and never
+// returns a silently wrong solution (checksums + generation counts).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void run_fault_matrix(int ranks) {
+  physics::StokesFOProblem problem(small_mms());
+  const auto ref = reference_solution(problem);
+  constexpr resilience::CommFaultKind kKinds[] = {
+      resilience::CommFaultKind::kDrop, resilience::CommFaultKind::kCorrupt,
+      resilience::CommFaultKind::kDelay,
+      resilience::CommFaultKind::kRankDeath,
+      resilience::CommFaultKind::kStraggler};
+  constexpr resilience::CommSite kSites[] = {
+      resilience::CommSite::kHaloSend, resilience::CommSite::kHaloRecv,
+      resilience::CommSite::kAllreduce, resilience::CommSite::kBarrier};
+  for (const auto kind : kKinds) {
+    for (const auto site : kSites) {
+      dist::DistConfig cfg;
+      cfg.ranks = ranks;
+      cfg.newton = tight_newton();
+      cfg.guards.checksums = true;
+      cfg.guards.timeout_s = 0.15;
+      cfg.max_restarts = 2;
+      cfg.checkpoint = true;
+      cfg.inject_comm_fault = true;
+      cfg.comm_fault.kind = kind;
+      cfg.comm_fault.site = site;
+      // The barrier site is evaluated far less often than the halo and
+      // reduction sites; fire on its first evaluation so the injection
+      // lands inside every solve.
+      cfg.comm_fault.at_evaluation =
+          site == resilience::CommSite::kBarrier ? 0 : 1;
+      const std::string what = std::string("comm:") +
+                               resilience::to_string(kind) + ":" +
+                               resilience::to_string(site) +
+                               " @ ranks=" + std::to_string(ranks);
+      try {
+        const auto res = dist::solve_distributed(problem, cfg);
+        // Recovered (possibly through restarts): the solution must be the
+        // clean one — a fault may cost retries, never accuracy.
+        EXPECT_TRUE(res.converged) << what;
+        expect_match(ref, res.U, what.c_str());
+      } catch (const resilience::CommFaultError& e) {
+        // Typed exit after the restart budget: acceptable, and the record
+        // must actually describe a fault.
+        EXPECT_NE(e.fault().type, resilience::CommFaultType::kNone) << what;
+      }
+      // Any other exception (or a hang) fails the test.
+    }
+  }
+}
+
+}  // namespace
+
+TEST(CommFaultMatrix, EveryKindAtEverySiteRecoversOrExitsTypedAt2Ranks) {
+  run_fault_matrix(2);
+}
+
+TEST(CommFaultMatrix, EveryKindAtEverySiteRecoversOrExitsTypedAt4Ranks) {
+  run_fault_matrix(4);
+}
+
+TEST(CommFaultMatrix, EveryKindAtEverySiteRecoversOrExitsTypedAt7Ranks) {
+  run_fault_matrix(7);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated recovery specifics: restart accounting, checkpoint rollback,
+// budget exhaustion, and the solver-fault flavour of the restart loop.
+// ---------------------------------------------------------------------------
+
+TEST(DistSolve, OneShotCommFaultRecoversThroughCoordinatedRestart) {
+  physics::StokesFOProblem problem(small_mms());
+  const auto ref = reference_solution(problem);
+  dist::DistConfig cfg;
+  cfg.ranks = 4;
+  cfg.newton = tight_newton();
+  cfg.guards.checksums = true;
+  cfg.guards.timeout_s = 0.2;
+  cfg.max_restarts = 2;
+  cfg.checkpoint = true;
+  cfg.inject_comm_fault = true;
+  cfg.comm_fault = resilience::comm_fault_spec_from_string(
+      "comm:corrupt:allreduce:2");
+  const auto res = dist::solve_distributed(problem, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.restarts, 1) << "the injected fault must have cost a restart";
+  ASSERT_FALSE(res.recovery.empty());
+  EXPECT_TRUE(res.recovery.attempts[0].comm_fault)
+      << "the failed attempt must carry the agreed typed record";
+  EXPECT_EQ(res.recovery.attempts[0].fault.type,
+            resilience::CommFaultType::kChecksumMismatch);
+  expect_match(ref, res.U, "recovered corrupt:allreduce, 4 ranks");
+}
+
+TEST(DistSolve, RepeatCommFaultExhaustsRestartBudgetAndExitsTyped) {
+  physics::StokesFOProblem problem(small_mms());
+  dist::DistConfig cfg;
+  cfg.ranks = 2;
+  cfg.newton = tight_newton();
+  cfg.guards.checksums = true;
+  cfg.guards.timeout_s = 0.2;
+  cfg.max_restarts = 1;
+  cfg.checkpoint = true;
+  cfg.inject_comm_fault = true;
+  cfg.comm_fault = resilience::comm_fault_spec_from_string(
+      "comm:corrupt:allreduce:1:repeat");
+  dist::DistRecoveryLog rlog;
+  bool threw = false;
+  try {
+    (void)dist::solve_distributed(problem, cfg, nullptr, &rlog);
+  } catch (const resilience::CommFaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.fault().type, resilience::CommFaultType::kChecksumMismatch);
+  }
+  EXPECT_TRUE(threw) << "a permanent fault must exit typed, not succeed";
+  EXPECT_EQ(rlog.size(), 2u)
+      << "the log must record the initial attempt and the failed restart";
+  for (const auto& a : rlog.attempts) {
+    EXPECT_TRUE(a.comm_fault);
+    EXPECT_FALSE(a.error.empty());
+  }
+  EXPECT_FALSE(rlog.tail().empty());
+}
+
+TEST(DistSolve, SolverFaultOnDistPathRecoversThroughRestart) {
+  // The restart loop also absorbs solver-level faults (NaN injection into
+  // the guarded residual): every rank throws the identical typed error in
+  // lockstep, the world aborts, and the next attempt runs clean.
+  physics::StokesFOProblem problem(small_mms());
+  const auto ref = reference_solution(problem);
+  dist::DistConfig cfg;
+  cfg.ranks = 2;
+  cfg.newton = tight_newton();
+  cfg.max_restarts = 2;
+  cfg.checkpoint = true;
+  cfg.inject_solver_fault = true;
+  cfg.solver_fault = resilience::fault_spec_from_string("nan:residual:1");
+  const auto res = dist::solve_distributed(problem, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.restarts, 1);
+  ASSERT_FALSE(res.recovery.empty());
+  EXPECT_FALSE(res.recovery.attempts[0].comm_fault)
+      << "a solver fault is not a comm fault in the log";
+  expect_match(ref, res.U, "recovered nan:residual, 2 ranks");
+}

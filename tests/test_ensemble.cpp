@@ -676,7 +676,7 @@ TEST(EnsembleEngine, ResultsJsonCarriesSchemaScheduleAndMembers) {
   const auto out = engine.run();
   const std::string with_stats =
       ensemble::EnsembleEngine::results_json(out, m, true);
-  EXPECT_NE(with_stats.find("\"schema\": \"mali-ensemble-results-v1\""),
+  EXPECT_NE(with_stats.find("\"schema\": \"mali-ensemble-results-v2\""),
             std::string::npos);
   EXPECT_NE(with_stats.find("\"manifest\": "), std::string::npos);
   EXPECT_NE(with_stats.find("\"members\": "), std::string::npos);
@@ -689,4 +689,84 @@ TEST(EnsembleEngine, ResultsJsonCarriesSchemaScheduleAndMembers) {
   EXPECT_EQ(no_stats.find("wall_seconds"), std::string::npos);
   EXPECT_NE(no_stats.find(ensemble::EnsembleEngine::members_json(out)),
             std::string::npos);
+}
+
+// ---- graceful degradation (DESIGN.md §16) -----------------------------
+
+TEST(EnsembleEngine, PermanentMemberFaultIsQuarantinedNotFatal) {
+  const auto m = small_manifest();
+  ensemble::EnsembleConfig cfg;
+  cfg.member_retries = 1;
+  // The pre-attempt seam models a permanently broken member: every
+  // attempt for member 1 fails, so the retry budget is exhausted and the
+  // member is quarantined while the batch completes.
+  cfg.before_attempt = [](std::size_t id, int) {
+    if (id == 1) throw mali::Error("injected permanent member fault");
+  };
+  ensemble::EnsembleEngine engine(m, cfg);
+  const auto out = engine.run();  // must not throw
+
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[0].status, "ok");
+  EXPECT_EQ(out.records[1].status, "quarantined");
+  EXPECT_EQ(out.records[1].attempts, 2);
+  EXPECT_NE(out.records[1].fault.find("injected permanent member fault"),
+            std::string::npos);
+  // A quarantined record carries no state (nothing to donate or cache).
+  EXPECT_TRUE(out.records[1].U.empty());
+  EXPECT_EQ(out.records[1].steps, 0);
+  EXPECT_EQ(out.stats.quarantined, 1u);
+  EXPECT_EQ(out.stats.retried, 0u);
+  // The results document labels the member for downstream consumers.
+  const std::string json = ensemble::EnsembleEngine::members_json(out);
+  EXPECT_NE(json.find("\"status\": \"quarantined\""), std::string::npos);
+
+  // Quarantined members are never cached: a rerun serves the healthy
+  // member from cache (one hit, zero misses) and re-attempts the broken
+  // one, quarantining it again.
+  const auto second = engine.run();
+  EXPECT_EQ(second.stats.cache_hits, 1u);
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.quarantined, 1u);
+  EXPECT_EQ(second.records[1].status, "quarantined");
+}
+
+TEST(EnsembleEngine, TransientMemberFaultIsRetriedAndMatchesACleanRun) {
+  const auto m = small_manifest();
+  ensemble::EnsembleConfig clean_cfg;
+  clean_cfg.use_cache = false;
+  const auto clean = ensemble::EnsembleEngine(m, clean_cfg).run();
+
+  // Member 0 fails exactly once; the retry runs clean (the transient
+  // fault model), so the batch degrades to one extra attempt and the
+  // numbers are indistinguishable from an undisturbed run.
+  int injected = 0;
+  ensemble::EnsembleConfig cfg;
+  cfg.use_cache = false;
+  cfg.member_retries = 2;
+  cfg.before_attempt = [&injected](std::size_t id, int attempt) {
+    if (id == 0 && attempt == 0) {
+      ++injected;
+      throw mali::Error("injected transient member fault");
+    }
+  };
+  const auto out = ensemble::EnsembleEngine(m, cfg).run();
+
+  EXPECT_EQ(injected, 1);
+  ASSERT_EQ(out.records.size(), clean.records.size());
+  EXPECT_EQ(out.records[0].status, "retried");
+  EXPECT_EQ(out.records[0].attempts, 2);
+  EXPECT_NE(out.records[0].fault.find("injected transient member fault"),
+            std::string::npos);
+  EXPECT_EQ(out.records[1].status, "ok");
+  EXPECT_EQ(out.stats.retried, 1u);
+  EXPECT_EQ(out.stats.quarantined, 0u);
+  for (std::size_t i = 0; i < out.records.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(out.records[i].U, clean.records[i].U))
+        << "member " << i;
+    EXPECT_EQ(out.records[i].steps, clean.records[i].steps) << "member " << i;
+    EXPECT_EQ(bits(out.records[i].volume_final),
+              bits(clean.records[i].volume_final))
+        << "member " << i;
+  }
 }

@@ -37,6 +37,7 @@
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/comm_fault.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/guards.hpp"
@@ -714,4 +715,120 @@ TEST(RecoveryLog, ToStringAndTailNameTheRungsAndTriggers) {
   EXPECT_NE(s.find("redamp-step"), std::string::npos);
   EXPECT_NE(s.find("non-finite-residual"), std::string::npos);
   EXPECT_FALSE(out.newton.recovery.tail(1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Comm-layer fault taxonomy (DESIGN.md §16): the "comm:"-prefixed spec
+// grammar, its round-trip, and the deterministic injector.  The legacy
+// (un-prefixed) solver grammar must be completely untouched by the
+// extension — the CLI dispatches on the prefix.
+// ---------------------------------------------------------------------------
+
+TEST(CommFaultSpec, PrefixDispatchSeparatesTheTwoGrammars) {
+  EXPECT_TRUE(resilience::is_comm_fault_spec("comm:drop:halo-send"));
+  EXPECT_TRUE(resilience::is_comm_fault_spec("comm:corrupt:allreduce:3"));
+  EXPECT_FALSE(resilience::is_comm_fault_spec("nan:residual"));
+  EXPECT_FALSE(resilience::is_comm_fault_spec("drop:halo-send"));
+  EXPECT_FALSE(resilience::is_comm_fault_spec(""));
+  // The legacy grammar still parses exactly as before.
+  const auto legacy = resilience::fault_spec_from_string("nan:residual:2");
+  EXPECT_EQ(legacy.kind, resilience::FaultKind::kNanPoison);
+  EXPECT_EQ(legacy.at_evaluation, 2u);
+}
+
+TEST(CommFaultSpec, ParsesEveryKindAndSiteAndRoundTrips) {
+  const char* kinds[] = {"drop", "corrupt", "delay", "rank-death",
+                         "straggler"};
+  const char* sites[] = {"halo-send", "halo-recv", "allreduce", "barrier"};
+  for (const char* k : kinds) {
+    for (const char* s : sites) {
+      const std::string text =
+          std::string("comm:") + k + ":" + s + ":5";
+      const auto spec = resilience::comm_fault_spec_from_string(text);
+      EXPECT_EQ(resilience::to_string(spec.kind), std::string(k));
+      EXPECT_EQ(resilience::to_string(spec.site), std::string(s));
+      EXPECT_EQ(spec.at_evaluation, 5u);
+      EXPECT_FALSE(spec.repeat);
+      // to_string -> from_string is the identity on the parsed fields.
+      const auto again =
+          resilience::comm_fault_spec_from_string(resilience::to_string(spec));
+      EXPECT_EQ(again.kind, spec.kind);
+      EXPECT_EQ(again.site, spec.site);
+      EXPECT_EQ(again.at_evaluation, spec.at_evaluation);
+      EXPECT_EQ(again.repeat, spec.repeat);
+    }
+  }
+}
+
+TEST(CommFaultSpec, DefaultsAndRepeatTrailer) {
+  const auto bare = resilience::comm_fault_spec_from_string("comm:drop:barrier");
+  EXPECT_EQ(bare.at_evaluation, 0u);
+  EXPECT_FALSE(bare.repeat);
+  const auto rep = resilience::comm_fault_spec_from_string(
+      "comm:straggler:halo-recv:0:repeat");
+  EXPECT_EQ(rep.kind, resilience::CommFaultKind::kStraggler);
+  EXPECT_TRUE(rep.repeat);
+  EXPECT_EQ(resilience::to_string(rep), "comm:straggler:halo-recv:0:repeat");
+}
+
+TEST(CommFaultSpec, MalformedSpecsAreTypedErrors) {
+  for (const char* bad :
+       {"comm:", "comm:drop", "comm:bogus:halo-send", "comm:drop:bogus",
+        "comm:drop:halo-send:1:sometimes", "comm:drop:halo-send:1:repeat:x",
+        "nan:residual"}) {
+    EXPECT_THROW((void)resilience::comm_fault_spec_from_string(bad),
+                 mali::Error)
+        << "spec '" << bad << "' must be rejected";
+  }
+}
+
+TEST(CommFaultInjector, CountsPerSiteAndFiresAtTheConfiguredEvaluation) {
+  resilience::CommFaultSpec spec;
+  spec.kind = resilience::CommFaultKind::kDrop;
+  spec.site = resilience::CommSite::kAllreduce;
+  spec.at_evaluation = 2;
+  resilience::CommFaultInjector inj(spec);
+  // Evaluations of OTHER sites never fire and never advance this site.
+  EXPECT_FALSE(inj.fire(resilience::CommSite::kHaloSend));
+  EXPECT_FALSE(inj.fire(resilience::CommSite::kBarrier));
+  EXPECT_FALSE(inj.fire(resilience::CommSite::kAllreduce));  // eval 0
+  EXPECT_FALSE(inj.fire(resilience::CommSite::kAllreduce));  // eval 1
+  EXPECT_TRUE(inj.fire(resilience::CommSite::kAllreduce));   // eval 2: fires
+  EXPECT_FALSE(inj.fire(resilience::CommSite::kAllreduce));  // one-shot
+  EXPECT_EQ(inj.fired(), 1);
+  EXPECT_EQ(inj.count(resilience::CommSite::kAllreduce), 4u);
+  EXPECT_EQ(inj.count(resilience::CommSite::kHaloSend), 1u);
+
+  resilience::CommFaultSpec rep = spec;
+  rep.repeat = true;
+  resilience::CommFaultInjector inj2(rep);
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (inj2.fire(resilience::CommSite::kAllreduce)) ++fired;
+  }
+  EXPECT_EQ(fired, 4) << "repeat fires at every evaluation >= at_evaluation";
+}
+
+TEST(CommFaultInjector, VictimChoiceIsStableSeededAndMemberDecorrelated) {
+  resilience::CommFaultSpec spec;
+  resilience::CommFaultInjector a(spec), b(spec);
+  for (const int n : {1, 2, 4, 7, 64}) {
+    const int victim = a.target_rank(n);
+    EXPECT_EQ(victim, b.target_rank(n)) << "victim must be instance-stable";
+    EXPECT_GE(victim, 0);
+    EXPECT_LT(victim, n);
+  }
+  // The member salt decorrelates ensemble members: across a handful of
+  // member ids at least one must pick a different victim at 7 ranks.
+  const int base = a.target_rank(7);
+  bool differs = false;
+  for (unsigned m = 1; m <= 8 && !differs; ++m) {
+    resilience::CommFaultSpec salted = spec;
+    salted.member = m;
+    differs = resilience::CommFaultInjector(salted).target_rank(7) != base;
+  }
+  EXPECT_TRUE(differs);
+  // Counting evaluations never moves the victim (stable mid-run).
+  (void)a.fire(resilience::CommSite::kAllreduce);
+  EXPECT_EQ(a.target_rank(7), base);
 }

@@ -35,6 +35,7 @@
 #include "mpas/fv_transport.hpp"
 #include "nonlinear/newton.hpp"
 #include "physics/stokes_fo_problem.hpp"
+#include "resilience/comm_fault.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/guards.hpp"
 #include "timestepping/forecast_driver.hpp"
@@ -189,6 +190,47 @@ void print_amg_cycle_model(physics::StokesFOProblem& problem,
       m.setup_bytes() / 1e6, m.probe_applies, m.vcycle_bytes() / 1e6);
 }
 
+/// Distributed fault-tolerance surface shared by `solve --ranks` and
+/// `forecast --ranks` (DESIGN.md §16): comm-guard flags, the "comm:"
+/// fault-spec dispatch, and the --resilience mapping onto the coordinated
+/// restart loop.  When `dispatch_solver_fault` is false a non-comm
+/// --inject-fault spec is left for the caller (the forecast carries solver
+/// faults through its one-shot injector, not through DistConfig).
+void configure_dist_resilience(const Args& args, dist::DistConfig& dcfg,
+                               bool dispatch_solver_fault) {
+  if (args.has("comm-guards")) dcfg.guards.checksums = true;
+  dcfg.guards.timeout_s =
+      args.num("comm-timeout", args.has("comm-guards") ? 30.0 : 0.0);
+  dcfg.max_restarts = static_cast<int>(args.num("max-restarts", 0));
+  dcfg.restart_backoff_s = args.num("restart-backoff", 0.0);
+  if (args.has("inject-fault")) {
+    const std::string spec = args.str("inject-fault");
+    if (resilience::is_comm_fault_spec(spec)) {
+      dcfg.inject_comm_fault = true;
+      dcfg.comm_fault = resilience::comm_fault_spec_from_string(spec);
+      // Detection needs the guards armed: checksums catch corruption,
+      // bounded waits catch drops, stragglers, and dead ranks.
+      dcfg.guards.checksums = true;
+      if (dcfg.guards.timeout_s <= 0.0) dcfg.guards.timeout_s = 0.25;
+      std::printf("comm fault injection: %s\n",
+                  resilience::to_string(dcfg.comm_fault).c_str());
+    } else if (dispatch_solver_fault) {
+      dcfg.inject_solver_fault = true;
+      dcfg.solver_fault = resilience::fault_spec_from_string(spec);
+      std::printf("fault injection: %s\n",
+                  resilience::to_string(dcfg.solver_fault).c_str());
+    }
+  }
+  if (args.has("resilience")) {
+    dcfg.solver_guards = true;
+    dcfg.guards.checksums = true;
+    dcfg.checkpoint = true;
+    if (dcfg.max_restarts < 2) dcfg.max_restarts = 2;
+  }
+  // Rollback is pointless without a checkpoint to roll back to.
+  if (dcfg.max_restarts > 0) dcfg.checkpoint = true;
+}
+
 /// `mali solve --ranks N`: the in-process domain-decomposed solve.  The
 /// SPMD rank runtime mirrors an MPI run (real halo exchange, rank-reduced
 /// norms); the per-rank preconditioners are the subdomain-local ones
@@ -204,6 +246,9 @@ int cmd_solve_distributed(const Args& args) {
   dcfg.krylov = linalg::krylov_kind_from_string(args.str("krylov", "gmres"));
   dcfg.newton.max_iters = static_cast<int>(args.num("steps", 8));
   dcfg.verbose = true;
+  configure_dist_resilience(args, dcfg, /*dispatch_solver_fault=*/true);
+  if (args.has("checkpoint")) dcfg.checkpoint = true;
+  if (args.has("guards")) dcfg.solver_guards = true;
 
   std::printf(
       "mesh: %zu hexahedra, %zu dofs (%s Jacobian)\n"
@@ -213,9 +258,43 @@ int cmd_solve_distributed(const Args& args) {
       linalg::to_string(problem.config().jacobian), dcfg.ranks,
       dist::to_string(dcfg.decomp), dcfg.precond.c_str(),
       linalg::to_string(dcfg.krylov), dcfg.overlap ? "on" : "off");
+  if (dcfg.guards.checksums || dcfg.guards.bounded()) {
+    std::printf("comm guards: checksums %s, wait timeout %s\n",
+                dcfg.guards.checksums ? "on" : "off",
+                dcfg.guards.bounded()
+                    ? (std::to_string(dcfg.guards.timeout_s) + " s").c_str()
+                    : "unbounded");
+  }
+  if (dcfg.max_restarts > 0) {
+    std::printf("coordinated restart: up to %d attempt(s)%s\n",
+                dcfg.max_restarts,
+                dcfg.checkpoint ? ", replicated checkpoint rollback" : "");
+  }
 
   const auto U0 = problem.analytic_initial_guess();
-  const auto res = dist::solve_distributed(problem, dcfg, &U0);
+  dist::DistResult res;
+  dist::DistRecoveryLog rlog;
+  try {
+    res = dist::solve_distributed(problem, dcfg, &U0, &rlog);
+  } catch (const resilience::CommFaultError& e) {
+    // Typed comm fault that survived the restart budget: fail loudly with
+    // the fault record and the restart log's tail, never a hang.
+    std::fprintf(stderr, "%s\n", e.fault().describe().c_str());
+    if (!rlog.empty()) {
+      std::fprintf(stderr, "last restart attempts:\n%s", rlog.tail().c_str());
+    }
+    return 3;
+  } catch (const resilience::SolverFaultError& e) {
+    std::fprintf(stderr, "%s\n", e.fault().describe().c_str());
+    if (!rlog.empty()) {
+      std::fprintf(stderr, "last restart attempts:\n%s", rlog.tail().c_str());
+    }
+    return 3;
+  }
+  if (res.restarts > 0) {
+    std::printf("coordinated restarts: %d (recovered)\n%s", res.restarts,
+                res.recovery.to_string().c_str());
+  }
 
   std::printf("\n%-5s %11s %10s %10s %5s %12s %12s %12s %11s\n", "rank",
               "cells", "owned cols", "halo cols", "nbrs", "kernel (s)",
@@ -493,6 +572,16 @@ int cmd_forecast(const Args& args) {
         dist::decomp_from_string(args.str("decomp", "strips"));
     fcfg.dist.krylov = fcfg.newton.krylov;
     fcfg.dist.newton.max_iters = fcfg.newton.max_iters;
+    // Comm faults and --resilience map onto the coordinated-restart loop;
+    // solver fault specs stay on the injector path below (the driver
+    // carries them into exactly one distributed solve).
+    configure_dist_resilience(args, fcfg.dist,
+                              /*dispatch_solver_fault=*/false);
+  } else {
+    MALI_CHECK_MSG(!(args.has("inject-fault") &&
+                     resilience::is_comm_fault_spec(args.str("inject-fault"))),
+                   "forecast: comm fault injection (--inject-fault comm:*) "
+                   "requires --ranks > 1");
   }
   fcfg.checkpoint_every = static_cast<int>(args.num("checkpoint-every", 0));
   if (args.has("checkpoint")) fcfg.checkpoint_path = args.str("checkpoint");
@@ -500,7 +589,8 @@ int cmd_forecast(const Args& args) {
   fcfg.verbose = !args.has("quiet");
 
   std::unique_ptr<resilience::FaultInjector> injector;
-  if (args.has("inject-fault")) {
+  if (args.has("inject-fault") &&
+      !resilience::is_comm_fault_spec(args.str("inject-fault"))) {
     const auto spec =
         resilience::fault_spec_from_string(args.str("inject-fault"));
     injector = std::make_unique<resilience::FaultInjector>(spec);
@@ -556,6 +646,13 @@ int cmd_forecast(const Args& args) {
     std::printf("\n");
   }
   std::printf("mean velocity: %.6f m/yr\n", res.mean_velocity);
+  if (!res.dist_recovery.empty()) {
+    // Coordinated restarts that happened inside distributed velocity
+    // solves; on a failed forecast the tail goes to stderr with the exit.
+    std::FILE* to = res.completed ? stdout : stderr;
+    std::fprintf(to, "distributed recovery log (%zu attempt(s)):\n%s",
+                 res.dist_recovery.size(), res.dist_recovery.tail().c_str());
+  }
 
   if (args.has("ppm")) {
     io::HeatmapConfig hm;
@@ -593,6 +690,28 @@ int cmd_ensemble(const Args& args) {
   ecfg.cache_dir = args.str("cache", "");
   ecfg.ranks_per_group = static_cast<int>(args.num("ranks-per-group", 1));
   ecfg.verbose = !args.has("quiet");
+
+  // ---- graceful degradation (DESIGN.md §16) ----
+  ecfg.member_retries = static_cast<int>(args.num("member-retries", 0));
+  ecfg.retry_backoff_s = args.num("retry-backoff", 0.0);
+  ecfg.resilience = args.has("resilience");
+  if (args.has("inject-fault")) {
+    const std::string spec = args.str("inject-fault");
+    MALI_CHECK_MSG(!resilience::is_comm_fault_spec(spec),
+                   "ensemble: --inject-fault takes the solver grammar "
+                   "(kind:site[:eval][:repeat]); comm faults are exercised "
+                   "through `mali solve --ranks` / `mali forecast --ranks`");
+    ecfg.inject_fault = true;
+    ecfg.fault = resilience::fault_spec_from_string(spec);
+    ecfg.fault_member = static_cast<int>(args.num("fault-member", -1));
+    if (ecfg.verbose) {
+      std::printf("fault injection: %s (member %s)\n",
+                  resilience::to_string(ecfg.fault).c_str(),
+                  ecfg.fault_member < 0
+                      ? "all"
+                      : std::to_string(ecfg.fault_member).c_str());
+    }
+  }
 
   if (ecfg.verbose) {
     std::printf("ensemble '%s': %zu member(s), %d rank group(s), cache %s\n",
@@ -632,6 +751,11 @@ int cmd_ensemble(const Args& args) {
                 out.stats.cache_misses, out.stats.warm_starts,
                 out.stats.amg_builds, out.stats.amg_reuses,
                 out.stats.wall_seconds);
+  }
+  if (out.stats.retried > 0 || out.stats.quarantined > 0) {
+    std::printf("degradation: %zu member(s) retried, %zu quarantined "
+                "(batch completed; see each member's \"status\")\n",
+                out.stats.retried, out.stats.quarantined);
   }
   if (args.has("expect-cached") && out.stats.cache_misses != 0) {
     std::fprintf(stderr,
@@ -723,6 +847,15 @@ void usage() {
       "                     [--decomp strips|blocks] [--halo-overlap]\n"
       "                     [--precond none|jacobi|block-jacobi]\n"
       "                     [--krylov gmres|pipe-gmres|cg|pipe-cg]\n"
+      "                     [--comm-guards] checksum + bounded-wait comm\n"
+      "                     [--comm-timeout S] typed fault instead of hang\n"
+      "                     [--max-restarts N] [--restart-backoff S]\n"
+      "                     [--checkpoint] replicated in-memory rollback\n"
+      "                     [--resilience] = guards + checkpoint +\n"
+      "                       max-restarts 2 (coordinated restart loop)\n"
+      "                     [--inject-fault comm:KIND:SITE[:EVAL][:repeat]]\n"
+      "                       kinds: drop|corrupt|delay|rank-death|straggler\n"
+      "                       sites: halo-send|halo-recv|allreduce|barrier\n"
       "  study            run the GPU optimization study -> markdown report\n"
       "                   [--cells N] [--scale F] [--out PATH]\n"
       "  transport        Eq. 2 thickness transport demo [--dx-km F]\n"
@@ -741,6 +874,9 @@ void usage() {
       "                   [--restart PATH] [--quiet] [--ppm PATH]\n"
       "                   plus solve's --jacobian/--krylov/--precond/\n"
       "                   --steps/--ranks/--decomp/--inject-fault/--resilience\n"
+      "                   (--ranks > 1 also takes solve's --comm-guards/\n"
+      "                   --comm-timeout/--max-restarts and comm:* fault\n"
+      "                   specs; failed runs print the recovery log tail)\n"
       "  ensemble         batched scenario sweep with amortized setup\n"
       "                   --manifest PATH  (key = value manifest; keys:\n"
       "                     name, dx_km, layers, years, velocity_every,\n"
@@ -754,6 +890,12 @@ void usage() {
       "                   [--no-recycle] [--no-cache] [--no-stats]\n"
       "                   [--expect-cached] exit nonzero unless every\n"
       "                     member was served from the cache\n"
+      "                   [--member-retries N] [--retry-backoff S]\n"
+      "                     failed members retry then quarantine; the\n"
+      "                     batch never aborts on one member's fault\n"
+      "                   [--resilience] arm each member's recovery path\n"
+      "                   [--inject-fault KIND:SITE[:EVAL][:repeat]]\n"
+      "                     [--fault-member ID] restrict to one member\n"
       "                   [--quiet]\n"
       "  export-jacobian  assemble and dump the Jacobian as MatrixMarket\n"
       "                   --out PATH.mtx [--dx-km F] [--layers N]\n"
