@@ -9,6 +9,7 @@
 #include "fem/quadrature.hpp"
 #include "portability/common.hpp"
 #include "portability/parallel.hpp"
+#include "portability/simd.hpp"
 
 namespace mali::fem {
 
@@ -36,23 +37,100 @@ double invert3(const std::array<std::array<double, 3>, 3>& m,
 
 }  // namespace
 
+std::size_t padded_cells(std::size_t n_cells) {
+  return n_cells + static_cast<std::size_t>(pk::kSimdMaxWidth - 1);
+}
+
+void replicate_ghost_cells(GeometryWorkset& ws) {
+  const std::size_t C = ws.n_cells;
+  const std::size_t Cp = ws.n_cells_padded;
+  if (C == 0 || Cp <= C) return;
+  const std::size_t src = C - 1;
+  const int N = ws.num_nodes;
+  const int Q = ws.num_qps;
+  for (std::size_t c = C; c < Cp; ++c) {
+    for (int k = 0; k < N; ++k) {
+      ws.cell_nodes(c, k) = ws.cell_nodes(src, k);
+      for (int d = 0; d < 3; ++d) ws.coords(c, k, d) = ws.coords(src, k, d);
+      for (int q = 0; q < Q; ++q) {
+        ws.wBF(c, k, q) = ws.wBF(src, k, q);
+        for (int d = 0; d < 3; ++d) {
+          ws.gradBF(c, k, q, d) = ws.gradBF(src, k, q, d);
+          ws.wGradBF(c, k, q, d) = ws.wGradBF(src, k, q, d);
+        }
+      }
+    }
+    for (int q = 0; q < Q; ++q) ws.detJ(c, q) = ws.detJ(src, q);
+  }
+}
+
+void validate_workset(const GeometryWorkset& ws) {
+  const std::size_t F = ws.n_basal_faces;
+  if (F == 0) return;
+  MALI_CHECK_MSG(ws.face_nodes > 0 && ws.face_qps > 0,
+                 "workset basal side set: non-positive face_nodes/face_qps");
+  const auto fn = static_cast<std::size_t>(ws.face_nodes);
+  const auto fq = static_cast<std::size_t>(ws.face_qps);
+  MALI_CHECK_MSG(ws.basal_face_cell.extent(0) == F &&
+                     ws.basal_face_node.extent(0) == F &&
+                     ws.basal_wBF.extent(0) == F && ws.basal_beta.extent(0) == F,
+                 "workset basal side set: face-count extent mismatch against "
+                 "n_basal_faces = " +
+                     std::to_string(F));
+  MALI_CHECK_MSG(ws.basal_face_node.extent(1) == fn,
+                 "workset basal side set: basal_face_node holds " +
+                     std::to_string(ws.basal_face_node.extent(1)) +
+                     " nodes per face but face_nodes = " +
+                     std::to_string(ws.face_nodes));
+  MALI_CHECK_MSG(ws.basal_wBF.extent(1) == fn && ws.basal_wBF.extent(2) == fq,
+                 "workset basal side set: basal_wBF built as (" +
+                     std::to_string(ws.basal_wBF.extent(1)) + ", " +
+                     std::to_string(ws.basal_wBF.extent(2)) +
+                     ") per face but face_nodes/face_qps say (" +
+                     std::to_string(ws.face_nodes) + ", " +
+                     std::to_string(ws.face_qps) + ")");
+  const int N = ws.num_nodes;
+  for (std::size_t f = 0; f < F; ++f) {
+    const std::size_t cell = ws.basal_face_cell(f);
+    MALI_CHECK_MSG(cell < ws.n_cells,
+                   "workset basal side set: face " + std::to_string(f) +
+                       " references cell " + std::to_string(cell) +
+                       " past n_cells = " + std::to_string(ws.n_cells));
+    for (int k = 0; k < ws.face_nodes; ++k) {
+      const std::size_t node = ws.basal_face_node(f, k);
+      bool found = false;
+      for (int j = 0; j < N && !found; ++j) {
+        found = ws.cell_nodes(cell, j) == node;
+      }
+      MALI_CHECK_MSG(found, "workset basal side set: face " +
+                                std::to_string(f) + " node " +
+                                std::to_string(k) + " (global id " +
+                                std::to_string(node) +
+                                ") is not a node of owning cell " +
+                                std::to_string(cell));
+    }
+  }
+}
+
 GeometryWorkset build_geometry(const mesh::ExtrudedMesh& mesh,
                                const mesh::IceGeometry& geom) {
   GeometryWorkset ws;
   const std::size_t C = mesh.n_cells();
+  const std::size_t Cp = padded_cells(C);
   constexpr int N = Hex8Basis::num_nodes;
   const auto qps = gauss_hex(2);
   const int Q = static_cast<int>(qps.size());
 
   ws.n_cells = C;
+  ws.n_cells_padded = Cp;
   ws.num_nodes = N;
   ws.num_qps = Q;
-  ws.cell_nodes = pk::View<std::size_t, 2>("cell_nodes", C, N);
-  ws.coords = pk::View<double, 3>("coords", C, N, 3);
-  ws.wBF = pk::View<double, 3>("wBF", C, N, Q);
-  ws.wGradBF = pk::View<double, 4>("wGradBF", C, N, Q, 3);
-  ws.gradBF = pk::View<double, 4>("gradBF", C, N, Q, 3);
-  ws.detJ = pk::View<double, 2>("detJ", C, Q);
+  ws.cell_nodes = pk::View<std::size_t, 2>("cell_nodes", Cp, N);
+  ws.coords = pk::View<double, 3>("coords", Cp, N, 3);
+  ws.wBF = pk::View<double, 3>("wBF", Cp, N, Q);
+  ws.wGradBF = pk::View<double, 4>("wGradBF", Cp, N, Q, 3);
+  ws.gradBF = pk::View<double, 4>("gradBF", Cp, N, Q, 3);
+  ws.detJ = pk::View<double, 2>("detJ", Cp, Q);
 
   // Precompute reference basis values/gradients at the quadrature points.
   std::vector<std::array<double, N>> ref_val(static_cast<std::size_t>(Q));
@@ -154,6 +232,8 @@ GeometryWorkset build_geometry(const mesh::ExtrudedMesh& mesh,
     }
   });
 
+  replicate_ghost_cells(ws);
+  validate_workset(ws);
   return ws;
 }
 

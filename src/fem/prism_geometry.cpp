@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "fem/cell_geometry.hpp"
 #include "fem/wedge6.hpp"
 #include "portability/common.hpp"
 #include "portability/parallel.hpp"
@@ -46,15 +47,17 @@ GeometryWorkset build_prism_geometry(const mesh::TriGrid& tris,
   const std::size_t C = n_tris * static_cast<std::size_t>(n_layers);
   const std::size_t levels = static_cast<std::size_t>(n_layers) + 1;
 
+  const std::size_t Cp = padded_cells(C);
   ws.n_cells = C;
+  ws.n_cells_padded = Cp;
   ws.num_nodes = N;
   ws.num_qps = Q;
-  ws.cell_nodes = pk::View<std::size_t, 2>("cell_nodes", C, N);
-  ws.coords = pk::View<double, 3>("coords", C, N, 3);
-  ws.wBF = pk::View<double, 3>("wBF", C, N, Q);
-  ws.wGradBF = pk::View<double, 4>("wGradBF", C, N, Q, 3);
-  ws.gradBF = pk::View<double, 4>("gradBF", C, N, Q, 3);
-  ws.detJ = pk::View<double, 2>("detJ", C, Q);
+  ws.cell_nodes = pk::View<std::size_t, 2>("cell_nodes", Cp, N);
+  ws.coords = pk::View<double, 3>("coords", Cp, N, 3);
+  ws.wBF = pk::View<double, 3>("wBF", Cp, N, Q);
+  ws.wGradBF = pk::View<double, 4>("wGradBF", Cp, N, Q, 3);
+  ws.gradBF = pk::View<double, 4>("gradBF", Cp, N, Q, 3);
+  ws.detJ = pk::View<double, 2>("detJ", Cp, Q);
 
   std::vector<std::array<double, N>> ref_val(static_cast<std::size_t>(Q));
   std::vector<std::array<std::array<double, 3>, N>> ref_grad(
@@ -161,6 +164,8 @@ GeometryWorkset build_prism_geometry(const mesh::TriGrid& tris,
     }
   });
 
+  replicate_ghost_cells(ws);
+  validate_workset(ws);
   return ws;
 }
 

@@ -104,6 +104,7 @@ class TraceView {
   [[nodiscard]] std::size_t extent(std::size_t d) const noexcept {
     return view_.extent(d);
   }
+  [[nodiscard]] bool allocated() const noexcept { return view_.allocated(); }
   [[nodiscard]] const pk::View<T, Rank>& underlying() const noexcept {
     return view_;
   }

@@ -56,6 +56,39 @@ struct ArrayAccessSpec {
                        num_nodes, num_qps, scalar_bytes));
 }
 
+/// The SIMD-batched fused residual's array set (FusedStokesChainBatched):
+/// the kernel reads only nodal velocities, nodal coordinates and the per-qp
+/// body force, recomputing geometry in pack registers, so the streamed
+/// wGradBF/wBF/Ugrad/mu arrays of the staged chain disappear.  Reference
+/// basis data (ref_grad/ref_val/qp_weight) is shared across all cells and
+/// stays cache-resident — it is excluded, exactly as the per-cell byte
+/// models above exclude it.  `thermal` adds the per-qp flow factor A(T).
+[[nodiscard]] inline std::vector<ArrayAccessSpec> batched_fused_resid_arrays(
+    std::size_t num_nodes, std::size_t num_qps, bool thermal = false) {
+  const std::size_t dims = 3;
+  const std::size_t vec = 2;
+  std::vector<ArrayAccessSpec> arrays = {
+      {"UNodal", num_nodes * vec, sizeof(double), false},
+      {"coords", num_nodes * dims, sizeof(double), false},
+      {"force", num_qps * vec, sizeof(double), false},
+      {"Residual", num_nodes * vec, sizeof(double), true},
+  };
+  if (thermal) {
+    arrays.push_back({"flow_factor", num_qps, sizeof(double), false});
+  }
+  return arrays;
+}
+
+/// Minimum bytes per batched fused-residual workset (72 doubles/cell for
+/// hex8, 80 with the thermal flow factor — vs ~496 for the streamed chain).
+[[nodiscard]] inline std::size_t batched_fused_resid_min_bytes(
+    std::size_t n_cells, std::size_t num_nodes, std::size_t num_qps,
+    bool thermal = false) {
+  return n_cells *
+         min_bytes_per_cell(batched_fused_resid_arrays(num_nodes, num_qps,
+                                                       thermal));
+}
+
 // ---------------------------------------------------------------------------
 // Jacobian-apply data movement: assembled SpMV vs matrix-free tangent.
 //

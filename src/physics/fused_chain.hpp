@@ -26,19 +26,31 @@ class FusedStokesChain {
   ViewT<double, 4> wGradBF;        ///< (C, N, Q, 3)
   ViewT<double, 3> wBF;            ///< (C, N, Q)
   ViewT<double, 3> force_passive;  ///< (C, Q, 2)
+  ViewT<double, 2> flow_factor;    ///< (C, Q) thermal A(T); optional
   // Output.
   ViewT<ScalarT, 3> Residual;  ///< (C, N, 2)
 
   double glen_A = 1.0e-16;
   double glen_n = 3.0;
   double eps_reg2 = 1.0e-10;
+  double constant_mu = 0.0;  ///< > 0 bypasses Glen's law (MMS runs)
   unsigned int numNodes = 8;
   unsigned int numQPs = 8;
 
+  /// Hoists the loop-invariant Glen's-law constants out of the per-cell
+  /// kernel; call once after setting glen_A / glen_n.  The hoisted values
+  /// are computed by the exact expressions the kernel previously evaluated
+  /// per cell, so residuals are bitwise identical (pinned in tests).
+  void prepare() {
+    coeff_ = 0.5 * std::pow(glen_A, -1.0 / glen_n);
+    expo_ = (1.0 - glen_n) / (2.0 * glen_n);
+  }
+
   MALI_KERNEL_FUNCTION void operator()(const int& cell) const {
     using std::pow;
-    const double coeff = 0.5 * pow(glen_A, -1.0 / glen_n);
-    const double expo = (1.0 - glen_n) / (2.0 * glen_n);
+    MALI_CHECK_MSG(numNodes <= kMaxNodes,
+                   "FusedStokesChain supports at most 8 nodes");
+    const bool thermal = flow_factor.allocated();
 
     // Nodal values: each read exactly once from memory.
     ScalarT un[kMaxNodes][2];
@@ -61,12 +73,21 @@ class FusedStokesChain {
         }
       }
 
-      // Glen's-law viscosity, in registers.
+      // Glen's-law viscosity, in registers.  coeff_/expo_ are hoisted to
+      // prepare(); the thermal path still pays a per-qp pow because the flow
+      // factor A(T) varies per quadrature point.
       const ScalarT eps2 =
           g[0][0] * g[0][0] + g[1][1] * g[1][1] + g[0][0] * g[1][1] +
           0.25 * ((g[0][1] + g[1][0]) * (g[0][1] + g[1][0]) +
                   g[0][2] * g[0][2] + g[1][2] * g[1][2]);
-      const ScalarT mu = coeff * pow(eps2 + eps_reg2, expo);
+      ScalarT mu;
+      if (constant_mu > 0.0) {
+        mu = constant_mu;
+      } else {
+        const double coeff =
+            thermal ? 0.5 * pow(flow_factor(cell, qp), -1.0 / glen_n) : coeff_;
+        mu = coeff * pow(eps2 + eps_reg2, expo_);
+      }
 
       // Stress components and body force.
       const ScalarT strs00 = 2.0 * mu * (2.0 * g[0][0] + g[1][1]);
@@ -94,6 +115,13 @@ class FusedStokesChain {
       Residual(cell, node, 1) = res1[node];
     }
   }
+
+ private:
+  // Hoisted Glen's-law constants (see prepare()).  Initialized for the
+  // default glen_A / glen_n so a chain used without prepare() still runs the
+  // documented configuration.
+  double coeff_ = 0.5 * std::pow(1.0e-16, -1.0 / 3.0);
+  double expo_ = (1.0 - 3.0) / (2.0 * 3.0);
 };
 
 }  // namespace mali::physics

@@ -7,10 +7,13 @@
 #include "fem/hex8.hpp"
 #include "fem/quadrature.hpp"
 #include "physics/evaluators.hpp"
+#include "physics/fused_chain_batched.hpp"
 #include "physics/matrix_free_operator.hpp"
 #include "physics/stokes_fo_resid.hpp"
 #include "physics/stokes_jacobian_apply.hpp"
+#include "physics/stokes_jacobian_apply_batched.hpp"
 #include "portability/parallel.hpp"
+#include "portability/simd.hpp"
 
 namespace mali::physics {
 
@@ -30,14 +33,33 @@ const char* to_string(KernelVariant v) {
   return "unknown";
 }
 
+int simd_width_from_string(const std::string& s) {
+  if (s == "auto") return 0;
+  if (s == "off") return 1;
+  int w = -1;
+  if (s == "1" || s == "2" || s == "4" || s == "8") w = s[0] - '0';
+  MALI_CHECK_MSG(w > 0 && pk::simd_width_valid(w),
+                 "--simd expects auto, off, or a width in {1, 2, 4, 8}; got '" +
+                     s + "'");
+  return w;
+}
+
+int StokesFOProblem::resolved_simd_width() const noexcept {
+  return cfg_.simd_width == 0 ? pk::kSimdNativeWidth : cfg_.simd_width;
+}
+
 template <class ScalarT>
 void FieldSet<ScalarT>::allocate(std::size_t C, int N, int Q) {
-  if (allocated && Residual.extent(0) >= C) return;  // big enough: reuse
-  UNodal = pk::View<ScalarT, 3>("UNodal", C, N, 2);
-  Ugrad = pk::View<ScalarT, 4>("Ugrad", C, Q, 2, 3);
-  mu = pk::View<ScalarT, 2>("muLandIce", C, Q);
-  force = pk::View<ScalarT, 3>("force", C, Q, 2);
-  Residual = pk::View<ScalarT, 3>("Residual", C, N, 2);
+  // The cell axis is padded like the geometry arrays (fem::padded_cells) so
+  // the batched kernels may run every batch — including the ragged tail —
+  // at full pack width; ghost rows are compute scratch, never scattered.
+  const std::size_t Cp = fem::padded_cells(C);
+  if (allocated && Residual.extent(0) >= Cp) return;  // big enough: reuse
+  UNodal = pk::View<ScalarT, 3>("UNodal", Cp, N, 2);
+  Ugrad = pk::View<ScalarT, 4>("Ugrad", Cp, Q, 2, 3);
+  mu = pk::View<ScalarT, 2>("muLandIce", Cp, Q);
+  force = pk::View<ScalarT, 3>("force", Cp, Q, 2);
+  Residual = pk::View<ScalarT, 3>("Residual", Cp, N, 2);
   allocated = true;
 }
 
@@ -56,9 +78,12 @@ StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
   // Driving-stress body force at quadrature points: f = rho g grad(s),
   // evaluated at the qp's horizontal position via the trilinear map.
   const std::size_t C = ws_.n_cells;
+  const std::size_t Cp = ws_.n_cells_padded;
   const int N = ws_.num_nodes;
   const int Q = ws_.num_qps;
-  force_passive_ = pk::View<double, 3>("force_passive", C, Q, 2);
+  // Padded like the geometry arrays; the zero-initialized ghost rows are
+  // loaded (and discarded) by full-width pack loads of the batched chain.
+  force_passive_ = pk::View<double, 3>("force_passive", Cp, Q, 2);
   const auto qps = fem::gauss_hex(2);
   const double rho_g = cfg_.constants.rho_g();
   if (cfg_.mms.enabled) {
@@ -105,7 +130,7 @@ StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
   // Temperature-dependent flow factor at quadrature points (thermal mode):
   // A = paterson_budd_A(T(x, y, sigma)) with sigma from the qp elevation.
   if (cfg_.thermal_viscosity) {
-    flow_factor_ = pk::View<double, 2>("flow_factor", C, Q);
+    flow_factor_ = pk::View<double, 2>("flow_factor", Cp, Q);
     pk::parallel_for("flow_factor", C, [&](int ci) {
       const auto c = static_cast<std::size_t>(ci);
       for (int q = 0; q < Q; ++q) {
@@ -126,14 +151,17 @@ StokesFOProblem::StokesFOProblem(StokesFOConfig cfg)
     });
   }
 
-  // Reference HEX8 gradients + quadrature weights for the matrix-free
-  // tangent kernel (which rebuilds the cell geometry in registers).
+  // Reference HEX8 values/gradients + quadrature weights for the kernels
+  // that rebuild the cell geometry in registers (matrix-free tangent and
+  // the batched fused chains).
   ref_grad_ = pk::View<double, 3>("ref_grad", Q, N, 3);
+  ref_val_ = pk::View<double, 2>("ref_val", Q, N);
   qp_weights_ = pk::View<double, 1>("qp_weights", Q);
   for (int q = 0; q < Q; ++q) {
     const auto& qp = qps[static_cast<std::size_t>(q)];
     qp_weights_(q) = qp.weight;
     for (int k = 0; k < N; ++k) {
+      ref_val_(q, k) = fem::Hex8Basis::value(k, qp.xi, qp.eta, qp.zeta);
       const auto grad = fem::Hex8Basis::gradient(k, qp.xi, qp.eta, qp.zeta);
       for (int d = 0; d < 3; ++d) ref_grad_(q, k, d) = grad[d];
     }
@@ -360,6 +388,70 @@ void StokesFOProblem::evaluate_workset(std::size_t w,
                                  static_cast<unsigned>(ws_.num_nodes)};
   pk::parallel_for("gather", cnt, gather);
 
+  // SIMD element-batched fused chain (double path only; the SFad assembled
+  // Jacobian always runs the staged scalar chain).  Replaces the staged
+  // VelocityGradient → ViscosityFO → BodyForceFO → StokesFOResid sequence
+  // with one batched kernel that recomputes the cell geometry in pack
+  // registers; the gathered f.UNodal is reused (BasalFrictionResid also
+  // reads it).  The dispatch range is rounded up to a full batch multiple —
+  // the padded ghost rows make every load/store in-bounds, and the ghost
+  // residual rows are never scattered.
+  if constexpr (std::is_same_v<ScalarT, double>) {
+    const int simd_w = resolved_simd_width();
+    if (simd_w > 1) {
+      phase_timers_.add("evaluate", phase_timer.seconds());
+      phase_timer.reset();
+      using Exec = pk::DefaultExec;
+      auto run_batched = [&]<int W>() {
+        const auto wW = static_cast<std::size_t>(W);
+        const std::size_t cnt_pad = (cnt + wW - 1) / wW * wW;
+        FusedStokesChainBatched<W> chain;
+        chain.UNodal = f.UNodal;
+        chain.coords = ws_.coords.window(range.c0, cnt_pad);
+        chain.ref_grad = ref_grad_;
+        chain.ref_val = ref_val_;
+        chain.qp_weight = qp_weights_;
+        chain.force_passive = force_passive_.window(range.c0, cnt_pad);
+        if (flow_factor_.allocated()) {
+          chain.flow_factor = flow_factor_.window(range.c0, cnt_pad);
+        }
+        chain.Residual = f.Residual;
+        chain.glen_A = cfg_.constants.glen_A;
+        chain.glen_n = cfg_.constants.glen_n;
+        chain.eps_reg2 = cfg_.constants.eps_reg2;
+        chain.constant_mu = cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0;
+        chain.numNodes = static_cast<unsigned>(ws_.num_nodes);
+        chain.numQPs = static_cast<unsigned>(ws_.num_qps);
+        chain.prepare();
+        pk::parallel_for("FusedStokesChainBatched",
+                         pk::SimdRangePolicy<W, Exec>(cnt_pad), chain);
+      };
+      switch (simd_w) {
+        case 2:
+          run_batched.template operator()<2>();
+          break;
+        case 8:
+          run_batched.template operator()<8>();
+          break;
+        default:
+          run_batched.template operator()<4>();
+          break;
+      }
+      if (!cfg_.mms.enabled) {
+        BasalFrictionResid<ScalarT> friction{
+            range.face_cell_local, range.face_wBF, range.face_beta,
+            f.UNodal,              f.Residual,     face_BF_,
+            static_cast<unsigned>(ws_.face_qps), cfg_.sliding};
+        pk::parallel_for(
+            "basal_friction",
+            pk::RangePolicy<pk::Serial>(range.face_cell_local.size()),
+            friction);
+      }
+      phase_timers_.add("kernel", phase_timer.seconds());
+      return;
+    }
+  }
+
   VelocityGradient<ScalarT> vgrad{f.UNodal, gradBF, f.Ugrad,
                                   static_cast<unsigned>(ws_.num_nodes),
                                   static_cast<unsigned>(ws_.num_qps)};
@@ -528,8 +620,9 @@ void StokesFOProblem::apply_jacobian(const std::vector<double>& U,
 
   const std::size_t ws_size =
       workset_ranges_.empty() ? ws_.n_cells : workset_ranges_.front().count;
-  if (!tangent_.allocated() || tangent_.extent(0) < ws_size) {
-    tangent_ = pk::View<double, 3>("tangent", ws_size, ws_.num_nodes, 2);
+  const std::size_t ws_pad = fem::padded_cells(ws_size);
+  if (!tangent_.allocated() || tangent_.extent(0) < ws_pad) {
+    tangent_ = pk::View<double, 3>("tangent", ws_pad, ws_.num_nodes, 2);
   }
 
   pk::View<double, 1> Uview("U", U.size());
@@ -548,23 +641,65 @@ void StokesFOProblem::apply_jacobian(const std::vector<double>& U,
     }
 
     // Fused tangent: gather + in-register geometry + Ugrad + viscosity +
-    // stress, accumulating only the directional derivative.
-    StokesFOTangent tangent;
-    tangent.cell_nodes = cell_nodes;
-    tangent.coords = coords;
-    tangent.flow_factor = flow_factor;
-    tangent.U = Uview;
-    tangent.X = Xview;
-    tangent.ref_grad = ref_grad_;
-    tangent.qp_weight = qp_weights_;
-    tangent.Tangent = tangent_;
-    tangent.glen_A = cfg_.constants.glen_A;
-    tangent.glen_n = cfg_.constants.glen_n;
-    tangent.eps_reg2 = cfg_.constants.eps_reg2;
-    tangent.constant_mu = cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0;
-    tangent.numNodes = ws_.num_nodes;
-    tangent.numQPs = ws_.num_qps;
-    pk::parallel_for("jacobian_tangent", pk::RangePolicy<Exec>(cnt), tangent);
+    // stress, accumulating only the directional derivative.  With a SIMD
+    // width > 1 the batched FadPack kernel processes W cells per dispatch
+    // over a range padded to a full batch multiple (ghost rows hold valid
+    // replicated geometry; their tangent rows are never scattered).
+    const int simd_w = resolved_simd_width();
+    if (simd_w > 1) {
+      auto run_batched = [&]<int W>() {
+        const auto wW = static_cast<std::size_t>(W);
+        const std::size_t cnt_pad = (cnt + wW - 1) / wW * wW;
+        StokesFOTangentBatched<W> tangent;
+        tangent.cell_nodes = ws_.cell_nodes.window(range.c0, cnt_pad);
+        tangent.coords = ws_.coords.window(range.c0, cnt_pad);
+        if (flow_factor_.allocated()) {
+          tangent.flow_factor = flow_factor_.window(range.c0, cnt_pad);
+        }
+        tangent.U = Uview;
+        tangent.X = Xview;
+        tangent.ref_grad = ref_grad_;
+        tangent.qp_weight = qp_weights_;
+        tangent.Tangent = tangent_;
+        tangent.glen_A = cfg_.constants.glen_A;
+        tangent.glen_n = cfg_.constants.glen_n;
+        tangent.eps_reg2 = cfg_.constants.eps_reg2;
+        tangent.constant_mu = cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0;
+        tangent.numNodes = ws_.num_nodes;
+        tangent.numQPs = ws_.num_qps;
+        tangent.prepare();
+        pk::parallel_for("jacobian_tangent_batched",
+                         pk::SimdRangePolicy<W, Exec>(cnt_pad), tangent);
+      };
+      switch (simd_w) {
+        case 2:
+          run_batched.template operator()<2>();
+          break;
+        case 8:
+          run_batched.template operator()<8>();
+          break;
+        default:
+          run_batched.template operator()<4>();
+          break;
+      }
+    } else {
+      StokesFOTangent tangent;
+      tangent.cell_nodes = cell_nodes;
+      tangent.coords = coords;
+      tangent.flow_factor = flow_factor;
+      tangent.U = Uview;
+      tangent.X = Xview;
+      tangent.ref_grad = ref_grad_;
+      tangent.qp_weight = qp_weights_;
+      tangent.Tangent = tangent_;
+      tangent.glen_A = cfg_.constants.glen_A;
+      tangent.glen_n = cfg_.constants.glen_n;
+      tangent.eps_reg2 = cfg_.constants.eps_reg2;
+      tangent.constant_mu = cfg_.mms.enabled ? cfg_.mms.mu0 : 0.0;
+      tangent.numNodes = ws_.num_nodes;
+      tangent.numQPs = ws_.num_qps;
+      pk::parallel_for("jacobian_tangent", pk::RangePolicy<Exec>(cnt), tangent);
+    }
 
     // Basal sliding tangent (adds into Tangent); serial over faces, as in
     // the assembled chain.
@@ -687,7 +822,7 @@ void StokesFOProblem::set_temperature_field(
   const int N = ws_.num_nodes;
   const int Q = ws_.num_qps;
   if (!flow_factor_.allocated()) {
-    flow_factor_ = pk::View<double, 2>("flow_factor", C, Q);
+    flow_factor_ = pk::View<double, 2>("flow_factor", ws_.n_cells_padded, Q);
   }
   const auto qps = fem::gauss_hex(2);
   pk::parallel_for("set_temperature", C, [&](int ci) {

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fem/dof_map.hpp"
@@ -65,7 +66,17 @@ struct StokesFOConfig {
   /// Jacobian representation for the Newton solve: assembled CRS (default)
   /// or the matrix-free per-element tangent apply (no global matrix).
   linalg::JacobianMode jacobian = linalg::JacobianMode::kAssembled;
+  /// SIMD element-batch width for the double-valued fused kernels (residual
+  /// chain and matrix-free tangent): 1 = scalar reference path (default, so
+  /// stored references and bit-pinned tests are undisturbed), 2/4/8 = batch
+  /// that many cells per pack, 0 = auto (pk::kSimdNativeWidth).  The SFad
+  /// assembled-Jacobian chain always runs scalar.
+  int simd_width = 1;
 };
+
+/// Parses a `--simd` CLI value: "auto" → 0, "off" → 1, else a width in
+/// {1, 2, 4, 8}.  Throws mali::Error on anything else.
+[[nodiscard]] int simd_width_from_string(const std::string& s);
 
 /// Per-evaluation-type field storage (double for Residual, SFad<double,16>
 /// for Jacobian), allocated lazily — the Jacobian set is ~17x larger.
@@ -235,9 +246,16 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   [[nodiscard]] const pk::View<double, 3>& ref_grad() const noexcept {
     return ref_grad_;
   }
+  [[nodiscard]] const pk::View<double, 2>& ref_val() const noexcept {
+    return ref_val_;
+  }
   [[nodiscard]] const pk::View<double, 1>& qp_weights() const noexcept {
     return qp_weights_;
   }
+
+  /// The SIMD batch width the double-valued fused kernels actually run at:
+  /// cfg_.simd_width with 0 ("auto") resolved to pk::kSimdNativeWidth.
+  [[nodiscard]] int resolved_simd_width() const noexcept;
   [[nodiscard]] const std::vector<double>& dirichlet_values() const noexcept {
     return dirichlet_values_;
   }
@@ -281,9 +299,11 @@ class StokesFOProblem final : public nonlinear::NonlinearProblem {
   pk::View<double, 2> face_BF_;        ///< (4, Qf) reference face basis
   pk::View<double, 2> flow_factor_;    ///< (C, Q) A(T), thermal mode only
 
-  // Reference element data for the matrix-free tangent kernel, which
-  // recomputes cell geometry in registers from nodal coords (built once).
+  // Reference element data for the matrix-free tangent kernel and the
+  // batched fused chains, which recompute cell geometry in registers from
+  // nodal coords (built once).
   pk::View<double, 3> ref_grad_;    ///< (Q, N, 3) dN_k/d(xi,eta,zeta)
+  pk::View<double, 2> ref_val_;     ///< (Q, N) N_k at the qps
   pk::View<double, 1> qp_weights_;  ///< (Q)
   pk::View<double, 3> tangent_;     ///< (ws, N, 2) per-cell J_e x_e scratch
 

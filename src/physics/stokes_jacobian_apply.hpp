@@ -95,7 +95,10 @@ struct StokesFOTangent {
   MALI_KERNEL_FUNCTION void operator()(const int& cell) const {
     const int N = numNodes;
     const int Q = numQPs;
-    MALI_ASSERT(N <= kMaxNodes);
+    // Always-on: the fixed-size Ul/xn/g/res arrays below would otherwise be
+    // a silent stack overflow in Release for > 8-node elements.
+    MALI_CHECK_MSG(N <= kMaxNodes,
+                   "StokesFOTangent supports at most 8 nodes");
 
     // Gather state + direction: one SFad<1> per nodal dof, value = U,
     // derivative seed = x (tangent direction).

@@ -88,7 +88,10 @@ TEST(Coloring, ValidOnExtrudedAntarcticaMesh) {
   // greedy fallback must be conflict-free on the full mesh.
   const auto lat = lattice_color_cells(p.mesh());
   expect_valid_coloring(lat, ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
-  const auto grd = greedy_color_cells(ws.cell_nodes, ws.num_nodes);
+  // Explicit range: the workset's cell arrays carry SIMD ghost-row padding
+  // past n_cells, which the coloring must not be asked to cover.
+  const auto grd =
+      greedy_color_cells(ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
   expect_valid_coloring(grd, ws.cell_nodes, 0, ws.n_cells, ws.num_nodes);
 }
 

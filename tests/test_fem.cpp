@@ -139,7 +139,10 @@ TEST_F(GeometryWorksetTest, Shapes) {
   EXPECT_EQ(ws.n_cells, msh.n_cells());
   EXPECT_EQ(ws.num_nodes, 8);
   EXPECT_EQ(ws.num_qps, 8);
-  EXPECT_EQ(ws.wBF.extent(0), ws.n_cells);
+  // Cell-indexed arrays are lane-padded for SIMD batching: the ghost rows
+  // replicate the last real cell so full-width pack loads stay in-bounds.
+  EXPECT_EQ(ws.n_cells_padded, fem::padded_cells(ws.n_cells));
+  EXPECT_EQ(ws.wBF.extent(0), ws.n_cells_padded);
   EXPECT_EQ(ws.wGradBF.extent(3), 3u);
   EXPECT_EQ(ws.n_basal_faces, base->n_cells());
 }

@@ -157,7 +157,9 @@ void exercise_scatter_exec_space() {
     }
   }
 
-  const auto coloring = mesh::greedy_color_cells(ws.cell_nodes, N);
+  // Explicit range: cell_nodes carries SIMD ghost-row padding past C, and
+  // the coloring must cover exactly the scattered range.
+  const auto coloring = mesh::greedy_color_cells(ws.cell_nodes, 0, C, N);
 
   auto run = [&](ScatterMode mode) {
     std::vector<double> F(p.n_dofs(), 0.0);

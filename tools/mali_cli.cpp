@@ -103,6 +103,10 @@ physics::StokesFOConfig problem_config(const Args& args) {
   // Jacobian representation (assembled | matrix-free).
   cfg.jacobian =
       linalg::jacobian_mode_from_string(args.str("jacobian", "assembled"));
+  // SIMD element batching for the fused residual/tangent kernels
+  // (auto | off | 1 | 2 | 4 | 8).  The CLI defaults to auto (native
+  // width); the in-code config default stays scalar.
+  cfg.simd_width = physics::simd_width_from_string(args.str("simd", "auto"));
   // Manufactured-solution mode (verification runs and the AMG equivalence
   // checks use it).
   if (args.has("mms")) cfg.mms.enabled = true;
@@ -830,6 +834,9 @@ void usage() {
       "                   [--variant baseline|optimized|loop-opt|fused|local-accum]\n"
       "                   [--scatter serial|colored|atomic] [--phases]\n"
       "                   [--jacobian assembled|matrix-free]\n"
+      "                   [--simd auto|off|1|2|4|8]\n"
+      "                     SIMD element batching of the fused kernels;\n"
+      "                     auto picks the native pack width\n"
       "                   [--krylov gmres|pipe-gmres|cg|pipe-cg]\n"
       "                     pipelined variants: one fused allreduce per\n"
       "                     iteration, overlapped with the operator apply\n"
